@@ -1,0 +1,160 @@
+// A0 — design-choice ablations (DESIGN.md section 5 follow-ups):
+//   * exact determinant engines: Bareiss vs cofactor vs CRT-over-primes vs
+//     |det| via Smith normal form — all must agree; costs differ sharply,
+//   * product kernels: naive vs blocked vs Strassen over BigInt,
+//   * mesh scheduling: sequential vs wavefront-pipelined (same traffic,
+//     Theta(n^2) -> Theta(n) cycles, AT^2 approaching the bound).
+#include <cmath>
+
+#include "bench_common.hpp"
+#include "linalg/det.hpp"
+#include "linalg/det_crt.hpp"
+#include "linalg/hnf.hpp"
+#include "linalg/rref.hpp"
+#include "linalg/solve_crt.hpp"
+#include "linalg/strassen.hpp"
+#include "vlsi/mesh.hpp"
+#include "vlsi/tradeoffs.hpp"
+
+namespace {
+
+using namespace ccmx;
+using bench::random_entries;
+
+void print_tables() {
+  bench::print_header(
+      "A0a — determinant engine agreement",
+      "Four independent exact engines on the same inputs (incl. singular).");
+  util::TextTable det_table({"n", "bits", "trials", "bareiss=crt",
+                             "bareiss=snf(|.|)", "bareiss=cofactor"});
+  for (const auto& [n, bits] : std::vector<std::pair<std::size_t, unsigned>>{
+           {4, 8}, {6, 16}, {8, 32}}) {
+    util::Xoshiro256 rng(n * 7 + bits);
+    const int trials = 10;
+    int crt_ok = 0, snf_ok = 0, cof_ok = 0;
+    for (int trial = 0; trial < trials; ++trial) {
+      la::IntMatrix m = random_entries(n, n, bits, rng);
+      if (trial % 3 == 0) {
+        for (std::size_t i = 0; i < n; ++i) m(i, n - 1) = m(i, 0);
+      }
+      const num::BigInt det = la::det_bareiss(m);
+      crt_ok += la::det_crt(m) == det;
+      snf_ok += la::abs_det_via_snf(m) == det.abs();
+      cof_ok += n > 8 || la::det_cofactor(m) == det;
+    }
+    det_table.row(n, bits, trials, crt_ok, snf_ok, cof_ok);
+  }
+  bench::print_table(det_table);
+
+  bench::print_header(
+      "A0b — mesh scheduling ablation",
+      "Identical dataflow and bisection traffic; the pipelined schedule cuts\n"
+      "T from Theta(n^2) to Theta(n), pulling AT^2 toward the Omega((kn^2)^2)\n"
+      "floor (ratio column; smaller = tighter design).");
+  util::TextTable mesh({"n", "T seq", "T pipe", "AT^2/C^2 seq",
+                        "AT^2/C^2 pipe"});
+  const unsigned k = 8;
+  vlsi::MeshConfig config;
+  config.input_bits = k;
+  for (const std::size_t n : {8u, 16u, 24u, 32u}) {
+    util::Xoshiro256 rng(n);
+    const la::IntMatrix m = random_entries(n, n, k, rng);
+    const auto seq = vlsi::simulate_mesh(m, config);
+    const auto pipe = vlsi::simulate_mesh_pipelined(m, config);
+    const double c = vlsi::comm_complexity(n, k);
+    const double area = static_cast<double>(seq.area_units);
+    mesh.row(n, seq.cycles, pipe.cycles,
+             util::fmt_double(area * std::pow(static_cast<double>(seq.cycles), 2) /
+                                  (c * c),
+                              1),
+             util::fmt_double(area * std::pow(static_cast<double>(pipe.cycles), 2) /
+                                  (c * c),
+                              1));
+  }
+  bench::print_table(mesh);
+}
+
+void BM_SolveCrt(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  util::Xoshiro256 rng(n);
+  const la::IntMatrix a = random_entries(n, n, 16, rng);
+  std::vector<num::BigInt> b;
+  for (std::size_t i = 0; i < n; ++i) {
+    b.push_back(num::BigInt(static_cast<std::int64_t>(rng.below(100))));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(la::solve_crt(a, b).has_value());
+  }
+}
+void BM_SolveRational(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  util::Xoshiro256 rng(n);
+  const la::IntMatrix a = random_entries(n, n, 16, rng);
+  std::vector<num::Rational> b;
+  for (std::size_t i = 0; i < n; ++i) {
+    b.emplace_back(num::BigInt(static_cast<std::int64_t>(rng.below(100))));
+  }
+  const la::RatMatrix ra = la::to_rational(a);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(la::solve(ra, b).has_value());
+  }
+}
+BENCHMARK(BM_SolveCrt)->Arg(4)->Arg(8)->Arg(12);
+BENCHMARK(BM_SolveRational)->Arg(4)->Arg(8)->Arg(12);
+
+void BM_DetBareiss(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  util::Xoshiro256 rng(n);
+  const la::IntMatrix m = random_entries(n, n, 32, rng);
+  for (auto _ : state) benchmark::DoNotOptimize(la::det_bareiss(m).signum());
+}
+void BM_DetCrt(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  util::Xoshiro256 rng(n);
+  const la::IntMatrix m = random_entries(n, n, 32, rng);
+  for (auto _ : state) benchmark::DoNotOptimize(la::det_crt(m).signum());
+}
+void BM_DetSnf(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  util::Xoshiro256 rng(n);
+  const la::IntMatrix m = random_entries(n, n, 32, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(la::abs_det_via_snf(m).signum());
+  }
+}
+BENCHMARK(BM_DetBareiss)->Arg(4)->Arg(8)->Arg(16);
+BENCHMARK(BM_DetCrt)->Arg(4)->Arg(8)->Arg(16);
+BENCHMARK(BM_DetSnf)->Arg(4)->Arg(8);
+
+void BM_MultiplyNaive(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  util::Xoshiro256 rng(n);
+  const la::IntMatrix a = random_entries(n, n, 32, rng);
+  const la::IntMatrix b = random_entries(n, n, 32, rng);
+  for (auto _ : state) benchmark::DoNotOptimize(multiply_naive(a, b).rows());
+}
+void BM_MultiplyBlocked(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  util::Xoshiro256 rng(n);
+  const la::IntMatrix a = random_entries(n, n, 32, rng);
+  const la::IntMatrix b = random_entries(n, n, 32, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(multiply_blocked(a, b).rows());
+  }
+}
+void BM_MultiplyStrassen(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  util::Xoshiro256 rng(n);
+  const la::IntMatrix a = random_entries(n, n, 32, rng);
+  const la::IntMatrix b = random_entries(n, n, 32, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(la::multiply_strassen(a, b, 16).rows());
+  }
+}
+BENCHMARK(BM_MultiplyNaive)->Arg(16)->Arg(32)->Arg(64);
+BENCHMARK(BM_MultiplyBlocked)->Arg(16)->Arg(32)->Arg(64);
+BENCHMARK(BM_MultiplyStrassen)->Arg(16)->Arg(32)->Arg(64);
+
+}  // namespace
+
+CCMX_BENCH_MAIN(print_tables)

@@ -1,0 +1,51 @@
+// Shared helpers for the experiment binaries.
+//
+// Every bench binary prints its reproduction table(s) first (the rows
+// recorded in EXPERIMENTS.md), then runs its google-benchmark timing
+// section.  All randomness is seeded, so tables reproduce byte-for-byte.
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include <cstdint>
+#include <iostream>
+#include <string>
+
+#include "linalg/convert.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+
+namespace ccmx::bench {
+
+inline la::IntMatrix random_entries(std::size_t rows, std::size_t cols,
+                                    unsigned k, util::Xoshiro256& rng) {
+  return la::IntMatrix::generate(rows, cols, [&](std::size_t, std::size_t) {
+    return num::BigInt(
+        static_cast<std::int64_t>(rng.below(std::uint64_t{1} << k)));
+  });
+}
+
+inline void print_header(const std::string& experiment,
+                         const std::string& claim) {
+  std::cout << "\n=== " << experiment << " ===\n" << claim << "\n\n";
+}
+
+inline void print_table(const util::TextTable& table) {
+  table.print(std::cout);
+  std::cout << std::flush;
+}
+
+/// Boilerplate main: print tables, then timings.
+#define CCMX_BENCH_MAIN(print_tables_fn)                        \
+  int main(int argc, char** argv) {                             \
+    print_tables_fn();                                          \
+    ::benchmark::Initialize(&argc, argv);                       \
+    if (::benchmark::ReportUnrecognizedArguments(argc, argv)) { \
+      return 1;                                                 \
+    }                                                           \
+    ::benchmark::RunSpecifiedBenchmarks();                      \
+    ::benchmark::Shutdown();                                    \
+    return 0;                                                   \
+  }
+
+}  // namespace ccmx::bench

@@ -1,0 +1,85 @@
+// E7 — Corollary 1.3: deciding whether A x = b has a solution is
+// Theta(k n^2), via the reduction "M singular <=> M' x = b solvable" on the
+// restricted family (b = M's first column, M' = M with it zeroed).
+#include "bench_common.hpp"
+#include "core/construction.hpp"
+#include "core/reductions.hpp"
+#include "linalg/det.hpp"
+#include "protocols/fingerprint.hpp"
+#include "protocols/send_half.hpp"
+
+namespace {
+
+using namespace ccmx;
+using bench::random_entries;
+
+void print_tables() {
+  bench::print_header(
+      "E7 — Corollary 1.3 reduction on the restricted family",
+      "For every instance (mix of Lemma 3.5(a) singular completions and\n"
+      "random nonsingular draws): singular(M) must equal\n"
+      "solvable(M', b).");
+  util::TextTable table({"n", "k", "trials", "matches", "singular", "solvable"});
+  for (const auto& [n, k] : std::vector<std::pair<std::size_t, unsigned>>{
+           {7, 2}, {7, 3}, {9, 2}}) {
+    const core::ConstructionParams p(n, k);
+    util::Xoshiro256 rng(n * 47 + k);
+    const int trials = 40;
+    int matches = 0, singular = 0, solvable_count = 0;
+    for (int trial = 0; trial < trials; ++trial) {
+      core::FreeParts parts = core::FreeParts::random(p, rng);
+      if (trial % 2 == 0) {
+        if (const auto done = core::lemma35_complete(p, parts.c, parts.e)) {
+          parts = *done;
+        }
+      }
+      const la::IntMatrix m = core::build_m(p, parts);
+      const auto instance = core::corollary13_instance(m);
+      const bool is_singular = la::is_singular(m);
+      const bool is_solvable = core::solvable(instance.m_prime, instance.b);
+      matches += is_singular == is_solvable;
+      singular += is_singular;
+      solvable_count += is_solvable;
+    }
+    table.row(n, k, trials, matches, singular, solvable_count);
+  }
+  bench::print_table(table);
+
+  bench::print_header(
+      "E7b — solvability protocol costs under pi_0",
+      "Deterministic (send-half) vs fingerprint solvability on [A | b]\n"
+      "inputs: the same k-linear vs log-k contrast as singularity.");
+  util::TextTable costs({"n", "k", "det(bits)", "fp(bits)", "prime_bits"});
+  for (const auto& [n, k] : std::vector<std::pair<std::size_t, unsigned>>{
+           {8, 4}, {8, 16}, {16, 8}}) {
+    const comm::MatrixBitLayout layout(n, n, k);
+    const comm::Partition pi = comm::Partition::pi0(layout);
+    util::Xoshiro256 rng(n * 3 + k);
+    const comm::BitVec input = layout.encode(random_entries(n, n, k, rng));
+    const unsigned pb = proto::recommend_prime_bits(n, k, 0.01);
+    const auto det_bits =
+        comm::execute(proto::make_send_half_solvability(layout), input, pi).bits;
+    const proto::FingerprintProtocol fp(
+        layout, proto::FingerprintTask::kSolvability, pb, 1, n + k);
+    costs.row(n, k, det_bits, comm::execute(fp, input, pi).bits, pb);
+  }
+  bench::print_table(costs);
+}
+
+void BM_SolvabilityExact(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  util::Xoshiro256 rng(n);
+  const la::IntMatrix a = random_entries(n, n, 4, rng);
+  std::vector<num::BigInt> b;
+  for (std::size_t i = 0; i < n; ++i) {
+    b.push_back(num::BigInt(static_cast<std::int64_t>(rng.below(16))));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::solvable(a, b));
+  }
+}
+BENCHMARK(BM_SolvabilityExact)->Arg(4)->Arg(8)->Arg(12);
+
+}  // namespace
+
+CCMX_BENCH_MAIN(print_tables)

@@ -1,0 +1,99 @@
+// E11 — the paper's headline contrast as series: deterministic Theta(k n^2)
+// vs probabilistic O(n^2 max{log n, log k}) communication, swept in k at
+// fixed n and in n at fixed k (both protocols actually executed).
+#include "bench_common.hpp"
+#include "protocols/equality.hpp"
+#include "protocols/fingerprint.hpp"
+#include "protocols/send_half.hpp"
+
+namespace {
+
+using namespace ccmx;
+using bench::random_entries;
+
+void print_tables() {
+  bench::print_header(
+      "E11a — bits vs k at n = 8 (eps = 0.05)",
+      "Deterministic grows linearly in k; fingerprint only through\n"
+      "prime_bits ~ max{log n, log k}.");
+  util::TextTable by_k({"k", "det(bits)", "fp(bits)", "prime_bits",
+                        "det/fp"});
+  const std::size_t n = 8;
+  for (const unsigned k : {2u, 4u, 8u, 16u, 32u, 56u}) {
+    const comm::MatrixBitLayout layout(n, n, k);
+    const comm::Partition pi = comm::Partition::pi0(layout);
+    util::Xoshiro256 rng(k);
+    const comm::BitVec input = layout.encode(random_entries(n, n, k, rng));
+    const auto det_bits =
+        comm::execute(proto::make_send_half_singularity(layout), input, pi)
+            .bits;
+    const unsigned pb = proto::recommend_prime_bits(n, k, 0.05);
+    const proto::FingerprintProtocol fp(
+        layout, proto::FingerprintTask::kSingularity, pb, 1, k);
+    const auto fp_bits = comm::execute(fp, input, pi).bits;
+    by_k.row(k, det_bits, fp_bits, pb,
+             util::fmt_double(static_cast<double>(det_bits) /
+                                  static_cast<double>(fp_bits),
+                              2));
+  }
+  bench::print_table(by_k);
+
+  bench::print_header(
+      "E11b — bits vs n at k = 8 (eps = 0.05)",
+      "Both grow quadratically in n; the gap is the k / log factor only.");
+  util::TextTable by_n({"n", "det(bits)", "fp(bits)", "prime_bits"});
+  for (const std::size_t nn : {4u, 8u, 16u, 24u, 32u}) {
+    const unsigned k = 8;
+    const comm::MatrixBitLayout layout(nn, nn, k);
+    const comm::Partition pi = comm::Partition::pi0(layout);
+    util::Xoshiro256 rng(nn);
+    const comm::BitVec input = layout.encode(random_entries(nn, nn, k, rng));
+    const auto det_bits =
+        comm::execute(proto::make_send_half_singularity(layout), input, pi)
+            .bits;
+    const unsigned pb = proto::recommend_prime_bits(nn, k, 0.05);
+    const proto::FingerprintProtocol fp(
+        layout, proto::FingerprintTask::kSingularity, pb, 1, nn);
+    by_n.row(nn, det_bits, comm::execute(fp, input, pi).bits, pb);
+  }
+  bench::print_table(by_n);
+
+  bench::print_header(
+      "E11c — the EQ baseline (Vuillemin's transitivity world)",
+      "Identity testing shows the same deterministic/randomized gap; the\n"
+      "paper's point is that singularity does NOT embed a large EQ, so it\n"
+      "needed the rectangle argument instead.");
+  util::TextTable eq({"s (bits per side)", "det EQ(bits)", "fp EQ(bits)"});
+  for (const std::size_t s : {64u, 256u, 1024u, 4096u}) {
+    const auto pi = proto::equality_partition(s);
+    util::Xoshiro256 rng(s);
+    comm::BitVec x(s), y(s);
+    for (std::size_t i = 0; i < s; ++i) {
+      const bool bit = rng.coin();
+      x.set(i, bit);
+      y.set(i, bit);
+    }
+    const auto input = proto::equality_input(x, y);
+    eq.row(s, comm::execute(proto::EqualitySendAll(s), input, pi).bits,
+           comm::execute(proto::EqualityFingerprint(s, 24, s), input, pi)
+               .bits);
+  }
+  bench::print_table(eq);
+}
+
+void BM_DeterministicBits(benchmark::State& state) {
+  const auto k = static_cast<unsigned>(state.range(0));
+  const comm::MatrixBitLayout layout(8, 8, k);
+  const comm::Partition pi = comm::Partition::pi0(layout);
+  util::Xoshiro256 rng(k);
+  const comm::BitVec input = layout.encode(random_entries(8, 8, k, rng));
+  const auto protocol = proto::make_send_half_singularity(layout);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(comm::execute(protocol, input, pi).bits);
+  }
+}
+BENCHMARK(BM_DeterministicBits)->Arg(2)->Arg(16)->Arg(56);
+
+}  // namespace
+
+CCMX_BENCH_MAIN(print_tables)

@@ -1,0 +1,87 @@
+// E15 — exact deterministic communication complexity at enumerable sizes.
+//
+// The protocol-tree minimizer turns E1's certificate lower bounds into
+// equalities: certificate <= exact CC <= trivial upper bound, with the
+// known closed forms (EQ_s = s + 1) recovered and the tiny singularity
+// instance pinned exactly.
+#include "bench_common.hpp"
+#include "comm/bounds.hpp"
+#include "comm/exact_cc.hpp"
+#include "core/truth_sampling.hpp"
+
+namespace {
+
+using namespace ccmx;
+
+comm::TruthMatrix equality_matrix(unsigned s) {
+  const std::size_t side = std::size_t{1} << s;
+  return comm::TruthMatrix::build(
+      side, side, [](std::size_t r, std::size_t c) { return r == c; });
+}
+
+void print_tables() {
+  bench::print_header(
+      "E15 — exact CC vs certificate vs trivial upper bound",
+      "Protocol-tree minimization (exhaustive, memoized).  The sandwich\n"
+      "certificate <= exact <= upper must hold on every row; EQ_s = s + 1\n"
+      "is the known closed form.");
+  util::TextTable table({"function", "size", "certificate(bits)", "exact CC",
+                         "trivial upper"});
+  for (const unsigned s : {1u, 2u, 3u}) {
+    const auto eq = equality_matrix(s);
+    util::Xoshiro256 rng(s);
+    const auto cert = comm::certificate(eq, rng);
+    table.row("EQ_" + std::to_string(s),
+              std::to_string(eq.rows()) + "^2",
+              util::fmt_double(cert.best_bits, 2), comm::exact_cc(eq),
+              comm::trivial_upper_bound(s, s));
+  }
+  {
+    const std::size_t side = 8;
+    const auto gt = comm::TruthMatrix::build(
+        side, side, [](std::size_t r, std::size_t c) { return r > c; });
+    util::Xoshiro256 rng(4);
+    const auto cert = comm::certificate(gt, rng);
+    table.row("GT_3", "8^2", util::fmt_double(cert.best_bits, 2),
+              comm::exact_cc(gt), comm::trivial_upper_bound(3, 3));
+  }
+  {
+    const auto tm = core::singularity_truth_matrix(1, 1);
+    util::Xoshiro256 rng(5);
+    const auto cert = comm::certificate(tm, rng);
+    table.row("SING(2x2, k=1)", "4^2", util::fmt_double(cert.best_bits, 2),
+              comm::exact_cc(tm), comm::trivial_upper_bound(2, 2));
+  }
+  {
+    // An 8x8 random submatrix of the restricted family's truth matrix.
+    const core::ConstructionParams p(7, 2);
+    util::Xoshiro256 rng(6);
+    const auto tm = core::sampled_restricted_truth_matrix(p, 8, 8, true, rng);
+    const auto cert = comm::certificate(tm, rng);
+    table.row("restricted(7,2) 8x8 sample", "8^2",
+              util::fmt_double(cert.best_bits, 2), comm::exact_cc(tm),
+              comm::trivial_upper_bound(3, 3));
+  }
+  bench::print_table(table);
+}
+
+void BM_ExactCcEquality(benchmark::State& state) {
+  const auto s = static_cast<unsigned>(state.range(0));
+  const auto eq = equality_matrix(s);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(comm::exact_cc(eq));
+  }
+}
+BENCHMARK(BM_ExactCcEquality)->Arg(1)->Arg(2)->Arg(3);
+
+void BM_ExactCcSingularity(benchmark::State& state) {
+  const auto tm = core::singularity_truth_matrix(1, 1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(comm::exact_cc(tm));
+  }
+}
+BENCHMARK(BM_ExactCcSingularity);
+
+}  // namespace
+
+CCMX_BENCH_MAIN(print_tables)

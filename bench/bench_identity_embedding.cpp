@@ -1,0 +1,90 @@
+// E14 — the Vuillemin remark (Section 1): "it does not seem likely to
+// reduce our problem to a large enough identity problem".
+//
+// Transitivity-based lower bounds need a large embedded identity (EQ)
+// submatrix.  We measure the largest identity embedding the greedy search
+// finds in singularity truth matrices and compare with (a) EQ itself, where
+// the embedding is everything, and (b) the rectangle/rank certificates,
+// which for singularity are the stronger handle — mirroring the paper's
+// choice of proof technique.
+#include <cmath>
+
+#include "bench_common.hpp"
+#include "comm/bounds.hpp"
+#include "comm/rectangles.hpp"
+#include "core/truth_sampling.hpp"
+
+namespace {
+
+using namespace ccmx;
+
+comm::TruthMatrix equality_matrix(unsigned s) {
+  const std::size_t side = std::size_t{1} << s;
+  return comm::TruthMatrix::build(
+      side, side, [](std::size_t r, std::size_t c) { return r == c; });
+}
+
+void print_tables() {
+  bench::print_header(
+      "E14 — identity (EQ) embeddings vs rank certificates",
+      "log2 of the largest embedded identity vs the log-rank certificate.\n"
+      "For EQ they coincide (transitivity is tight there); for singularity\n"
+      "truth matrices the rank certificate is what carries the bound.");
+  util::TextTable table({"function", "size", "ones", "identity",
+                         "log2(identity)", "log-rank bits"});
+  // EQ baselines.
+  for (const unsigned s : {3u, 4u, 5u}) {
+    const auto eq = equality_matrix(s);
+    util::Xoshiro256 rng(s);
+    const auto embedding = comm::greedy_identity_submatrix(eq, rng);
+    const auto cert = comm::certificate(eq, rng);
+    table.row("EQ_" + std::to_string(s),
+              std::to_string(eq.rows()) + "^2", eq.ones(), embedding.size(),
+              util::fmt_double(std::log2(static_cast<double>(embedding.size())), 2),
+              util::fmt_double(cert.log_rank_bits, 2));
+  }
+  // Singularity truth matrices (exact tiny + sampled restricted).
+  for (const auto& [m, k] :
+       std::vector<std::pair<std::size_t, unsigned>>{{1, 2}, {1, 3}, {2, 1}}) {
+    const auto tm = core::singularity_truth_matrix(m, k);
+    util::Xoshiro256 rng(m * 10 + k);
+    const auto embedding = comm::greedy_identity_submatrix(tm, rng);
+    const auto cert = comm::certificate(tm, rng);
+    table.row("SING(2m=" + std::to_string(2 * m) + ",k=" + std::to_string(k) + ")",
+              std::to_string(tm.rows()) + "^2", tm.ones(), embedding.size(),
+              util::fmt_double(std::log2(static_cast<double>(embedding.size())), 2),
+              util::fmt_double(cert.log_rank_bits, 2));
+  }
+  {
+    const core::ConstructionParams p(7, 2);
+    util::Xoshiro256 rng(7);
+    const auto tm =
+        core::sampled_restricted_truth_matrix(p, 128, 128, true, rng);
+    const auto embedding = comm::greedy_identity_submatrix(tm, rng, 4);
+    const auto cert = comm::certificate(tm, rng);
+    table.row("restricted(n=7,k=2) sample", "128^2", tm.ones(),
+              embedding.size(),
+              util::fmt_double(
+                  embedding.empty()
+                      ? 0.0
+                      : std::log2(static_cast<double>(embedding.size())),
+                  2),
+              util::fmt_double(cert.log_rank_bits, 2));
+  }
+  bench::print_table(table);
+}
+
+void BM_IdentityEmbeddingSearch(benchmark::State& state) {
+  const auto k = static_cast<unsigned>(state.range(0));
+  const auto tm = core::singularity_truth_matrix(1, k);
+  for (auto _ : state) {
+    util::Xoshiro256 rng(k);
+    benchmark::DoNotOptimize(
+        comm::greedy_identity_submatrix(tm, rng).size());
+  }
+}
+BENCHMARK(BM_IdentityEmbeddingSearch)->Arg(2)->Arg(3)->Arg(4);
+
+}  // namespace
+
+CCMX_BENCH_MAIN(print_tables)

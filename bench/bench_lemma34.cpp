@@ -1,0 +1,64 @@
+// E3 — Lemma 3.4: there are q^{(n-1)^2/4} rows of the restricted truth
+// matrix, each with a DISTINCT column span Span(A(C)) of dimension n - 1.
+//
+// Exhaustive verification at (n=7, k=2) (all 3^9 = 19683 C instances);
+// sampled distinctness at larger parameters.
+#include "bench_common.hpp"
+#include "core/census.hpp"
+#include "linalg/rref.hpp"
+
+namespace {
+
+using namespace ccmx;
+
+void print_tables() {
+  bench::print_header(
+      "E3 — Lemma 3.4 (distinct spans)",
+      "distinct == tested certifies injectivity C -> Span(A(C)); exhaustive\n"
+      "rows additionally pin the exact count q^{(n-1)^2/4}.");
+  util::TextTable table({"n", "k", "q", "rows q^{(n-1)^2/4}", "tested",
+                         "distinct", "mode"});
+  struct Case {
+    std::size_t n;
+    unsigned k;
+    std::uint64_t max_instances;
+  };
+  for (const Case c : {Case{7, 2, 20000}, Case{7, 3, 400}, Case{9, 2, 400},
+                       Case{9, 3, 200}, Case{11, 2, 200}}) {
+    const core::ConstructionParams p(c.n, c.k);
+    util::Xoshiro256 rng(c.n * 17 + c.k);
+    const core::SpanCensus census = core::lemma34_census(p, c.max_instances, rng);
+    table.row(c.n, c.k, p.q(), core::total_rows(p).to_string(), census.tested,
+              census.distinct, census.exhaustive ? "exhaustive" : "sampled");
+  }
+  bench::print_table(table);
+
+  bench::print_header(
+      "E3b — Lemma 3.6 flavour (span intersections shrink)",
+      "Dimension of the intersection of the spans of r random rows; the\n"
+      "fixed first (n-1)/2 columns keep it >= (n-1)/2, free columns decay.");
+  util::TextTable profile({"n", "k", "r=1", "r=2", "r=3", "r=4", "r=6"});
+  for (const auto& [n, k] :
+       std::vector<std::pair<std::size_t, unsigned>>{{7, 2}, {9, 2}, {9, 3}}) {
+    const core::ConstructionParams p(n, k);
+    util::Xoshiro256 rng(n * 19 + k);
+    const auto dims = core::span_intersection_profile(p, 6, rng);
+    profile.row(n, k, dims[0], dims[1], dims[2], dims[3], dims[5]);
+  }
+  bench::print_table(profile);
+}
+
+void BM_SpanCanonicalForm(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const core::ConstructionParams p(n, 2);
+  util::Xoshiro256 rng(n);
+  const auto parts = core::FreeParts::random(p, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::span_canonical(p, parts.c).rows());
+  }
+}
+BENCHMARK(BM_SpanCanonicalForm)->Arg(7)->Arg(9)->Arg(11)->Arg(15);
+
+}  // namespace
+
+CCMX_BENCH_MAIN(print_tables)

@@ -1,0 +1,97 @@
+// E8 — Section 1, Lin-Wu: "A x B == C" <=> rank([[I, B], [A, C]]) == n,
+// giving the Theta(k n^2) bound for the rank-n/2 problem; contrasted with
+// the O(n log p)-bit Freivalds verification.
+#include "bench_common.hpp"
+#include "core/reductions.hpp"
+#include "linalg/rref.hpp"
+#include "protocols/freivalds.hpp"
+
+namespace {
+
+using namespace ccmx;
+using bench::random_entries;
+
+void print_tables() {
+  bench::print_header(
+      "E8 — Lin-Wu rank reduction",
+      "rank([[I,B],[A,C]]) == n + rank(C - AB) on every instance; perturbed\n"
+      "products must be detected exactly.");
+  util::TextTable table({"n", "k", "trials", "identity-holds",
+                         "detects-corruption"});
+  for (const auto& [n, k] : std::vector<std::pair<std::size_t, unsigned>>{
+           {3, 2}, {5, 3}, {8, 2}}) {
+    util::Xoshiro256 rng(n * 53 + k);
+    const int trials = 30;
+    int identity_ok = 0, detected = 0;
+    for (int trial = 0; trial < trials; ++trial) {
+      const la::IntMatrix a = random_entries(n, n, k, rng);
+      const la::IntMatrix b = random_entries(n, n, k, rng);
+      la::IntMatrix c = a * b;
+      identity_ok += core::product_equals_via_rank(a, b, c) &&
+                     la::rank(core::linwu_matrix(a, b, c)) == n;
+      c(rng.below(n), rng.below(n)) += num::BigInt(1);
+      const la::IntMatrix diff = c - a * b;
+      detected += !core::product_equals_via_rank(a, b, c) &&
+                  la::rank(core::linwu_matrix(a, b, c)) ==
+                      n + la::rank(diff);
+    }
+    table.row(n, k, trials, identity_ok, detected);
+  }
+  bench::print_table(table);
+
+  bench::print_header(
+      "E8b — verification cost: deterministic vs Freivalds",
+      "Deciding A x B == C under the (A,B | C) partition: k n^2 + 1 bits\n"
+      "deterministically vs n * prime_bits + 1 randomized.");
+  util::TextTable costs({"n", "k", "det(bits)", "freivalds(bits)", "ratio"});
+  for (const std::size_t n : {4u, 8u, 16u}) {
+    // C = A*B entries reach n * 7^2 < 2^12 for 3-bit A, B.
+    const unsigned k = 12, pb = 24;
+    util::Xoshiro256 rng(n);
+    const la::IntMatrix a = random_entries(n, n, 3, rng);
+    const la::IntMatrix b = random_entries(n, n, 3, rng);
+    const la::IntMatrix c = a * b;
+    const comm::BitVec input = proto::product_input(a, b, c, k);
+    const comm::Partition pi = proto::product_partition(n, k);
+    const auto det_bits =
+        comm::execute(proto::ProductSendAll(n, k), input, pi).bits;
+    const proto::FreivaldsProtocol fp(n, k, pb, 1, n);
+    const auto fp_bits = comm::execute(fp, input, pi).bits;
+    costs.row(n, k, det_bits, fp_bits,
+              util::fmt_double(static_cast<double>(det_bits) /
+                                   static_cast<double>(fp_bits),
+                               1));
+  }
+  bench::print_table(costs);
+}
+
+void BM_LinWuRank(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  util::Xoshiro256 rng(n);
+  const la::IntMatrix a = random_entries(n, n, 3, rng);
+  const la::IntMatrix b = random_entries(n, n, 3, rng);
+  const la::IntMatrix c = a * b;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::product_equals_via_rank(a, b, c));
+  }
+}
+BENCHMARK(BM_LinWuRank)->Arg(3)->Arg(6)->Arg(10);
+
+void BM_FreivaldsVerify(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  util::Xoshiro256 rng(n);
+  const la::IntMatrix a = random_entries(n, n, 3, rng);
+  const la::IntMatrix b = random_entries(n, n, 3, rng);
+  const la::IntMatrix c = a * b;
+  const comm::BitVec input = proto::product_input(a, b, c, 12);
+  const comm::Partition pi = proto::product_partition(n, 12);
+  const proto::FreivaldsProtocol fp(n, 12, 24, 1, n);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(comm::execute(fp, input, pi).answer);
+  }
+}
+BENCHMARK(BM_FreivaldsVerify)->Arg(4)->Arg(8)->Arg(16);
+
+}  // namespace
+
+CCMX_BENCH_MAIN(print_tables)

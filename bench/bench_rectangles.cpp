@@ -1,0 +1,95 @@
+// E5 — Claim (2b) / Lemma 3.7: 1-chromatic submatrices of the restricted
+// truth matrix cover only a vanishing fraction of the "one" entries.
+//
+// On sampled restricted truth matrices, the largest found 1-rectangle
+// covers a small fraction of the sampled ones; on exact tiny unrestricted
+// matrices the rectangle statistics are exact.
+#include "bench_common.hpp"
+#include "comm/bounds.hpp"
+#include "comm/rectangles.hpp"
+#include "core/census.hpp"
+#include "core/truth_sampling.hpp"
+
+namespace {
+
+using namespace ccmx;
+
+void table_restricted() {
+  bench::print_header(
+      "E5a — rectangles in the restricted truth matrix",
+      "Sampled (enriched) restricted truth matrices: the largest 1-rectangle\n"
+      "found vs total sampled ones.  Lemma 3.7 predicts the coverable\n"
+      "fraction shrinks as q^{-Theta(n^2)}.");
+  util::TextTable table({"n", "k", "sample", "ones", "max-1-rect",
+                         "coverage", "max-0-rect"});
+  for (const auto& [n, k] : std::vector<std::pair<std::size_t, unsigned>>{
+           {7, 2}, {7, 3}, {9, 2}}) {
+    const core::ConstructionParams p(n, k);
+    util::Xoshiro256 rng(n * 31 + k);
+    const auto tm = core::sampled_restricted_truth_matrix(p, 96, 192, true, rng);
+    const auto one_rect = comm::max_rectangle(tm, true, rng);
+    const auto zero_rect = comm::max_rectangle(tm, false, rng);
+    const std::size_t ones = tm.ones();
+    table.row(n, k,
+              std::to_string(tm.rows()) + "x" + std::to_string(tm.cols()),
+              ones, one_rect.area(),
+              util::fmt_double(ones == 0 ? 0.0
+                                         : static_cast<double>(one_rect.area()) /
+                                               static_cast<double>(ones),
+                               3),
+              zero_rect.area());
+  }
+  bench::print_table(table);
+}
+
+void table_exact() {
+  bench::print_header(
+      "E5b — exact rectangle statistics (tiny unrestricted instances)",
+      "Fully enumerated singularity truth matrices: exact max rectangles\n"
+      "and the Yao cover bound they imply.");
+  util::TextTable table({"2m", "k", "ones", "zeros", "max-1-rect",
+                         "max-0-rect", "d(f) >=", "yao bits"});
+  struct Case {
+    std::size_t m;
+    unsigned k;
+  };
+  for (const Case c : {Case{1, 1}, Case{1, 2}, Case{1, 3}, Case{2, 1}}) {
+    const auto tm = core::singularity_truth_matrix(c.m, c.k);
+    util::Xoshiro256 rng(c.m * 41 + c.k);
+    const auto cert = comm::certificate(tm, rng);
+    table.row(2 * c.m, c.k, cert.ones, cert.zeros, cert.max_one_rect,
+              cert.max_zero_rect, util::fmt_double(cert.cover_lower_bound, 1),
+              util::fmt_double(cert.yao_bits, 2));
+  }
+  bench::print_table(table);
+}
+
+void print_tables() {
+  table_restricted();
+  table_exact();
+}
+
+void BM_MaxRectangleExact(benchmark::State& state) {
+  const auto k = static_cast<unsigned>(state.range(0));
+  const auto tm = core::singularity_truth_matrix(1, k);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(comm::max_rectangle_exact(tm, true).area());
+  }
+}
+BENCHMARK(BM_MaxRectangleExact)->Arg(1)->Arg(2);
+
+void BM_MaxRectangleGreedy(benchmark::State& state) {
+  const core::ConstructionParams p(7, 2);
+  util::Xoshiro256 rng(3);
+  const auto tm = core::sampled_restricted_truth_matrix(p, 64, 128, true, rng);
+  for (auto _ : state) {
+    util::Xoshiro256 inner(4);
+    benchmark::DoNotOptimize(
+        comm::max_rectangle_greedy(tm, true, inner, 8).area());
+  }
+}
+BENCHMARK(BM_MaxRectangleGreedy)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+CCMX_BENCH_MAIN(print_tables)

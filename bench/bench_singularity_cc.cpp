@@ -1,0 +1,111 @@
+// E1 — Theorem 1.1: the deterministic communication complexity of
+// singularity testing is Theta(k n^2).
+//
+// Table E1a: exact lower-bound certificates on fully enumerated truth
+// matrices (2m x 2m inputs under pi_0) against the trivial upper bound —
+// the certificate grows linearly in k at fixed n and jumps with n,
+// staying below the upper bound.
+// Table E1b: the paper's restricted family at (n, k) = (7, 2): sampled
+// truth matrix statistics and the formula-level row count q^{(n-1)^2/4}.
+#include <cmath>
+
+#include "bench_common.hpp"
+#include "comm/bounds.hpp"
+#include "core/census.hpp"
+#include "core/truth_sampling.hpp"
+#include "linalg/det.hpp"
+#include "protocols/send_half.hpp"
+
+namespace {
+
+using namespace ccmx;
+using bench::random_entries;
+
+void table_e1a() {
+  bench::print_header(
+      "E1a — Theorem 1.1 (exact small instances)",
+      "Deterministic CC of singularity under pi_0: exact certificates vs the\n"
+      "trivial upper bound (send half = 2*m^2*k bits + 1).  Certificates must\n"
+      "grow ~linearly in k (fixed n) and stay below the upper bound.");
+  util::TextTable table({"2m", "k", "upper(bits)", "log-rank(GF2)",
+                         "fooling(bits)", "yao(bits)", "best(bits)",
+                         "rect-exact"});
+  struct Case {
+    std::size_t m;
+    unsigned k;
+  };
+  for (const Case c : {Case{1, 1}, Case{1, 2}, Case{1, 3}, Case{1, 4},
+                       Case{1, 5}, Case{2, 1}}) {
+    const auto tm = core::singularity_truth_matrix(c.m, c.k);
+    util::Xoshiro256 rng(c.m * 10 + c.k);
+    const auto cert = comm::certificate(tm, rng);
+    const std::size_t upper = 2 * c.m * c.m * c.k + 1;
+    table.row(2 * c.m, c.k, upper, util::fmt_double(cert.log_rank_bits, 2),
+              util::fmt_double(cert.fooling_bits, 2),
+              util::fmt_double(cert.yao_bits, 2),
+              util::fmt_double(cert.best_bits, 2),
+              cert.rect_exact ? "yes" : "greedy");
+  }
+  bench::print_table(table);
+}
+
+void table_e1b() {
+  bench::print_header(
+      "E1b — Theorem 1.1 (the paper's restricted family, n=7, k=2)",
+      "Sampled restricted truth matrix (rows = C instances, columns =\n"
+      "(D,E,y) instances, Lemma 3.5(a)-enriched) plus the exact row count\n"
+      "q^{(n-1)^2/4} from Lemma 3.4.");
+  const core::ConstructionParams p(7, 2);
+  util::Xoshiro256 rng(42);
+  const auto tm = core::sampled_restricted_truth_matrix(p, 96, 192, true, rng);
+  const auto cert = comm::certificate(tm, rng);
+  util::TextTable table({"quantity", "value"});
+  table.row("q", p.q());
+  table.row("total rows q^{(n-1)^2/4}", core::total_rows(p).to_string());
+  table.row("total cols q^{(n^2-1)/2}", core::total_columns(p).to_string());
+  table.row("sampled rows x cols",
+            std::to_string(tm.rows()) + " x " + std::to_string(tm.cols()));
+  table.row("sample ones", cert.ones);
+  table.row("sample max 1-rectangle", cert.max_one_rect);
+  table.row("sample log-rank (GF2) bits", util::fmt_double(cert.log_rank_bits, 2));
+  table.row("sample fooling-set bits", util::fmt_double(cert.fooling_bits, 2));
+  table.row("upper bound 2kn^2+1 bits", 2 * p.k() * p.n() * p.n() + 1);
+  bench::print_table(table);
+}
+
+void print_tables() {
+  table_e1a();
+  table_e1b();
+}
+
+void BM_SendHalfSingularity(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto k = static_cast<unsigned>(state.range(1));
+  const comm::MatrixBitLayout layout(n, n, k);
+  const comm::Partition pi = comm::Partition::pi0(layout);
+  const auto protocol = proto::make_send_half_singularity(layout);
+  util::Xoshiro256 rng(n * 31 + k);
+  const comm::BitVec input = layout.encode(random_entries(n, n, k, rng));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(comm::execute(protocol, input, pi).bits);
+  }
+}
+BENCHMARK(BM_SendHalfSingularity)
+    ->Args({4, 2})
+    ->Args({8, 2})
+    ->Args({8, 8})
+    ->Args({16, 8});
+
+void BM_ExactCertificate(benchmark::State& state) {
+  const auto k = static_cast<unsigned>(state.range(0));
+  const auto tm = core::singularity_truth_matrix(1, k);
+  for (auto _ : state) {
+    util::Xoshiro256 rng(k);
+    benchmark::DoNotOptimize(comm::certificate(tm, rng).best_bits);
+  }
+}
+BENCHMARK(BM_ExactCertificate)->Arg(1)->Arg(2)->Arg(3);
+
+}  // namespace
+
+CCMX_BENCH_MAIN(print_tables)

@@ -1,0 +1,95 @@
+// E9 — Section 1 VLSI corollaries: AT^2 = Omega(k^2 n^4),
+// AT = Omega(k^{3/2} n^3), T = Omega(k^{1/2} n), and the comparison with
+// Chazelle-Monier's AT = Omega(n^2) / T = Omega(n).
+//
+// A concrete systolic mesh design is simulated cycle-by-cycle; its measured
+// (A, T, bisection traffic) must satisfy every inequality, and the
+// bisection traffic tracks the k n^2 law.
+#include <cmath>
+
+#include "bench_common.hpp"
+#include "vlsi/mesh.hpp"
+#include "vlsi/tradeoffs.hpp"
+
+namespace {
+
+using namespace ccmx;
+using bench::random_entries;
+
+void print_tables() {
+  bench::print_header(
+      "E9a — simulated mesh vs the lower bounds",
+      "Unpipelined N x N systolic elimination mod p (word wires, west-edge\n"
+      "input streaming).  Every ratio measured/bound must be >= 1; the\n"
+      "bisection column tracks C = k n^2.");
+  const unsigned k = 8;
+  vlsi::MeshConfig config;
+  config.input_bits = k;
+  util::TextTable table({"n", "A(units)", "T(cycles)", "bisect(bits)",
+                         "C=kn^2", "bisect/C", "AT^2/C^2", "AT/k^1.5n^3"});
+  for (const std::size_t n : {4u, 8u, 12u, 16u, 24u}) {
+    util::Xoshiro256 rng(n);
+    const auto result = vlsi::simulate_mesh(random_entries(n, n, k, rng),
+                                            config);
+    const double c = vlsi::comm_complexity(n, k);
+    const double area = static_cast<double>(result.area_units);
+    const double time = static_cast<double>(result.cycles);
+    table.row(n, result.area_units, result.cycles, result.bisection_bits,
+              static_cast<std::size_t>(c),
+              util::fmt_double(static_cast<double>(result.bisection_bits) / c, 2),
+              util::fmt_double(area * time * time / (c * c), 1),
+              util::fmt_double(area * time /
+                                   (std::pow(static_cast<double>(k), 1.5) *
+                                    std::pow(static_cast<double>(n), 3.0)),
+                               1));
+  }
+  bench::print_table(table);
+
+  bench::print_header(
+      "E9b — full audit of one design point (n=16, k=8)",
+      "Every Section 1 inequality instantiated for the simulated design.");
+  {
+    util::Xoshiro256 rng(16);
+    const auto result =
+        vlsi::simulate_mesh(random_entries(16, 16, k, rng), config);
+    const auto rows = vlsi::audit_design(
+        16, k, static_cast<double>(result.area_units),
+        static_cast<double>(result.cycles));
+    util::TextTable audit({"bound", "measured", "required", "ratio"});
+    for (const auto& row : rows) {
+      audit.row(row.name, util::fmt_double(row.measured, 0),
+                util::fmt_double(row.bound, 0),
+                util::fmt_double(row.ratio, 2));
+    }
+    bench::print_table(audit);
+  }
+
+  bench::print_header(
+      "E9c — our bounds vs Chazelle-Monier (the paper's comparison)",
+      "AT: k^{3/2} n^3 (ours) vs n^2 (CM).  T: k^{1/2} n (ours) vs n (CM).\n"
+      "Theorem 1.1 sharpens CM whenever k > 1.");
+  util::TextTable cmp({"n", "k", "AT ours", "AT CM", "T ours", "T CM"});
+  for (const auto& [n, kk] : std::vector<std::pair<std::size_t, unsigned>>{
+           {16, 1}, {16, 8}, {64, 8}, {64, 32}}) {
+    const auto row = vlsi::bound_comparison(n, kk);
+    cmp.row(n, kk, util::fmt_double(row.at_ours, 0),
+            util::fmt_double(row.at_cm, 0), util::fmt_double(row.t_ours, 0),
+            util::fmt_double(row.t_cm, 0));
+  }
+  bench::print_table(cmp);
+}
+
+void BM_MeshSimulation(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  util::Xoshiro256 rng(n);
+  const la::IntMatrix m = random_entries(n, n, 8, rng);
+  const vlsi::MeshConfig config;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(vlsi::simulate_mesh(m, config).cycles);
+  }
+}
+BENCHMARK(BM_MeshSimulation)->Arg(8)->Arg(16)->Arg(32);
+
+}  // namespace
+
+CCMX_BENCH_MAIN(print_tables)

@@ -1,0 +1,196 @@
+// ccmx_cli — a small command-line driver over the public API.
+//
+// Subcommands:
+//   singularity <n> <k> [seed]   run both singularity protocols on a random
+//                                instance and print the bit accounting
+//   solvable    <n> <k> [seed]   same for linear-system solvability [A | b]
+//   hard        <n> <k> [seed]   build a paper hard instance (Lemma 3.5(a)
+//                                completion) and verify it end to end
+//   rank        <n> <r> [seed]   rank-threshold audit via the bordering
+//                                reduction across the whole spectrum
+//   mesh        <n> <k>          simulate the systolic mesh and audit the
+//                                VLSI bounds
+//
+// Build & run:  ./build/examples/ccmx_cli singularity 8 8
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "comm/channel.hpp"
+#include "core/construction.hpp"
+#include "core/rank_spectrum.hpp"
+#include "core/reductions.hpp"
+#include "linalg/det.hpp"
+#include "linalg/rref.hpp"
+#include "protocols/fingerprint.hpp"
+#include "protocols/send_half.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+#include "vlsi/mesh.hpp"
+#include "vlsi/tradeoffs.hpp"
+
+namespace {
+
+using namespace ccmx;
+
+la::IntMatrix random_entries(std::size_t n, unsigned k,
+                             util::Xoshiro256& rng) {
+  return la::IntMatrix::generate(n, n, [&](std::size_t, std::size_t) {
+    return num::BigInt(
+        static_cast<std::int64_t>(rng.below(std::uint64_t{1} << k)));
+  });
+}
+
+int cmd_singularity(std::size_t n, unsigned k, std::uint64_t seed) {
+  util::Xoshiro256 rng(seed);
+  const la::IntMatrix m = random_entries(n, k, rng);
+  const comm::MatrixBitLayout layout(n, n, k);
+  const comm::Partition pi = comm::Partition::pi0(layout);
+  const comm::BitVec input = layout.encode(m);
+  const bool truth = la::is_singular(m);
+
+  const auto det = comm::execute(proto::make_send_half_singularity(layout),
+                                 input, pi);
+  const unsigned pb = proto::recommend_prime_bits(n, k, 0.01);
+  const proto::FingerprintProtocol fp(
+      layout, proto::FingerprintTask::kSingularity, pb, 1, seed);
+  const auto prob = comm::execute(fp, input, pi);
+
+  util::TextTable table({"protocol", "answer", "bits"});
+  table.row("exact (ground truth)", truth ? "singular" : "nonsingular", "-");
+  table.row("send-half (deterministic)",
+            det.answer ? "singular" : "nonsingular", det.bits);
+  table.row("fingerprint (prime " + std::to_string(pb) + "b)",
+            prob.answer ? "singular" : "nonsingular", prob.bits);
+  table.print(std::cout);
+  return det.answer == truth ? 0 : 1;
+}
+
+int cmd_solvable(std::size_t n, unsigned k, std::uint64_t seed) {
+  util::Xoshiro256 rng(seed);
+  const la::IntMatrix m = random_entries(n, k, rng);  // [A | b], b = last col
+  const comm::MatrixBitLayout layout(n, n, k);
+  const comm::Partition pi = comm::Partition::pi0(layout);
+  const comm::BitVec input = layout.encode(m);
+
+  const la::IntMatrix a = m.block(0, 0, n, n - 1);
+  std::vector<num::BigInt> b;
+  for (std::size_t i = 0; i < n; ++i) b.push_back(m(i, n - 1));
+  const bool truth = core::solvable(a, b);
+
+  const auto det = comm::execute(proto::make_send_half_solvability(layout),
+                                 input, pi);
+  const proto::FingerprintProtocol fp(
+      layout, proto::FingerprintTask::kSolvability, 20, 2, seed);
+  const auto prob = comm::execute(fp, input, pi);
+
+  util::TextTable table({"protocol", "answer", "bits"});
+  table.row("exact (ground truth)", truth ? "solvable" : "unsolvable", "-");
+  table.row("send-half", det.answer ? "solvable" : "unsolvable", det.bits);
+  table.row("fingerprint", prob.answer ? "solvable" : "unsolvable",
+            prob.bits);
+  table.print(std::cout);
+  return det.answer == truth ? 0 : 1;
+}
+
+int cmd_hard(std::size_t n, unsigned k, std::uint64_t seed) {
+  const core::ConstructionParams p(n, k);
+  if (!p.valid()) {
+    std::cerr << "invalid parameters: need n >= 4 + ceil(log_q n), n odd\n";
+    return 2;
+  }
+  util::Xoshiro256 rng(seed);
+  const auto free_seed = core::FreeParts::random(p, rng);
+  const auto completed = core::lemma35_complete(p, free_seed.c, free_seed.e);
+  if (!completed) {
+    std::cerr << "completion failed (should not happen)\n";
+    return 1;
+  }
+  const la::IntMatrix m = core::build_m(p, *completed);
+  std::cout << "Built the " << 2 * n << "x" << 2 * n
+            << " restricted instance (q = " << p.q() << ")\n";
+  std::cout << "det(M) = " << la::det_bareiss(m) << "  (Lemma 3.5(a) says 0)\n";
+  std::cout << "scalar characterization: "
+            << (core::restricted_singular(p, *completed) ? "singular"
+                                                         : "nonsingular")
+            << "\n";
+  const auto instance = core::corollary13_instance(m);
+  std::cout << "Corollary 1.3 pair solvable: "
+            << (core::solvable(instance.m_prime, instance.b) ? "yes" : "no")
+            << "\n";
+  return 0;
+}
+
+int cmd_rank(std::size_t n, std::size_t r, std::uint64_t seed) {
+  util::Xoshiro256 rng(seed);
+  const la::IntMatrix m = core::random_rank_r(n, r, 20, rng);
+  std::cout << "Matrix of exact rank " << la::rank(m) << " (requested " << r
+            << ")\n";
+  util::TextTable table({"threshold", "rank >= t ?", "bordered det != 0"});
+  for (std::size_t t = 1; t <= n; ++t) {
+    const bool verdict = core::rank_at_least_via_singularity(m, t, 1000000, rng);
+    table.row(t, r >= t ? "yes" : "no", verdict ? "yes" : "no");
+  }
+  table.print(std::cout);
+  return 0;
+}
+
+int cmd_mesh(std::size_t n, unsigned k) {
+  util::Xoshiro256 rng(1);
+  const la::IntMatrix m = random_entries(n, k, rng);
+  vlsi::MeshConfig config;
+  config.input_bits = k;
+  const auto seq = vlsi::simulate_mesh(m, config);
+  const auto pipe = vlsi::simulate_mesh_pipelined(m, config);
+  util::TextTable table({"design", "cycles", "bisection bits", "AT^2 ratio"});
+  const double c = vlsi::comm_complexity(n, k);
+  const double area = static_cast<double>(seq.area_units);
+  const auto ratio = [&](std::size_t cycles) {
+    const double t = static_cast<double>(cycles);
+    return util::fmt_double(area * t * t / (c * c), 1);
+  };
+  table.row("sequential", seq.cycles, seq.bisection_bits, ratio(seq.cycles));
+  table.row("pipelined", pipe.cycles, pipe.bisection_bits, ratio(pipe.cycles));
+  table.print(std::cout);
+  return 0;
+}
+
+void usage() {
+  std::cerr << "usage: ccmx_cli <singularity|solvable|hard|rank|mesh> "
+               "<args...>\n"
+               "  singularity n k [seed]\n"
+               "  solvable    n k [seed]\n"
+               "  hard        n k [seed]   (n odd, k >= 2)\n"
+               "  rank        n r [seed]\n"
+               "  mesh        n k\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 4) {
+    usage();
+    return 2;
+  }
+  const std::string cmd = argv[1];
+  const std::size_t n = std::strtoul(argv[2], nullptr, 10);
+  const std::size_t arg3 = std::strtoul(argv[3], nullptr, 10);
+  const std::uint64_t seed =
+      argc > 4 ? std::strtoull(argv[4], nullptr, 10) : 2024;
+  try {
+    if (cmd == "singularity") {
+      return cmd_singularity(n, static_cast<unsigned>(arg3), seed);
+    }
+    if (cmd == "solvable") {
+      return cmd_solvable(n, static_cast<unsigned>(arg3), seed);
+    }
+    if (cmd == "hard") return cmd_hard(n, static_cast<unsigned>(arg3), seed);
+    if (cmd == "rank") return cmd_rank(n, arg3, seed);
+    if (cmd == "mesh") return cmd_mesh(n, static_cast<unsigned>(arg3));
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+  usage();
+  return 2;
+}

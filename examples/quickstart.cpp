@@ -1,0 +1,73 @@
+// Quickstart: measure the communication cost of deciding singularity.
+//
+// Builds a random 8x8 matrix of 48-bit integers, splits it between two
+// agents with the paper's pi_0 partition, and runs
+//   (1) the trivial deterministic protocol (the Theta(k n^2) upper bound),
+//   (2) the Leighton-style fingerprint protocol (the probabilistic
+//       O(n^2 max{log n, log k}) upper bound),
+// then prints the lower-bound story for context.
+//
+// Build & run:  ./build/examples/quickstart
+#include <iostream>
+
+#include "comm/bounds.hpp"
+#include "comm/channel.hpp"
+#include "linalg/det.hpp"
+#include "protocols/fingerprint.hpp"
+#include "protocols/send_half.hpp"
+#include "util/rng.hpp"
+
+int main() {
+  using namespace ccmx;
+
+  constexpr std::size_t n = 8;
+  constexpr unsigned k = 48;
+
+  // --- the instance -------------------------------------------------------
+  util::Xoshiro256 rng(2024);
+  const la::IntMatrix m =
+      la::IntMatrix::generate(n, n, [&](std::size_t, std::size_t) {
+        return num::BigInt(static_cast<std::int64_t>(rng.below(std::uint64_t{1} << k)));
+      });
+  std::cout << "Instance: random " << n << "x" << n << " matrix of " << k
+            << "-bit integers\n";
+  std::cout << "Ground truth: the matrix is "
+            << (la::is_singular(m) ? "SINGULAR" : "nonsingular")
+            << " (exact Bareiss determinant)\n\n";
+
+  // --- the two-party setting ---------------------------------------------
+  const comm::MatrixBitLayout layout(n, n, k);
+  const comm::Partition pi = comm::Partition::pi0(layout);
+  const comm::BitVec input = layout.encode(m);
+  std::cout << "Partition pi_0: agent 0 holds the left " << n / 2
+            << " columns (" << pi.bits_of(comm::Agent::kZero)
+            << " bits), agent 1 the right (" << pi.bits_of(comm::Agent::kOne)
+            << " bits)\n\n";
+
+  // --- deterministic protocol ---------------------------------------------
+  const auto det_protocol = proto::make_send_half_singularity(layout);
+  const auto det = comm::execute(det_protocol, input, pi);
+  std::cout << "[deterministic] " << det_protocol.name() << ": answer="
+            << (det.answer ? "singular" : "nonsingular") << ", bits="
+            << det.bits << " (= k*n^2/2 + 1; Theorem 1.1 proves Omega(k n^2)"
+            << " is required)\n";
+
+  // --- probabilistic protocol ---------------------------------------------
+  const unsigned prime_bits = proto::recommend_prime_bits(n, k, 0.01);
+  const proto::FingerprintProtocol fp(
+      layout, proto::FingerprintTask::kSingularity, prime_bits, 1, 7);
+  const auto prob = comm::execute(fp, input, pi);
+  std::cout << "[probabilistic] " << fp.name() << ": answer="
+            << (prob.answer ? "singular" : "nonsingular") << ", bits="
+            << prob.bits << " (prime width " << prime_bits
+            << ", one-sided error <= "
+            << proto::singularity_error_bound(n, k, prime_bits)
+            << " per repetition)\n\n";
+
+  std::cout << "Deterministic/probabilistic bit ratio: "
+            << static_cast<double>(det.bits) / static_cast<double>(prob.bits)
+            << "x — this is the separation the paper is about: no\n"
+            << "deterministic protocol can close it (Theorem 1.1), while the\n"
+            << "probabilistic model escapes through fingerprints.\n";
+  return 0;
+}

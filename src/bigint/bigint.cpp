@@ -1,0 +1,564 @@
+#include "bigint/bigint.hpp"
+
+#include <algorithm>
+#include <array>
+#include <bit>
+#include <cmath>
+#include <ostream>
+
+#include "util/int128.hpp"
+#include "util/require.hpp"
+
+namespace ccmx::num {
+
+namespace {
+constexpr std::size_t kKaratsubaThreshold = 32;  // limbs
+}  // namespace
+
+BigInt::BigInt(std::int64_t value) {
+  if (value == 0) return;
+  sign_ = value < 0 ? -1 : 1;
+  // Avoid UB on INT64_MIN by negating in unsigned space.
+  std::uint64_t mag = value < 0
+                          ? ~static_cast<std::uint64_t>(value) + 1
+                          : static_cast<std::uint64_t>(value);
+  while (mag != 0) {
+    limbs_.push_back(static_cast<Limb>(mag & 0xffffffffu));
+    mag >>= 32;
+  }
+}
+
+BigInt BigInt::from_string(std::string_view text) {
+  CCMX_REQUIRE(!text.empty(), "empty numeral");
+  bool negative = false;
+  std::size_t pos = 0;
+  if (text[0] == '+' || text[0] == '-') {
+    negative = text[0] == '-';
+    pos = 1;
+  }
+  CCMX_REQUIRE(pos < text.size(), "sign without digits");
+  BigInt result;
+  const BigInt ten(10);
+  for (; pos < text.size(); ++pos) {
+    const char c = text[pos];
+    CCMX_REQUIRE(c >= '0' && c <= '9', "non-decimal digit in numeral");
+    result *= ten;
+    result += BigInt(c - '0');
+  }
+  if (negative && !result.is_zero()) result.sign_ = -1;
+  return result;
+}
+
+BigInt BigInt::pow2(unsigned e) {
+  BigInt one(1);
+  return one <<= e;
+}
+
+BigInt BigInt::pow(const BigInt& base, unsigned e) {
+  BigInt result(1);
+  BigInt acc = base;
+  while (e != 0) {
+    if (e & 1u) result *= acc;
+    e >>= 1;
+    if (e != 0) acc *= acc;
+  }
+  return result;
+}
+
+std::size_t BigInt::bit_length() const noexcept {
+  if (sign_ == 0) return 0;
+  const Limb top = limbs_.back();
+  return (limbs_.size() - 1) * kLimbBits +
+         (kLimbBits - static_cast<std::size_t>(std::countl_zero(top)));
+}
+
+bool BigInt::fits_int64() const noexcept {
+  const std::size_t bits = bit_length();
+  if (bits < 64) return true;
+  if (bits > 64) return false;
+  // Exactly 64 bits of magnitude: only -2^63 fits.
+  return sign_ < 0 && limbs_[0] == 0 && limbs_[1] == 0x80000000u &&
+         limbs_.size() == 2;
+}
+
+std::int64_t BigInt::to_int64() const {
+  CCMX_REQUIRE(fits_int64(), "BigInt does not fit in int64_t");
+  std::uint64_t mag = 0;
+  for (std::size_t i = limbs_.size(); i-- > 0;) {
+    mag = (mag << 32) | limbs_[i];
+  }
+  if (sign_ < 0) return static_cast<std::int64_t>(~mag + 1);
+  return static_cast<std::int64_t>(mag);
+}
+
+double BigInt::to_double() const noexcept {
+  double mag = 0.0;
+  for (std::size_t i = limbs_.size(); i-- > 0;) {
+    mag = mag * 4294967296.0 + static_cast<double>(limbs_[i]);
+  }
+  return sign_ < 0 ? -mag : mag;
+}
+
+std::string BigInt::to_string() const {
+  if (sign_ == 0) return "0";
+  // Repeated division by 10^9.
+  std::vector<Limb> mag = limbs_;
+  std::string digits;
+  constexpr Wide kChunk = 1000000000u;
+  while (!mag.empty()) {
+    Wide rem = 0;
+    for (std::size_t i = mag.size(); i-- > 0;) {
+      const Wide cur = (rem << 32) | mag[i];
+      mag[i] = static_cast<Limb>(cur / kChunk);
+      rem = cur % kChunk;
+    }
+    while (!mag.empty() && mag.back() == 0) mag.pop_back();
+    for (int d = 0; d < 9; ++d) {
+      digits.push_back(static_cast<char>('0' + rem % 10));
+      rem /= 10;
+    }
+  }
+  while (digits.size() > 1 && digits.back() == '0') digits.pop_back();
+  if (sign_ < 0) digits.push_back('-');
+  std::reverse(digits.begin(), digits.end());
+  return digits;
+}
+
+BigInt BigInt::operator-() const {
+  BigInt result = *this;
+  result.sign_ = -result.sign_;
+  return result;
+}
+
+BigInt BigInt::abs() const {
+  BigInt result = *this;
+  if (result.sign_ < 0) result.sign_ = 1;
+  return result;
+}
+
+void BigInt::trim() noexcept {
+  while (!limbs_.empty() && limbs_.back() == 0) limbs_.pop_back();
+  if (limbs_.empty()) sign_ = 0;
+}
+
+int BigInt::cmp_mag(const std::vector<Limb>& a,
+                    const std::vector<Limb>& b) noexcept {
+  if (a.size() != b.size()) return a.size() < b.size() ? -1 : 1;
+  for (std::size_t i = a.size(); i-- > 0;) {
+    if (a[i] != b[i]) return a[i] < b[i] ? -1 : 1;
+  }
+  return 0;
+}
+
+std::vector<BigInt::Limb> BigInt::add_mag(const std::vector<Limb>& a,
+                                          const std::vector<Limb>& b) {
+  const auto& lo = a.size() >= b.size() ? b : a;
+  const auto& hi = a.size() >= b.size() ? a : b;
+  std::vector<Limb> out;
+  out.reserve(hi.size() + 1);
+  Wide carry = 0;
+  for (std::size_t i = 0; i < hi.size(); ++i) {
+    Wide sum = carry + hi[i];
+    if (i < lo.size()) sum += lo[i];
+    out.push_back(static_cast<Limb>(sum & 0xffffffffu));
+    carry = sum >> 32;
+  }
+  if (carry != 0) out.push_back(static_cast<Limb>(carry));
+  return out;
+}
+
+std::vector<BigInt::Limb> BigInt::sub_mag(const std::vector<Limb>& a,
+                                          const std::vector<Limb>& b) {
+  CCMX_ASSERT(cmp_mag(a, b) >= 0);
+  std::vector<Limb> out;
+  out.reserve(a.size());
+  std::int64_t borrow = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    std::int64_t diff = static_cast<std::int64_t>(a[i]) - borrow;
+    if (i < b.size()) diff -= static_cast<std::int64_t>(b[i]);
+    if (diff < 0) {
+      diff += (std::int64_t{1} << 32);
+      borrow = 1;
+    } else {
+      borrow = 0;
+    }
+    out.push_back(static_cast<Limb>(diff));
+  }
+  while (!out.empty() && out.back() == 0) out.pop_back();
+  return out;
+}
+
+std::vector<BigInt::Limb> BigInt::mul_school(const std::vector<Limb>& a,
+                                             const std::vector<Limb>& b) {
+  std::vector<Limb> out(a.size() + b.size(), 0);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a[i] == 0) continue;
+    Wide carry = 0;
+    const Wide ai = a[i];
+    for (std::size_t j = 0; j < b.size(); ++j) {
+      const Wide cur = static_cast<Wide>(out[i + j]) + ai * b[j] + carry;
+      out[i + j] = static_cast<Limb>(cur & 0xffffffffu);
+      carry = cur >> 32;
+    }
+    std::size_t pos = i + b.size();
+    while (carry != 0) {
+      const Wide cur = static_cast<Wide>(out[pos]) + carry;
+      out[pos] = static_cast<Limb>(cur & 0xffffffffu);
+      carry = cur >> 32;
+      ++pos;
+    }
+  }
+  while (!out.empty() && out.back() == 0) out.pop_back();
+  return out;
+}
+
+std::vector<BigInt::Limb> BigInt::mul_karatsuba(const std::vector<Limb>& a,
+                                                const std::vector<Limb>& b) {
+  if (std::min(a.size(), b.size()) < kKaratsubaThreshold) {
+    return mul_school(a, b);
+  }
+  const std::size_t half = std::max(a.size(), b.size()) / 2;
+  const auto split = [half](const std::vector<Limb>& v)
+      -> std::pair<std::vector<Limb>, std::vector<Limb>> {
+    if (v.size() <= half) return {v, {}};
+    std::vector<Limb> lo(v.begin(), v.begin() + static_cast<std::ptrdiff_t>(half));
+    std::vector<Limb> hi(v.begin() + static_cast<std::ptrdiff_t>(half), v.end());
+    while (!lo.empty() && lo.back() == 0) lo.pop_back();
+    return {std::move(lo), std::move(hi)};
+  };
+  auto [a_lo, a_hi] = split(a);
+  auto [b_lo, b_hi] = split(b);
+
+  std::vector<Limb> z0 = mul_karatsuba(a_lo, b_lo);
+  std::vector<Limb> z2 = mul_karatsuba(a_hi, b_hi);
+  std::vector<Limb> sum_a = add_mag(a_lo, a_hi);
+  std::vector<Limb> sum_b = add_mag(b_lo, b_hi);
+  std::vector<Limb> z1 = mul_karatsuba(sum_a, sum_b);
+  z1 = sub_mag(z1, z0);
+  z1 = sub_mag(z1, z2);
+
+  std::vector<Limb> out(a.size() + b.size() + 1, 0);
+  const auto accumulate = [&out](const std::vector<Limb>& part,
+                                 std::size_t shift) {
+    Wide carry = 0;
+    std::size_t pos = shift;
+    for (std::size_t i = 0; i < part.size(); ++i, ++pos) {
+      const Wide cur = static_cast<Wide>(out[pos]) + part[i] + carry;
+      out[pos] = static_cast<Limb>(cur & 0xffffffffu);
+      carry = cur >> 32;
+    }
+    while (carry != 0) {
+      const Wide cur = static_cast<Wide>(out[pos]) + carry;
+      out[pos] = static_cast<Limb>(cur & 0xffffffffu);
+      carry = cur >> 32;
+      ++pos;
+    }
+  };
+  accumulate(z0, 0);
+  accumulate(z1, half);
+  accumulate(z2, 2 * half);
+  while (!out.empty() && out.back() == 0) out.pop_back();
+  return out;
+}
+
+std::vector<BigInt::Limb> BigInt::mul_mag(const std::vector<Limb>& a,
+                                          const std::vector<Limb>& b) {
+  if (a.empty() || b.empty()) return {};
+  return mul_karatsuba(a, b);
+}
+
+// Knuth TAOCP vol. 2, Algorithm D, base 2^32.
+void BigInt::divmod_mag(const std::vector<Limb>& num,
+                        const std::vector<Limb>& den, std::vector<Limb>& quot,
+                        std::vector<Limb>& rem) {
+  CCMX_REQUIRE(!den.empty(), "division by zero");
+  quot.clear();
+  rem.clear();
+  if (cmp_mag(num, den) < 0) {
+    rem = num;
+    return;
+  }
+  if (den.size() == 1) {
+    const Wide d = den[0];
+    quot.assign(num.size(), 0);
+    Wide r = 0;
+    for (std::size_t i = num.size(); i-- > 0;) {
+      const Wide cur = (r << 32) | num[i];
+      quot[i] = static_cast<Limb>(cur / d);
+      r = cur % d;
+    }
+    while (!quot.empty() && quot.back() == 0) quot.pop_back();
+    if (r != 0) rem.push_back(static_cast<Limb>(r));
+    return;
+  }
+
+  // Normalize so the top limb of the divisor has its high bit set.
+  const int shift = std::countl_zero(den.back());
+  const auto shl = [](const std::vector<Limb>& v, int s) {
+    std::vector<Limb> out(v.size() + 1, 0);
+    if (s == 0) {
+      std::copy(v.begin(), v.end(), out.begin());
+    } else {
+      for (std::size_t i = 0; i < v.size(); ++i) {
+        out[i] |= v[i] << s;
+        out[i + 1] |= static_cast<Limb>(static_cast<Wide>(v[i]) >> (32 - s));
+      }
+    }
+    while (!out.empty() && out.back() == 0) out.pop_back();
+    return out;
+  };
+  std::vector<Limb> u = shl(num, shift);
+  const std::vector<Limb> v = shl(den, shift);
+  const std::size_t n = v.size();
+  const std::size_t m = u.size() >= n ? u.size() - n : 0;
+  u.resize(num.size() + 1 + (shift ? 1 : 0), 0);  // ensure u[m + n] exists
+  if (u.size() < m + n + 1) u.resize(m + n + 1, 0);
+
+  quot.assign(m + 1, 0);
+  const Wide v_top = v[n - 1];
+  const Wide v_second = v[n - 2];
+
+  for (std::size_t j = m + 1; j-- > 0;) {
+    const Wide numerator = (static_cast<Wide>(u[j + n]) << 32) | u[j + n - 1];
+    Wide q_hat = numerator / v_top;
+    Wide r_hat = numerator % v_top;
+    while (q_hat >= (Wide{1} << 32) ||
+           q_hat * v_second > ((r_hat << 32) | u[j + n - 2])) {
+      --q_hat;
+      r_hat += v_top;
+      if (r_hat >= (Wide{1} << 32)) break;
+    }
+    // Multiply-subtract q_hat * v from u[j .. j+n].
+    std::int64_t borrow = 0;
+    Wide carry = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      const Wide product = q_hat * v[i] + carry;
+      carry = product >> 32;
+      const std::int64_t diff = static_cast<std::int64_t>(u[i + j]) -
+                                static_cast<std::int64_t>(product & 0xffffffffu) -
+                                borrow;
+      if (diff < 0) {
+        u[i + j] = static_cast<Limb>(diff + (std::int64_t{1} << 32));
+        borrow = 1;
+      } else {
+        u[i + j] = static_cast<Limb>(diff);
+        borrow = 0;
+      }
+    }
+    const std::int64_t top_diff = static_cast<std::int64_t>(u[j + n]) -
+                                  static_cast<std::int64_t>(carry) - borrow;
+    if (top_diff < 0) {
+      // q_hat was one too large: add back.
+      u[j + n] = static_cast<Limb>(top_diff + (std::int64_t{1} << 32));
+      --q_hat;
+      Wide add_carry = 0;
+      for (std::size_t i = 0; i < n; ++i) {
+        const Wide sum = static_cast<Wide>(u[i + j]) + v[i] + add_carry;
+        u[i + j] = static_cast<Limb>(sum & 0xffffffffu);
+        add_carry = sum >> 32;
+      }
+      u[j + n] = static_cast<Limb>(u[j + n] + add_carry);
+    } else {
+      u[j + n] = static_cast<Limb>(top_diff);
+    }
+    quot[j] = static_cast<Limb>(q_hat);
+  }
+
+  while (!quot.empty() && quot.back() == 0) quot.pop_back();
+  // Denormalize remainder: u[0..n-1] >> shift.
+  rem.assign(u.begin(), u.begin() + static_cast<std::ptrdiff_t>(n));
+  if (shift != 0) {
+    for (std::size_t i = 0; i + 1 < rem.size(); ++i) {
+      rem[i] = (rem[i] >> shift) |
+               static_cast<Limb>(static_cast<Wide>(rem[i + 1]) << (32 - shift));
+    }
+    rem.back() >>= shift;
+  }
+  while (!rem.empty() && rem.back() == 0) rem.pop_back();
+}
+
+BigInt& BigInt::operator+=(const BigInt& rhs) {
+  if (rhs.sign_ == 0) return *this;
+  if (sign_ == 0) return *this = rhs;
+  if (sign_ == rhs.sign_) {
+    limbs_ = add_mag(limbs_, rhs.limbs_);
+    return *this;
+  }
+  const int cmp = cmp_mag(limbs_, rhs.limbs_);
+  if (cmp == 0) {
+    limbs_.clear();
+    sign_ = 0;
+  } else if (cmp > 0) {
+    limbs_ = sub_mag(limbs_, rhs.limbs_);
+  } else {
+    limbs_ = sub_mag(rhs.limbs_, limbs_);
+    sign_ = rhs.sign_;
+  }
+  return *this;
+}
+
+BigInt& BigInt::operator-=(const BigInt& rhs) {
+  if (&rhs == this) {
+    limbs_.clear();
+    sign_ = 0;
+    return *this;
+  }
+  BigInt negated = rhs;
+  negated.sign_ = -negated.sign_;
+  return *this += negated;
+}
+
+BigInt& BigInt::operator*=(const BigInt& rhs) {
+  if (sign_ == 0 || rhs.sign_ == 0) {
+    limbs_.clear();
+    sign_ = 0;
+    return *this;
+  }
+  limbs_ = mul_mag(limbs_, rhs.limbs_);
+  sign_ *= rhs.sign_;
+  return *this;
+}
+
+std::pair<BigInt, BigInt> BigInt::divmod(const BigInt& a, const BigInt& b) {
+  CCMX_REQUIRE(b.sign_ != 0, "division by zero");
+  BigInt quot;
+  BigInt rem;
+  divmod_mag(a.limbs_, b.limbs_, quot.limbs_, rem.limbs_);
+  quot.sign_ = quot.limbs_.empty() ? 0 : a.sign_ * b.sign_;
+  rem.sign_ = rem.limbs_.empty() ? 0 : a.sign_;
+  return {std::move(quot), std::move(rem)};
+}
+
+BigInt BigInt::mod_floor(const BigInt& a, const BigInt& b) {
+  BigInt r = divmod(a, b).second;
+  if (r.sign_ < 0) r += b.abs();
+  return r;
+}
+
+BigInt& BigInt::operator/=(const BigInt& rhs) {
+  return *this = divmod(*this, rhs).first;
+}
+
+BigInt& BigInt::operator%=(const BigInt& rhs) {
+  return *this = divmod(*this, rhs).second;
+}
+
+BigInt& BigInt::operator<<=(unsigned bits) {
+  if (sign_ == 0 || bits == 0) return *this;
+  const unsigned limb_shift = bits / kLimbBits;
+  const unsigned bit_shift = bits % kLimbBits;
+  std::vector<Limb> out(limbs_.size() + limb_shift + 1, 0);
+  for (std::size_t i = 0; i < limbs_.size(); ++i) {
+    out[i + limb_shift] |= bit_shift == 0 ? limbs_[i] : (limbs_[i] << bit_shift);
+    if (bit_shift != 0) {
+      out[i + limb_shift + 1] |=
+          static_cast<Limb>(static_cast<Wide>(limbs_[i]) >> (32 - bit_shift));
+    }
+  }
+  limbs_ = std::move(out);
+  trim();
+  return *this;
+}
+
+BigInt& BigInt::operator>>=(unsigned bits) {
+  if (sign_ == 0 || bits == 0) return *this;
+  const unsigned limb_shift = bits / kLimbBits;
+  const unsigned bit_shift = bits % kLimbBits;
+  if (limb_shift >= limbs_.size()) {
+    limbs_.clear();
+    sign_ = 0;
+    return *this;
+  }
+  std::vector<Limb> out(limbs_.begin() + static_cast<std::ptrdiff_t>(limb_shift),
+                        limbs_.end());
+  if (bit_shift != 0) {
+    for (std::size_t i = 0; i + 1 < out.size(); ++i) {
+      out[i] = (out[i] >> bit_shift) |
+               static_cast<Limb>(static_cast<Wide>(out[i + 1])
+                                 << (32 - bit_shift));
+    }
+    out.back() >>= bit_shift;
+  }
+  limbs_ = std::move(out);
+  trim();
+  return *this;
+}
+
+std::uint64_t BigInt::mod_u64(std::uint64_t m) const {
+  CCMX_REQUIRE(m > 0, "zero modulus");
+  // Horner over limbs with 128-bit intermediates.
+  ccmx::util::u128 acc = 0;
+  for (std::size_t i = limbs_.size(); i-- > 0;) {
+    acc = ((acc << 32) | limbs_[i]) % m;
+  }
+  return static_cast<std::uint64_t>(acc);
+}
+
+BigInt BigInt::gcd(BigInt a, BigInt b) {
+  a.sign_ = a.limbs_.empty() ? 0 : 1;
+  b.sign_ = b.limbs_.empty() ? 0 : 1;
+  while (!b.is_zero()) {
+    BigInt r = divmod(a, b).second;
+    a = std::move(b);
+    b = std::move(r);
+  }
+  return a;
+}
+
+BigIntExtGcd BigInt::gcd_ext(const BigInt& a, const BigInt& b) {
+  // Iterative extended Euclid on signed values.
+  BigInt old_r = a, r = b;
+  BigInt old_x(1), x(0);
+  BigInt old_y(0), y(1);
+  while (!r.is_zero()) {
+    const auto [q, rem] = divmod(old_r, r);
+    old_r = r;
+    r = rem;
+    BigInt next_x = old_x - q * x;
+    old_x = x;
+    x = std::move(next_x);
+    BigInt next_y = old_y - q * y;
+    old_y = y;
+    y = std::move(next_y);
+  }
+  if (old_r.is_negative()) {
+    old_r = -old_r;
+    old_x = -old_x;
+    old_y = -old_y;
+  }
+  return BigIntExtGcd{std::move(old_r), std::move(old_x), std::move(old_y)};
+}
+
+BigInt BigInt::mod_inverse(const BigInt& a, const BigInt& m) {
+  CCMX_REQUIRE(m > BigInt(1), "mod_inverse needs modulus > 1");
+  const BigIntExtGcd e = gcd_ext(a, m);
+  CCMX_REQUIRE(e.g == BigInt(1), "mod_inverse of a non-unit");
+  return mod_floor(e.x, m);
+}
+
+BigInt BigInt::divide_exact(const BigInt& rhs) const {
+  auto [quot, rem] = divmod(*this, rhs);
+  CCMX_REQUIRE(rem.is_zero(), "divide_exact with a nonzero remainder");
+  return quot;
+}
+
+std::strong_ordering operator<=>(const BigInt& a, const BigInt& b) noexcept {
+  if (a.sign_ != b.sign_) return a.sign_ <=> b.sign_;
+  const int mag = BigInt::cmp_mag(a.limbs_, b.limbs_);
+  const int signed_cmp = a.sign_ >= 0 ? mag : -mag;
+  return signed_cmp <=> 0;
+}
+
+std::ostream& operator<<(std::ostream& os, const BigInt& value) {
+  return os << value.to_string();
+}
+
+std::size_t BigInt::hash() const noexcept {
+  std::size_t h = sign_ >= 0 ? 0x9e3779b97f4a7c15ULL : 0x517cc1b727220a95ULL;
+  for (const Limb limb : limbs_) {
+    h ^= limb + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+  }
+  return h;
+}
+
+}  // namespace ccmx::num

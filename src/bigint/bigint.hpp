@@ -1,0 +1,151 @@
+// Arbitrary-precision signed integers.
+//
+// The paper's hard-instance family works with entries up to q = 2^k - 1 and
+// linear combinations involving powers (-q)^(n-2); determinants of 2n x 2n
+// matrices of k-bit integers reach n(k + log n) bits.  GMP is not assumed
+// (per the reproduction notes), so this module implements the needed exact
+// integer arithmetic from scratch: sign-magnitude representation over 32-bit
+// limbs, schoolbook + Karatsuba multiplication, and Knuth Algorithm D
+// division.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ccmx::num {
+
+struct BigIntExtGcd;
+
+class BigInt {
+ public:
+  /// Zero.
+  BigInt() = default;
+
+  BigInt(std::int64_t value);   // NOLINT(google-explicit-constructor)
+  BigInt(int value) : BigInt(static_cast<std::int64_t>(value)) {}  // NOLINT
+
+  /// Parses an optionally signed decimal string ("-123", "42").
+  [[nodiscard]] static BigInt from_string(std::string_view text);
+
+  /// 2^e.
+  [[nodiscard]] static BigInt pow2(unsigned e);
+
+  /// base^e for small exponents.
+  [[nodiscard]] static BigInt pow(const BigInt& base, unsigned e);
+
+  // --- observers ---
+  [[nodiscard]] bool is_zero() const noexcept { return sign_ == 0; }
+  [[nodiscard]] bool is_negative() const noexcept { return sign_ < 0; }
+  [[nodiscard]] bool is_odd() const noexcept {
+    return sign_ != 0 && (limbs_[0] & 1u) != 0;
+  }
+  /// -1, 0 or +1.
+  [[nodiscard]] int signum() const noexcept { return sign_; }
+  /// Number of bits in |x| (0 for x == 0).
+  [[nodiscard]] std::size_t bit_length() const noexcept;
+  /// True iff the value fits in int64_t.
+  [[nodiscard]] bool fits_int64() const noexcept;
+  /// Value as int64_t; requires fits_int64().
+  [[nodiscard]] std::int64_t to_int64() const;
+  /// Approximate double value (may overflow to +-inf).
+  [[nodiscard]] double to_double() const noexcept;
+  [[nodiscard]] std::string to_string() const;
+
+  // --- arithmetic ---
+  [[nodiscard]] BigInt operator-() const;
+  [[nodiscard]] BigInt abs() const;
+
+  BigInt& operator+=(const BigInt& rhs);
+  BigInt& operator-=(const BigInt& rhs);
+  BigInt& operator*=(const BigInt& rhs);
+  BigInt& operator/=(const BigInt& rhs);  // truncated toward zero
+  BigInt& operator%=(const BigInt& rhs);  // sign follows dividend
+  BigInt& operator<<=(unsigned bits);
+  BigInt& operator>>=(unsigned bits);
+
+  friend BigInt operator+(BigInt lhs, const BigInt& rhs) { return lhs += rhs; }
+  friend BigInt operator-(BigInt lhs, const BigInt& rhs) { return lhs -= rhs; }
+  friend BigInt operator*(BigInt lhs, const BigInt& rhs) { return lhs *= rhs; }
+  friend BigInt operator/(BigInt lhs, const BigInt& rhs) { return lhs /= rhs; }
+  friend BigInt operator%(BigInt lhs, const BigInt& rhs) { return lhs %= rhs; }
+  friend BigInt operator<<(BigInt lhs, unsigned bits) { return lhs <<= bits; }
+  friend BigInt operator>>(BigInt lhs, unsigned bits) { return lhs >>= bits; }
+
+  /// Quotient and remainder with truncation toward zero; the remainder has
+  /// the dividend's sign.  Requires a nonzero divisor.
+  [[nodiscard]] static std::pair<BigInt, BigInt> divmod(const BigInt& a,
+                                                        const BigInt& b);
+
+  /// Euclidean remainder in [0, |b|).
+  [[nodiscard]] static BigInt mod_floor(const BigInt& a, const BigInt& b);
+
+  /// |a| mod m for a machine-word modulus m > 0.
+  [[nodiscard]] std::uint64_t mod_u64(std::uint64_t m) const;
+
+  /// gcd(|a|, |b|).
+  [[nodiscard]] static BigInt gcd(BigInt a, BigInt b);
+
+  /// Extended Euclid: returns (g, x, y) with a*x + b*y = g = gcd(|a|, |b|).
+  [[nodiscard]] static BigIntExtGcd gcd_ext(const BigInt& a, const BigInt& b);
+
+  /// Modular inverse of a mod m (m > 1, gcd(a, m) == 1; checked).
+  [[nodiscard]] static BigInt mod_inverse(const BigInt& a, const BigInt& m);
+
+  /// Exact division; requires rhs to divide *this exactly (checked).
+  [[nodiscard]] BigInt divide_exact(const BigInt& rhs) const;
+
+  // --- comparison ---
+  friend bool operator==(const BigInt& a, const BigInt& b) noexcept {
+    return a.sign_ == b.sign_ && a.limbs_ == b.limbs_;
+  }
+  friend std::strong_ordering operator<=>(const BigInt& a,
+                                          const BigInt& b) noexcept;
+
+  friend std::ostream& operator<<(std::ostream& os, const BigInt& value);
+
+  /// FNV-style hash for use in unordered containers.
+  [[nodiscard]] std::size_t hash() const noexcept;
+
+ private:
+  using Limb = std::uint32_t;
+  using Wide = std::uint64_t;
+  static constexpr unsigned kLimbBits = 32;
+
+  void trim() noexcept;
+  [[nodiscard]] static int cmp_mag(const std::vector<Limb>& a,
+                                   const std::vector<Limb>& b) noexcept;
+  static std::vector<Limb> add_mag(const std::vector<Limb>& a,
+                                   const std::vector<Limb>& b);
+  // requires |a| >= |b|
+  static std::vector<Limb> sub_mag(const std::vector<Limb>& a,
+                                   const std::vector<Limb>& b);
+  static std::vector<Limb> mul_mag(const std::vector<Limb>& a,
+                                   const std::vector<Limb>& b);
+  static std::vector<Limb> mul_school(const std::vector<Limb>& a,
+                                      const std::vector<Limb>& b);
+  static std::vector<Limb> mul_karatsuba(const std::vector<Limb>& a,
+                                         const std::vector<Limb>& b);
+  static void divmod_mag(const std::vector<Limb>& num,
+                         const std::vector<Limb>& den,
+                         std::vector<Limb>& quot, std::vector<Limb>& rem);
+
+  int sign_ = 0;             // -1, 0, +1
+  std::vector<Limb> limbs_;  // little-endian magnitude, trimmed
+};
+
+/// Result of BigInt::gcd_ext: a*x + b*y == g.
+struct BigIntExtGcd {
+  BigInt g, x, y;
+};
+
+struct BigIntHash {
+  std::size_t operator()(const BigInt& value) const noexcept {
+    return value.hash();
+  }
+};
+
+}  // namespace ccmx::num

@@ -1,0 +1,37 @@
+// Base-(-q) digit expansions with digits in {0, .., q-1}.
+//
+// The paper's hard-instance construction (Fig. 1/Fig. 3) relies on the
+// vector u = [(-q)^{n-2}, .., (-q)^1, (-q)^0]^T: a row of free entries in
+// {0, .., q-1} dotted with u is exactly a base-(-q) numeral.  Every integer
+// has at most one expansion with a given digit budget, which is what makes
+// the counting in Lemmas 3.4/3.5 exact.  This header provides conversion in
+// both directions plus representability ranges.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "bigint/bigint.hpp"
+
+namespace ccmx::num {
+
+/// Digits d_0..d_{len-1} (least significant first) with
+/// value = sum d_i * (-q)^i and 0 <= d_i < q, or nullopt if `value` has no
+/// expansion within `len` digits.  q >= 2.
+[[nodiscard]] std::optional<std::vector<std::uint32_t>> to_negabase(
+    const BigInt& value, std::uint64_t q, std::size_t len);
+
+/// Inverse of to_negabase: sum digits[i] * (-q)^i.
+[[nodiscard]] BigInt from_negabase(const std::vector<std::uint32_t>& digits,
+                                   std::uint64_t q);
+
+/// The inclusive interval [lo, hi] of integers representable with `len`
+/// base-(-q) digits in {0, .., q-1}.
+struct NegabaseRange {
+  BigInt lo;
+  BigInt hi;
+};
+[[nodiscard]] NegabaseRange negabase_range(std::uint64_t q, std::size_t len);
+
+}  // namespace ccmx::num

@@ -1,0 +1,103 @@
+#include "bigint/rational.hpp"
+
+#include <ostream>
+
+#include "util/require.hpp"
+
+namespace ccmx::num {
+
+Rational::Rational(BigInt num, BigInt den)
+    : num_(std::move(num)), den_(std::move(den)) {
+  CCMX_REQUIRE(!den_.is_zero(), "rational with zero denominator");
+  normalize();
+}
+
+void Rational::normalize() {
+  if (den_.is_negative()) {
+    num_ = -num_;
+    den_ = -den_;
+  }
+  if (num_.is_zero()) {
+    den_ = BigInt(1);
+    return;
+  }
+  const BigInt g = BigInt::gcd(num_, den_);
+  if (g != BigInt(1)) {
+    num_ = num_.divide_exact(g);
+    den_ = den_.divide_exact(g);
+  }
+}
+
+Rational Rational::operator-() const {
+  Rational out = *this;
+  out.num_ = -out.num_;
+  return out;
+}
+
+Rational Rational::reciprocal() const {
+  CCMX_REQUIRE(!is_zero(), "reciprocal of zero");
+  Rational out;
+  out.num_ = den_;
+  out.den_ = num_;
+  if (out.den_.is_negative()) {
+    out.num_ = -out.num_;
+    out.den_ = -out.den_;
+  }
+  return out;
+}
+
+Rational Rational::abs() const {
+  Rational out = *this;
+  out.num_ = out.num_.abs();
+  return out;
+}
+
+Rational& Rational::operator+=(const Rational& rhs) {
+  num_ = num_ * rhs.den_ + rhs.num_ * den_;
+  den_ *= rhs.den_;
+  normalize();
+  return *this;
+}
+
+Rational& Rational::operator-=(const Rational& rhs) {
+  num_ = num_ * rhs.den_ - rhs.num_ * den_;
+  den_ *= rhs.den_;
+  normalize();
+  return *this;
+}
+
+Rational& Rational::operator*=(const Rational& rhs) {
+  num_ *= rhs.num_;
+  den_ *= rhs.den_;
+  normalize();
+  return *this;
+}
+
+Rational& Rational::operator/=(const Rational& rhs) {
+  CCMX_REQUIRE(!rhs.is_zero(), "division by zero rational");
+  num_ *= rhs.den_;
+  den_ *= rhs.num_;
+  normalize();
+  return *this;
+}
+
+std::strong_ordering operator<=>(const Rational& a, const Rational& b) {
+  const BigInt lhs = a.num_ * b.den_;
+  const BigInt rhs = b.num_ * a.den_;
+  return lhs <=> rhs;
+}
+
+double Rational::to_double() const noexcept {
+  return num_.to_double() / den_.to_double();
+}
+
+std::string Rational::to_string() const {
+  if (is_integer()) return num_.to_string();
+  return num_.to_string() + "/" + den_.to_string();
+}
+
+std::ostream& operator<<(std::ostream& os, const Rational& value) {
+  return os << value.to_string();
+}
+
+}  // namespace ccmx::num

@@ -1,0 +1,79 @@
+// Exact rational numbers over BigInt.
+//
+// Used by the exact linear-algebra substrate (RREF, LUP, Gram-Schmidt QR,
+// characteristic polynomials) where fraction-free methods are inconvenient.
+// Always stored normalized: gcd(num, den) == 1, den > 0, and 0 == 0/1.
+#pragma once
+
+#include <compare>
+#include <iosfwd>
+#include <string>
+
+#include "bigint/bigint.hpp"
+
+namespace ccmx::num {
+
+class Rational {
+ public:
+  /// Zero.
+  Rational() : num_(0), den_(1) {}
+
+  Rational(BigInt value) : num_(std::move(value)), den_(1) {}  // NOLINT
+  Rational(std::int64_t value) : num_(value), den_(1) {}       // NOLINT
+  Rational(int value) : num_(value), den_(1) {}                // NOLINT
+
+  /// num/den, normalized.  den must be nonzero.
+  Rational(BigInt num, BigInt den);
+
+  [[nodiscard]] const BigInt& num() const noexcept { return num_; }
+  [[nodiscard]] const BigInt& den() const noexcept { return den_; }
+
+  [[nodiscard]] bool is_zero() const noexcept { return num_.is_zero(); }
+  [[nodiscard]] bool is_integer() const noexcept {
+    return den_ == BigInt(1);
+  }
+  [[nodiscard]] int signum() const noexcept { return num_.signum(); }
+
+  [[nodiscard]] Rational operator-() const;
+  [[nodiscard]] Rational reciprocal() const;
+  [[nodiscard]] Rational abs() const;
+
+  Rational& operator+=(const Rational& rhs);
+  Rational& operator-=(const Rational& rhs);
+  Rational& operator*=(const Rational& rhs);
+  Rational& operator/=(const Rational& rhs);
+
+  friend Rational operator+(Rational a, const Rational& b) { return a += b; }
+  friend Rational operator-(Rational a, const Rational& b) { return a -= b; }
+  friend Rational operator*(Rational a, const Rational& b) { return a *= b; }
+  friend Rational operator/(Rational a, const Rational& b) { return a /= b; }
+
+  friend bool operator==(const Rational& a, const Rational& b) noexcept {
+    return a.num_ == b.num_ && a.den_ == b.den_;
+  }
+  friend std::strong_ordering operator<=>(const Rational& a,
+                                          const Rational& b);
+
+  [[nodiscard]] double to_double() const noexcept;
+  [[nodiscard]] std::string to_string() const;
+
+  friend std::ostream& operator<<(std::ostream& os, const Rational& value);
+
+  [[nodiscard]] std::size_t hash() const noexcept {
+    return num_.hash() * 1315423911u ^ den_.hash();
+  }
+
+ private:
+  void normalize();
+
+  BigInt num_;
+  BigInt den_;  // > 0
+};
+
+struct RationalHash {
+  std::size_t operator()(const Rational& value) const noexcept {
+    return value.hash();
+  }
+};
+
+}  // namespace ccmx::num

@@ -1,0 +1,61 @@
+#include "comm/bounds.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace ccmx::comm {
+
+LowerBoundCertificate certificate(const TruthMatrix& m,
+                                  util::Xoshiro256& rng) {
+  LowerBoundCertificate cert;
+  cert.rows = m.rows();
+  cert.cols = m.cols();
+  cert.ones = m.ones();
+  cert.zeros = m.zeros();
+
+  const Rectangle one_rect = max_rectangle(m, true, rng);
+  const Rectangle zero_rect = max_rectangle(m, false, rng);
+  cert.max_one_rect = one_rect.area();
+  cert.max_zero_rect = zero_rect.area();
+  cert.rect_exact = one_rect.exact && zero_rect.exact;
+
+  double cover = 0.0;
+  if (cert.ones > 0 && cert.max_one_rect > 0) {
+    cover += static_cast<double>(cert.ones) /
+             static_cast<double>(cert.max_one_rect);
+  }
+  if (cert.zeros > 0 && cert.max_zero_rect > 0) {
+    cover += static_cast<double>(cert.zeros) /
+             static_cast<double>(cert.max_zero_rect);
+  }
+  cert.cover_lower_bound = cover;
+  cert.yao_bits = cover > 0.0 ? std::max(0.0, std::log2(cover) - 2.0) : 0.0;
+
+  cert.rank_gf2 = m.rank_gf2();
+  cert.log_rank_bits =
+      cert.rank_gf2 > 0 ? std::log2(static_cast<double>(cert.rank_gf2)) : 0.0;
+
+  const auto fooling = greedy_fooling_set(m, true, rng);
+  cert.fooling_set_size = fooling.size();
+  cert.fooling_bits =
+      fooling.empty() ? 0.0 : std::log2(static_cast<double>(fooling.size()));
+
+  cert.best_bits = cert.yao_bits;
+  cert.best_method = "yao-rectangles";
+  if (cert.log_rank_bits > cert.best_bits) {
+    cert.best_bits = cert.log_rank_bits;
+    cert.best_method = "log-rank(GF2)";
+  }
+  if (cert.fooling_bits > cert.best_bits) {
+    cert.best_bits = cert.fooling_bits;
+    cert.best_method = "fooling-set";
+  }
+  return cert;
+}
+
+std::size_t trivial_upper_bound(std::size_t agent0_bits,
+                                std::size_t agent1_bits) {
+  return std::min(agent0_bits, agent1_bits) + 1;
+}
+
+}  // namespace ccmx::comm

@@ -1,0 +1,51 @@
+// Deterministic communication lower bounds assembled from truth-matrix
+// statistics (Yao 1979; Mehlhorn-Schmidt log-rank; fooling sets).
+//
+// For a function f with truth matrix M under partition pi:
+//   * Comm(f, pi) >= log2 d(f) - 2, where d(f) is the minimum number of
+//     disjoint monochromatic submatrices partitioning M (Yao; quoted in
+//     Section 2 of the paper).  d(f) >= ones/max1rect + zeros/max0rect.
+//   * Comm(f, pi) >= log2 rank_F(M) over any field F.
+//   * Comm(f, pi) >= log2 |fooling set|.
+// certificate() computes all three and reports the strongest.
+#pragma once
+
+#include <string>
+
+#include "comm/rectangles.hpp"
+#include "comm/truth_matrix.hpp"
+
+namespace ccmx::comm {
+
+struct LowerBoundCertificate {
+  std::size_t rows = 0;
+  std::size_t cols = 0;
+  std::size_t ones = 0;
+  std::size_t zeros = 0;
+  std::size_t max_one_rect = 0;   // area
+  std::size_t max_zero_rect = 0;  // area
+  bool rect_exact = false;        // both rectangle searches were exhaustive
+  double cover_lower_bound = 0.0; // d(f) >= this
+  double yao_bits = 0.0;          // log2(cover) - 2, clamped at 0
+  std::size_t rank_gf2 = 0;
+  double log_rank_bits = 0.0;
+  std::size_t fooling_set_size = 0;
+  double fooling_bits = 0.0;
+  double best_bits = 0.0;         // max of the three
+  std::string best_method;
+};
+
+/// Computes every certificate on the given truth matrix.  When the matrix is
+/// small enough the rectangle searches are exact, making yao_bits a true
+/// lower bound; otherwise the heuristic may under-find rectangles and
+/// yao_bits must be read as an estimate (rect_exact says which).
+[[nodiscard]] LowerBoundCertificate certificate(const TruthMatrix& m,
+                                                util::Xoshiro256& rng);
+
+/// Deterministic upper bound for any total Boolean function under partition
+/// shares (a, b): min(a, b) + 1 bits (send the smaller share, echo the
+/// answer back if the sender needs it; we count the one answer bit).
+[[nodiscard]] std::size_t trivial_upper_bound(std::size_t agent0_bits,
+                                              std::size_t agent1_bits);
+
+}  // namespace ccmx::comm

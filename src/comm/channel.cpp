@@ -1,0 +1,17 @@
+#include "comm/channel.hpp"
+
+namespace ccmx::comm {
+
+ProtocolOutcome execute(const Protocol& protocol, const BitVec& input,
+                        const Partition& partition) {
+  const AgentView agent0(Agent::kZero, input, partition);
+  const AgentView agent1(Agent::kOne, input, partition);
+  Channel channel;
+  ProtocolOutcome outcome;
+  outcome.answer = protocol.run(agent0, agent1, channel);
+  outcome.bits = channel.bits_sent();
+  outcome.rounds = channel.rounds();
+  return outcome;
+}
+
+}  // namespace ccmx::comm

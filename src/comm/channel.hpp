@@ -1,0 +1,122 @@
+// The bit-metered channel between the two agents, and the protocol
+// interface.
+//
+// A protocol implementation receives one AgentView per agent; a view only
+// exposes the bits its partition assigned to that agent (reading a foreign
+// bit throws), so any cross-agent information flow is forced through
+// Channel::send, where it is counted.  This makes the measured cost of a
+// protocol an honest upper bound on its communication complexity under the
+// given partition.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "comm/bitvec.hpp"
+#include "comm/partition.hpp"
+
+namespace ccmx::comm {
+
+/// Read-only window onto one agent's share of the input.
+class AgentView {
+ public:
+  AgentView(Agent who, const BitVec& input, const Partition& partition)
+      : who_(who), input_(&input), partition_(&partition) {
+    CCMX_REQUIRE(input.size() == partition.total_bits(),
+                 "input / partition size mismatch");
+  }
+
+  [[nodiscard]] Agent who() const noexcept { return who_; }
+  [[nodiscard]] std::size_t total_bits() const noexcept {
+    return input_->size();
+  }
+  [[nodiscard]] bool owns(std::size_t bit) const {
+    return partition_->owner(bit) == who_;
+  }
+  /// Reads an owned bit; throws on foreign bits — the locality guard.
+  [[nodiscard]] bool get(std::size_t bit) const {
+    CCMX_REQUIRE(owns(bit), "agent read a bit it does not own");
+    return input_->get(bit);
+  }
+  [[nodiscard]] std::vector<std::size_t> owned_indices() const {
+    return partition_->indices_of(who_);
+  }
+  [[nodiscard]] const Partition& partition() const noexcept {
+    return *partition_;
+  }
+
+ private:
+  Agent who_;
+  const BitVec* input_;
+  const Partition* partition_;
+};
+
+struct Message {
+  Agent from;
+  BitVec payload;
+};
+
+/// Counts every bit the protocol moves, in either direction.
+class Channel {
+ public:
+  /// Delivers `payload` from `from` to the other agent and returns it.
+  const BitVec& send(Agent from, BitVec payload) {
+    bits_[static_cast<std::size_t>(from)] += payload.size();
+    transcript_.push_back(Message{from, std::move(payload)});
+    return transcript_.back().payload;
+  }
+
+  /// Single-bit convenience.
+  bool send_bit(Agent from, bool bit) {
+    BitVec payload(0);
+    payload.push_back(bit);
+    return send(from, std::move(payload)).get(0);
+  }
+
+  [[nodiscard]] std::size_t bits_sent() const noexcept {
+    return bits_[0] + bits_[1];
+  }
+  [[nodiscard]] std::size_t bits_sent_by(Agent a) const noexcept {
+    return bits_[static_cast<std::size_t>(a)];
+  }
+  [[nodiscard]] std::size_t rounds() const noexcept {
+    return transcript_.size();
+  }
+  [[nodiscard]] const std::vector<Message>& transcript() const noexcept {
+    return transcript_;
+  }
+
+ private:
+  std::size_t bits_[2] = {0, 0};
+  std::vector<Message> transcript_;
+};
+
+/// A two-party decision protocol.  `run` must derive its answer only from
+/// the two views and the channel traffic.
+class Protocol {
+ public:
+  virtual ~Protocol() = default;
+
+  [[nodiscard]] virtual std::string name() const = 0;
+
+  /// Executes the protocol; the boolean answer must be known to the agent
+  /// responsible for the output (we require it to be explicit on the
+  /// channel or derivable by agent 1).
+  [[nodiscard]] virtual bool run(const AgentView& agent0,
+                                 const AgentView& agent1,
+                                 Channel& channel) const = 0;
+};
+
+struct ProtocolOutcome {
+  bool answer = false;
+  std::size_t bits = 0;
+  std::size_t rounds = 0;
+};
+
+/// Harness: splits `input` by `partition` and runs the protocol.
+[[nodiscard]] ProtocolOutcome execute(const Protocol& protocol,
+                                      const BitVec& input,
+                                      const Partition& partition);
+
+}  // namespace ccmx::comm

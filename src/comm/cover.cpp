@@ -1,0 +1,88 @@
+#include "comm/cover.hpp"
+
+#include <algorithm>
+
+#include "util/require.hpp"
+
+namespace ccmx::comm {
+
+CoverResult greedy_cover(const TruthMatrix& m, bool value,
+                         util::Xoshiro256& rng) {
+  CoverResult cover;
+  // `residual` marks the still-uncovered `value` cells as 1.
+  TruthMatrix residual(m.rows(), m.cols());
+  std::size_t remaining = 0;
+  for (std::size_t r = 0; r < m.rows(); ++r) {
+    for (std::size_t c = 0; c < m.cols(); ++c) {
+      if (m.get(r, c) == value) {
+        residual.set(r, c, true);
+        ++remaining;
+      }
+    }
+  }
+  while (remaining > 0) {
+    // A big rectangle of uncovered cells...
+    Rectangle seed = max_rectangle(residual, true, rng);
+    CCMX_ASSERT(seed.area() > 0);
+    // ...then expand it to a maximal rectangle of the ORIGINAL matrix: any
+    // extra row/column fully `value` on the current cross-section may join
+    // (covering already-covered cells twice is free in a cover).
+    const auto all_value_row = [&](std::size_t r) {
+      for (const std::size_t c : seed.col_set) {
+        if (m.get(r, c) != value) return false;
+      }
+      return true;
+    };
+    for (std::size_t r = 0; r < m.rows(); ++r) {
+      if (std::find(seed.row_set.begin(), seed.row_set.end(), r) ==
+              seed.row_set.end() &&
+          all_value_row(r)) {
+        seed.row_set.push_back(r);
+      }
+    }
+    const auto all_value_col = [&](std::size_t c) {
+      for (const std::size_t r : seed.row_set) {
+        if (m.get(r, c) != value) return false;
+      }
+      return true;
+    };
+    for (std::size_t c = 0; c < m.cols(); ++c) {
+      if (std::find(seed.col_set.begin(), seed.col_set.end(), c) ==
+              seed.col_set.end() &&
+          all_value_col(c)) {
+        seed.col_set.push_back(c);
+      }
+    }
+    // Retire the covered cells.
+    for (const std::size_t r : seed.row_set) {
+      for (const std::size_t c : seed.col_set) {
+        if (residual.get(r, c)) {
+          residual.set(r, c, false);
+          --remaining;
+        }
+      }
+    }
+    cover.rectangles.push_back(std::move(seed));
+  }
+  return cover;
+}
+
+bool is_cover(const TruthMatrix& m, bool value, const CoverResult& cover) {
+  for (const Rectangle& rect : cover.rectangles) {
+    if (!is_monochromatic(m, value, rect)) return false;
+  }
+  TruthMatrix covered(m.rows(), m.cols());
+  for (const Rectangle& rect : cover.rectangles) {
+    for (const std::size_t r : rect.row_set) {
+      for (const std::size_t c : rect.col_set) covered.set(r, c, true);
+    }
+  }
+  for (std::size_t r = 0; r < m.rows(); ++r) {
+    for (std::size_t c = 0; c < m.cols(); ++c) {
+      if (m.get(r, c) == value && !covered.get(r, c)) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace ccmx::comm

@@ -1,0 +1,38 @@
+// Greedy monochromatic rectangle covers.
+//
+// Yao's bound reads CC >= log2 d(f) where d(f) is the minimum number of
+// monochromatic rectangles PARTITIONING the truth matrix.  The certificates
+// in bounds.hpp lower-bound d(f); this module upper-bounds the related
+// COVER number by greedy construction (repeatedly grab a large rectangle of
+// the still-uncovered cells).  log2(#1-cover) is the nondeterministic
+// complexity N^1(f) up to rounding, so together the two modules bracket the
+// rectangle-world quantities the paper's Section 2 machinery lives in.
+#pragma once
+
+#include <vector>
+
+#include "comm/rectangles.hpp"
+#include "comm/truth_matrix.hpp"
+#include "util/rng.hpp"
+
+namespace ccmx::comm {
+
+struct CoverResult {
+  std::vector<Rectangle> rectangles;  // jointly cover all `value` cells
+  [[nodiscard]] std::size_t size() const noexcept {
+    return rectangles.size();
+  }
+};
+
+/// Greedy cover of all `value` cells by monochromatic rectangles.  Each
+/// rectangle is maximal-ish (greedy growth on the residual matrix); the
+/// result size upper-bounds the cover number.
+[[nodiscard]] CoverResult greedy_cover(const TruthMatrix& m, bool value,
+                                       util::Xoshiro256& rng);
+
+/// Test oracle: all `value` cells covered, every rectangle monochromatic in
+/// the ORIGINAL matrix.
+[[nodiscard]] bool is_cover(const TruthMatrix& m, bool value,
+                            const CoverResult& cover);
+
+}  // namespace ccmx::comm

@@ -1,0 +1,173 @@
+#include "comm/exact_cc.hpp"
+
+#include <unordered_map>
+#include <vector>
+
+#include "util/require.hpp"
+
+namespace ccmx::comm {
+
+namespace {
+
+struct Solver {
+  std::vector<std::uint32_t> row_ones;  // ones mask per row
+  std::uint32_t full_cols = 0;
+  std::unordered_map<std::uint64_t, std::uint8_t> memo;
+
+  [[nodiscard]] bool monochromatic(std::uint32_t rows,
+                                   std::uint32_t cols) const {
+    bool saw_one = false, saw_zero = false;
+    for (std::uint32_t rest = rows; rest != 0; rest &= rest - 1) {
+      const auto r = static_cast<std::size_t>(__builtin_ctz(rest));
+      const std::uint32_t ones = row_ones[r] & cols;
+      if (ones != 0) saw_one = true;
+      if (ones != cols) saw_zero = true;
+      if (saw_one && saw_zero) return false;
+    }
+    return true;
+  }
+
+  std::size_t solve(std::uint32_t rows, std::uint32_t cols) {
+    if (monochromatic(rows, cols)) return 0;
+    const std::uint64_t key =
+        (static_cast<std::uint64_t>(rows) << 32) | cols;
+    if (const auto it = memo.find(key); it != memo.end()) return it->second;
+
+    std::size_t best = 64;  // effectively infinity
+    // Agent 0 speaks: split the row set.  Enumerate unordered bipartitions
+    // by fixing the lowest row into part 0.
+    const std::uint32_t low_row = rows & (~rows + 1);
+    for (std::uint32_t sub = (rows - 1) & rows;; sub = (sub - 1) & rows) {
+      if (sub == 0) break;
+      if ((sub & low_row) != 0) continue;  // canonical: low bit in part 0
+      const std::uint32_t part0 = rows ^ sub;
+      const std::size_t c0 = solve(part0, cols);
+      if (c0 + 1 >= best) continue;
+      const std::size_t c1 = solve(sub, cols);
+      const std::size_t cost = 1 + std::max(c0, c1);
+      if (cost < best) best = cost;
+      if (best == 1) break;
+    }
+    // Agent 1 speaks: split the column set.
+    if (best > 1) {
+      const std::uint32_t low_col = cols & (~cols + 1);
+      for (std::uint32_t sub = (cols - 1) & cols;; sub = (sub - 1) & cols) {
+        if (sub == 0) break;
+        if ((sub & low_col) != 0) continue;
+        const std::uint32_t part0 = cols ^ sub;
+        const std::size_t c0 = solve(rows, part0);
+        if (c0 + 1 >= best) continue;
+        const std::size_t c1 = solve(rows, sub);
+        const std::size_t cost = 1 + std::max(c0, c1);
+        if (cost < best) best = cost;
+        if (best == 1) break;
+      }
+    }
+    memo.emplace(key, static_cast<std::uint8_t>(best));
+    return best;
+  }
+};
+
+}  // namespace
+
+namespace {
+
+Solver make_solver(const TruthMatrix& m) {
+  CCMX_REQUIRE(m.rows() <= 12 && m.cols() <= 12,
+               "exact_cc limited to 12 x 12 truth matrices");
+  Solver solver;
+  solver.row_ones.resize(m.rows());
+  for (std::size_t r = 0; r < m.rows(); ++r) {
+    std::uint32_t mask = 0;
+    for (std::size_t c = 0; c < m.cols(); ++c) {
+      if (m.get(r, c)) mask |= std::uint32_t{1} << c;
+    }
+    solver.row_ones[r] = mask;
+  }
+  solver.full_cols = (std::uint32_t{1} << m.cols()) - 1;
+  return solver;
+}
+
+/// Reconstructs an optimal tree from the memoized solver.
+std::int32_t build_tree(Solver& solver, std::uint32_t rows,
+                        std::uint32_t cols, ProtocolTree& tree) {
+  const std::size_t cost = solver.solve(rows, cols);
+  if (cost == 0) {
+    // Monochromatic leaf: read the value off any cell.
+    ProtocolTreeNode node;
+    node.leaf = true;
+    const auto r = static_cast<std::size_t>(__builtin_ctz(rows));
+    const auto c = static_cast<std::size_t>(__builtin_ctz(cols));
+    node.answer = ((solver.row_ones[r] >> c) & 1u) != 0;
+    tree.nodes.push_back(node);
+    return static_cast<std::int32_t>(tree.nodes.size() - 1);
+  }
+  // Find any split achieving the optimum (the solver's order revisited).
+  const auto try_split = [&](bool row_side) -> std::int32_t {
+    const std::uint32_t set = row_side ? rows : cols;
+    const std::uint32_t low = set & (~set + 1);
+    for (std::uint32_t sub = (set - 1) & set;; sub = (sub - 1) & set) {
+      if (sub == 0) break;
+      if ((sub & low) != 0) continue;
+      const std::uint32_t part0 = set ^ sub;
+      const std::size_t c0 = row_side ? solver.solve(part0, cols)
+                                      : solver.solve(rows, part0);
+      const std::size_t c1 = row_side ? solver.solve(sub, cols)
+                                      : solver.solve(rows, sub);
+      if (1 + std::max(c0, c1) != cost) continue;
+      const std::int32_t child0 =
+          row_side ? build_tree(solver, part0, cols, tree)
+                   : build_tree(solver, rows, part0, tree);
+      const std::int32_t child1 =
+          row_side ? build_tree(solver, sub, cols, tree)
+                   : build_tree(solver, rows, sub, tree);
+      ProtocolTreeNode node;
+      node.speaker = row_side ? 0 : 1;
+      node.zero_mask = part0;
+      node.child0 = child0;
+      node.child1 = child1;
+      tree.nodes.push_back(node);
+      return static_cast<std::int32_t>(tree.nodes.size() - 1);
+    }
+    return -1;
+  };
+  std::int32_t node = try_split(true);
+  if (node < 0) node = try_split(false);
+  CCMX_ASSERT(node >= 0);
+  return node;
+}
+
+}  // namespace
+
+std::size_t exact_cc(const TruthMatrix& m) {
+  Solver solver = make_solver(m);
+  const std::uint32_t all_rows = (std::uint32_t{1} << m.rows()) - 1;
+  return solver.solve(all_rows, solver.full_cols);
+}
+
+ProtocolTree exact_protocol_tree(const TruthMatrix& m) {
+  Solver solver = make_solver(m);
+  const std::uint32_t all_rows = (std::uint32_t{1} << m.rows()) - 1;
+  ProtocolTree tree;
+  tree.depth = solver.solve(all_rows, solver.full_cols);
+  tree.root = static_cast<std::size_t>(
+      build_tree(solver, all_rows, solver.full_cols, tree));
+  return tree;
+}
+
+std::pair<bool, std::size_t> run_tree(const ProtocolTree& tree,
+                                      std::size_t row, std::size_t col) {
+  std::size_t bits = 0;
+  std::size_t at = tree.root;
+  for (;;) {
+    const ProtocolTreeNode& node = tree.nodes[at];
+    if (node.leaf) return {node.answer, bits};
+    const std::size_t index = node.speaker == 0 ? row : col;
+    const bool in_zero = ((node.zero_mask >> index) & 1u) != 0;
+    ++bits;
+    CCMX_REQUIRE(bits <= tree.depth, "tree walk exceeded its depth");
+    at = static_cast<std::size_t>(in_zero ? node.child0 : node.child1);
+  }
+}
+
+}  // namespace ccmx::comm

@@ -1,0 +1,56 @@
+// Exact deterministic communication complexity of tiny functions.
+//
+// Yao's protocol-tree characterization: a deterministic protocol is a
+// binary tree whose nodes split the current row set (if agent 0 speaks) or
+// column set (agent 1), and whose leaves are monochromatic rectangles; its
+// cost is the depth.  For truth matrices with at most 12 rows and columns
+// we minimize over ALL trees exactly:
+//
+//   CC(R, C) = 0                                     if R x C monochromatic
+//            = 1 + min( min over splits R = R0 | R1 of max(CC(R0,C), CC(R1,C)),
+//                       min over splits C = C0 | C1 of max(CC(R,C0), CC(R,C1)) )
+//
+// memoized on the (row-mask, column-mask) pair.  This turns the E1
+// certificates from lower bounds into equalities at enumerable sizes —
+// e.g. CC(EQ_s) = s + 1 is recovered exactly.
+#pragma once
+
+#include <cstddef>
+
+#include "comm/truth_matrix.hpp"
+
+namespace ccmx::comm {
+
+/// Exact deterministic CC of the full truth matrix.  Requires
+/// rows() <= 12 and cols() <= 12 (state space 2^rows * 2^cols).
+[[nodiscard]] std::size_t exact_cc(const TruthMatrix& m);
+
+/// An optimal protocol, materialized.  Internal nodes name the speaker and
+/// the absolute subset of its indices that sends bit 0; leaves carry the
+/// answer of their (monochromatic) rectangle.
+struct ProtocolTreeNode {
+  bool leaf = false;
+  bool answer = false;          // leaves only
+  std::uint8_t speaker = 0;     // internal only: 0 or 1
+  std::uint32_t zero_mask = 0;  // indices of the speaker that send bit 0
+  std::int32_t child0 = -1;
+  std::int32_t child1 = -1;
+};
+
+struct ProtocolTree {
+  std::vector<ProtocolTreeNode> nodes;
+  std::size_t root = 0;
+  std::size_t depth = 0;  // == exact_cc of the source matrix
+};
+
+/// Synthesizes an optimal tree (same solver as exact_cc, with witness
+/// reconstruction).  depth == exact_cc(m).
+[[nodiscard]] ProtocolTree exact_protocol_tree(const TruthMatrix& m);
+
+/// Executes the tree on abstract (row, col) indices; returns (answer,
+/// bits spoken).  The answer equals m.get(row, col) for the source matrix.
+[[nodiscard]] std::pair<bool, std::size_t> run_tree(const ProtocolTree& tree,
+                                                    std::size_t row,
+                                                    std::size_t col);
+
+}  // namespace ccmx::comm

@@ -1,0 +1,320 @@
+#include "comm/rectangles.hpp"
+
+#include <algorithm>
+
+#include "util/require.hpp"
+
+namespace ccmx::comm {
+
+namespace {
+
+constexpr std::size_t kExactLimit = 24;
+
+std::size_t popcount_words(const std::vector<std::uint64_t>& words) {
+  std::size_t total = 0;
+  for (const std::uint64_t w : words) {
+    total += static_cast<std::size_t>(__builtin_popcountll(w));
+  }
+  return total;
+}
+
+/// Item bitsets: one mask per element of the *smaller* dimension, each a
+/// packed subset of the larger dimension.  `transposed` records whether
+/// items are columns (true) or rows (false).
+struct ItemView {
+  std::vector<std::vector<std::uint64_t>> masks;
+  std::size_t other_size = 0;
+  bool transposed = false;
+};
+
+ItemView make_items(const TruthMatrix& m, bool value) {
+  const TruthMatrix work = value ? m : m.complement();
+  ItemView view;
+  if (work.rows() <= work.cols()) {
+    view.transposed = false;
+    view.other_size = work.cols();
+    view.masks.resize(work.rows());
+    const std::size_t wpr = work.words_per_row();
+    for (std::size_t r = 0; r < work.rows(); ++r) {
+      view.masks[r].assign(work.row_words(r), work.row_words(r) + wpr);
+    }
+  } else {
+    view.transposed = true;
+    view.other_size = work.rows();
+    const std::size_t words = (work.rows() + 63) / 64;
+    view.masks.assign(work.cols(), std::vector<std::uint64_t>(words, 0));
+    for (std::size_t r = 0; r < work.rows(); ++r) {
+      for (std::size_t c = 0; c < work.cols(); ++c) {
+        if (work.get(r, c)) {
+          view.masks[c][r / 64] |= std::uint64_t{1} << (r % 64);
+        }
+      }
+    }
+  }
+  return view;
+}
+
+Rectangle finish(const ItemView& view, std::vector<std::size_t> items,
+                 const std::vector<std::uint64_t>& other_mask, bool exact) {
+  Rectangle rect;
+  rect.exact = exact;
+  std::vector<std::size_t> others;
+  for (std::size_t i = 0; i < view.other_size; ++i) {
+    if ((other_mask[i / 64] >> (i % 64)) & 1u) others.push_back(i);
+  }
+  if (view.transposed) {
+    rect.col_set = std::move(items);
+    rect.row_set = std::move(others);
+  } else {
+    rect.row_set = std::move(items);
+    rect.col_set = std::move(others);
+  }
+  return rect;
+}
+
+struct ExactSearch {
+  const ItemView* view = nullptr;
+  std::size_t best_area = 0;
+  std::vector<std::size_t> best_items;
+  std::vector<std::uint64_t> best_mask;
+
+  void recurse(std::size_t next, std::vector<std::size_t>& chosen,
+               std::vector<std::uint64_t>& mask) {
+    const std::size_t n = view->masks.size();
+    const std::size_t support = popcount_words(mask);
+    if (support == 0) return;
+    const std::size_t area = chosen.size() * support;
+    if (area > best_area && !chosen.empty()) {
+      best_area = area;
+      best_items = chosen;
+      best_mask = mask;
+    }
+    // Upper bound: even taking every remaining item cannot beat best.
+    if ((chosen.size() + (n - next)) * support <= best_area) return;
+    for (std::size_t i = next; i < n; ++i) {
+      std::vector<std::uint64_t> narrowed(mask.size());
+      std::size_t nonzero = 0;
+      for (std::size_t w = 0; w < mask.size(); ++w) {
+        narrowed[w] = mask[w] & view->masks[i][w];
+        nonzero |= narrowed[w];
+      }
+      if (nonzero == 0) continue;
+      chosen.push_back(i);
+      recurse(i + 1, chosen, narrowed);
+      chosen.pop_back();
+      if ((chosen.size() + (n - i - 1)) * support <= best_area) break;
+    }
+  }
+};
+
+}  // namespace
+
+Rectangle max_rectangle_exact(const TruthMatrix& m, bool value) {
+  const ItemView view = make_items(m, value);
+  CCMX_REQUIRE(view.masks.size() <= kExactLimit,
+               "exact rectangle search limited to min-dim <= 24");
+  const std::size_t words = (view.other_size + 63) / 64;
+  std::vector<std::uint64_t> full(words, ~std::uint64_t{0});
+  const std::size_t tail = view.other_size % 64;
+  if (tail != 0) full[words - 1] = (std::uint64_t{1} << tail) - 1;
+
+  ExactSearch search;
+  search.view = &view;
+  std::vector<std::size_t> chosen;
+  search.recurse(0, chosen, full);
+  if (search.best_area == 0) {
+    // No `value` cell at all: return an empty rectangle.
+    Rectangle rect;
+    rect.exact = true;
+    return rect;
+  }
+  return finish(view, search.best_items, search.best_mask, true);
+}
+
+Rectangle max_rectangle_greedy(const TruthMatrix& m, bool value,
+                               util::Xoshiro256& rng, std::size_t restarts) {
+  const ItemView view = make_items(m, value);
+  const std::size_t n = view.masks.size();
+  const std::size_t words = (view.other_size + 63) / 64;
+
+  Rectangle best;
+  std::size_t best_area = 0;
+  std::vector<std::size_t> best_items;
+  std::vector<std::uint64_t> best_mask;
+
+  for (std::size_t attempt = 0; attempt < restarts; ++attempt) {
+    // Seed with a random item that has support.
+    std::size_t seed = rng.below(n);
+    bool found = false;
+    for (std::size_t off = 0; off < n; ++off) {
+      const std::size_t i = (seed + off) % n;
+      if (popcount_words(view.masks[i]) != 0) {
+        seed = i;
+        found = true;
+        break;
+      }
+    }
+    if (!found) break;
+
+    std::vector<std::size_t> items{seed};
+    std::vector<std::uint64_t> mask = view.masks[seed];
+    std::vector<bool> used(n, false);
+    used[seed] = true;
+
+    for (;;) {
+      // Greedily add the item that maximizes resulting area.
+      std::size_t best_i = n;
+      std::size_t best_gain_area = items.size() * popcount_words(mask);
+      for (std::size_t i = 0; i < n; ++i) {
+        if (used[i]) continue;
+        std::size_t inter = 0;
+        for (std::size_t w = 0; w < words; ++w) {
+          inter += static_cast<std::size_t>(
+              __builtin_popcountll(mask[w] & view.masks[i][w]));
+        }
+        const std::size_t area = (items.size() + 1) * inter;
+        if (area > best_gain_area) {
+          best_gain_area = area;
+          best_i = i;
+        }
+      }
+      if (best_i == n) break;
+      used[best_i] = true;
+      items.push_back(best_i);
+      for (std::size_t w = 0; w < words; ++w) mask[w] &= view.masks[best_i][w];
+    }
+
+    const std::size_t area = items.size() * popcount_words(mask);
+    if (area > best_area) {
+      best_area = area;
+      best_items = items;
+      best_mask = mask;
+    }
+  }
+
+  if (best_area == 0) {
+    Rectangle rect;
+    rect.exact = false;
+    return rect;
+  }
+  std::sort(best_items.begin(), best_items.end());
+  return finish(view, best_items, best_mask, false);
+}
+
+Rectangle max_rectangle(const TruthMatrix& m, bool value,
+                        util::Xoshiro256& rng) {
+  if (std::min(m.rows(), m.cols()) <= kExactLimit) {
+    return max_rectangle_exact(m, value);
+  }
+  return max_rectangle_greedy(m, value, rng);
+}
+
+std::vector<std::pair<std::size_t, std::size_t>> greedy_fooling_set(
+    const TruthMatrix& m, bool value, util::Xoshiro256& rng,
+    std::size_t passes) {
+  // Collect `value` cells (capped for very large matrices).
+  constexpr std::size_t kMaxCells = 1u << 18;
+  std::vector<std::pair<std::size_t, std::size_t>> cells;
+  for (std::size_t r = 0; r < m.rows() && cells.size() < kMaxCells; ++r) {
+    for (std::size_t c = 0; c < m.cols() && cells.size() < kMaxCells; ++c) {
+      if (m.get(r, c) == value) cells.emplace_back(r, c);
+    }
+  }
+  std::vector<std::pair<std::size_t, std::size_t>> best;
+  for (std::size_t pass = 0; pass < passes; ++pass) {
+    // Shuffle candidate order.
+    for (std::size_t i = cells.size(); i > 1; --i) {
+      std::swap(cells[i - 1], cells[rng.below(i)]);
+    }
+    std::vector<std::pair<std::size_t, std::size_t>> chosen;
+    for (const auto& [r, c] : cells) {
+      bool compatible = true;
+      for (const auto& [pr, pc] : chosen) {
+        if (m.get(r, pc) == value && m.get(pr, c) == value) {
+          compatible = false;
+          break;
+        }
+      }
+      if (compatible) chosen.emplace_back(r, c);
+    }
+    if (chosen.size() > best.size()) best = std::move(chosen);
+  }
+  return best;
+}
+
+std::vector<std::pair<std::size_t, std::size_t>> greedy_identity_submatrix(
+    const TruthMatrix& m, util::Xoshiro256& rng, std::size_t passes) {
+  constexpr std::size_t kMaxCells = 1u << 18;
+  std::vector<std::pair<std::size_t, std::size_t>> cells;
+  for (std::size_t r = 0; r < m.rows() && cells.size() < kMaxCells; ++r) {
+    for (std::size_t c = 0; c < m.cols() && cells.size() < kMaxCells; ++c) {
+      if (m.get(r, c)) cells.emplace_back(r, c);
+    }
+  }
+  std::vector<std::pair<std::size_t, std::size_t>> best;
+  for (std::size_t pass = 0; pass < passes; ++pass) {
+    for (std::size_t i = cells.size(); i > 1; --i) {
+      std::swap(cells[i - 1], cells[rng.below(i)]);
+    }
+    std::vector<std::pair<std::size_t, std::size_t>> chosen;
+    std::vector<bool> row_used(m.rows(), false), col_used(m.cols(), false);
+    for (const auto& [r, c] : cells) {
+      if (row_used[r] || col_used[c]) continue;
+      bool compatible = true;
+      for (const auto& [pr, pc] : chosen) {
+        if (m.get(r, pc) || m.get(pr, c)) {
+          compatible = false;
+          break;
+        }
+      }
+      if (compatible) {
+        chosen.emplace_back(r, c);
+        row_used[r] = true;
+        col_used[c] = true;
+      }
+    }
+    if (chosen.size() > best.size()) best = std::move(chosen);
+  }
+  return best;
+}
+
+bool is_identity_submatrix(
+    const TruthMatrix& m,
+    const std::vector<std::pair<std::size_t, std::size_t>>& set) {
+  for (std::size_t i = 0; i < set.size(); ++i) {
+    if (!m.get(set[i].first, set[i].second)) return false;
+    for (std::size_t j = 0; j < set.size(); ++j) {
+      if (i == j) continue;
+      if (m.get(set[i].first, set[j].second)) return false;
+    }
+  }
+  return true;
+}
+
+bool is_fooling_set(
+    const TruthMatrix& m, bool value,
+    const std::vector<std::pair<std::size_t, std::size_t>>& set) {
+  for (const auto& [r, c] : set) {
+    if (m.get(r, c) != value) return false;
+  }
+  for (std::size_t i = 0; i < set.size(); ++i) {
+    for (std::size_t j = i + 1; j < set.size(); ++j) {
+      if (m.get(set[i].first, set[j].second) == value &&
+          m.get(set[j].first, set[i].second) == value) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+bool is_monochromatic(const TruthMatrix& m, bool value, const Rectangle& rect) {
+  for (const std::size_t r : rect.row_set) {
+    for (const std::size_t c : rect.col_set) {
+      if (m.get(r, c) != value) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace ccmx::comm

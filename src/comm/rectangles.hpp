@@ -1,0 +1,80 @@
+// Monochromatic rectangles, fooling sets, and the lower bounds built from
+// them (Yao 1979, as used in Section 2 of the paper).
+//
+// A "1-chromatic submatrix" is a set of rows x set of columns whose cells
+// are all 1 (rows/columns need not be contiguous).  Claim (2b) of the paper
+// is a statement about the maximum size of such rectangles in the restricted
+// truth matrix; here we search for them directly:
+//  * exactly, by branch-and-bound over subsets of the smaller dimension
+//    (feasible up to ~22 rows), and
+//  * heuristically (greedy growth + local search) for larger matrices —
+//    a heuristic lower bound on the max rectangle, which makes the derived
+//    communication bound conservative in the safe direction only when the
+//    exact search is available; we always report which engine produced it.
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "comm/truth_matrix.hpp"
+#include "util/rng.hpp"
+
+namespace ccmx::comm {
+
+struct Rectangle {
+  std::vector<std::size_t> row_set;
+  std::vector<std::size_t> col_set;
+  bool exact = false;  // true when found by the exhaustive engine
+
+  [[nodiscard]] std::size_t area() const noexcept {
+    return row_set.size() * col_set.size();
+  }
+};
+
+/// Largest all-`value` rectangle by exhaustive branch-and-bound over row
+/// subsets.  Requires rows() <= 24 after an internal transpose-free
+/// reduction; throws otherwise.
+[[nodiscard]] Rectangle max_rectangle_exact(const TruthMatrix& m, bool value);
+
+/// Greedy + randomized local-search heuristic; any matrix size.
+[[nodiscard]] Rectangle max_rectangle_greedy(const TruthMatrix& m, bool value,
+                                             util::Xoshiro256& rng,
+                                             std::size_t restarts = 32);
+
+/// Chooses the exact engine when feasible, else the heuristic.
+[[nodiscard]] Rectangle max_rectangle(const TruthMatrix& m, bool value,
+                                      util::Xoshiro256& rng);
+
+/// A 1-fooling set: cells (r_i, c_i) with M = value such that for i != j at
+/// least one of (r_i, c_j), (r_j, c_i) differs from `value`.  Greedy; its
+/// size is a valid CC lower bound (ceil(log2 |S|)).
+[[nodiscard]] std::vector<std::pair<std::size_t, std::size_t>>
+greedy_fooling_set(const TruthMatrix& m, bool value, util::Xoshiro256& rng,
+                   std::size_t passes = 2);
+
+/// Verifies the fooling-set property (test oracle).
+[[nodiscard]] bool is_fooling_set(
+    const TruthMatrix& m, bool value,
+    const std::vector<std::pair<std::size_t, std::size_t>>& set);
+
+/// An embedded identity: cells (r_i, c_i) with M(r_i, c_i) = 1 and
+/// M(r_i, c_j) = 0 for every i != j (BOTH off-diagonal directions — strictly
+/// stronger than a fooling set).  This is exactly the structure Vuillemin's
+/// transitivity method needs; the paper's Section 1 remark is that
+/// singularity does not embed a large identity, which is why it needed the
+/// rectangle argument.  Greedy with shuffled passes.
+[[nodiscard]] std::vector<std::pair<std::size_t, std::size_t>>
+greedy_identity_submatrix(const TruthMatrix& m, util::Xoshiro256& rng,
+                          std::size_t passes = 2);
+
+/// Verifies the embedded-identity property (test oracle).
+[[nodiscard]] bool is_identity_submatrix(
+    const TruthMatrix& m,
+    const std::vector<std::pair<std::size_t, std::size_t>>& set);
+
+/// Verifies that the rectangle is all-`value` (test oracle).
+[[nodiscard]] bool is_monochromatic(const TruthMatrix& m, bool value,
+                                    const Rectangle& rect);
+
+}  // namespace ccmx::comm

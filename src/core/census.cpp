@@ -1,0 +1,355 @@
+#include "core/census.hpp"
+
+#include <cmath>
+#include <unordered_set>
+
+#include "bigint/negabase.hpp"
+#include "util/int128.hpp"
+#include "linalg/rref.hpp"
+#include "util/require.hpp"
+
+namespace ccmx::core {
+
+using num::BigInt;
+using num::Rational;
+
+namespace {
+
+/// log2 of a positive BigInt, stable for arbitrarily large values.
+double approx_log2(const BigInt& value) {
+  CCMX_REQUIRE(value.signum() > 0, "log2 of a non-positive value");
+  const std::size_t bits = value.bit_length();
+  if (bits <= 62) {
+    return std::log2(static_cast<double>(value.to_int64()));
+  }
+  const BigInt top = value >> static_cast<unsigned>(bits - 53);
+  return std::log2(static_cast<double>(top.to_int64())) +
+         static_cast<double>(bits - 53);
+}
+
+double log_base_q(const BigInt& value, std::uint64_t q) {
+  if (value.signum() <= 0) return 0.0;
+  return approx_log2(value) / std::log2(static_cast<double>(q));
+}
+
+/// floor(a / b) for b != 0 (exact, BigInt).
+BigInt div_floor(const BigInt& a, const BigInt& b) {
+  auto [quot, rem] = BigInt::divmod(a, b);
+  if (!rem.is_zero() && (rem.is_negative() != b.is_negative())) {
+    quot -= BigInt(1);
+  }
+  return quot;
+}
+
+/// ceil(a / b).
+BigInt div_ceil(const BigInt& a, const BigInt& b) {
+  auto [quot, rem] = BigInt::divmod(a, b);
+  if (!rem.is_zero() && (rem.is_negative() == b.is_negative())) {
+    quot += BigInt(1);
+  }
+  return quot;
+}
+
+/// #{ t in [tlo, thi] : v * t in [a, b] }, v != 0.
+BigInt count_scaled_in_interval(const BigInt& v, const BigInt& a,
+                                const BigInt& b, const BigInt& tlo,
+                                const BigInt& thi) {
+  BigInt lo = v.signum() > 0 ? div_ceil(a, v) : div_ceil(b, v);
+  BigInt hi = v.signum() > 0 ? div_floor(b, v) : div_floor(a, v);
+  if (lo < tlo) lo = tlo;
+  if (hi > thi) hi = thi;
+  if (hi < lo) return BigInt(0);
+  return hi - lo + BigInt(1);
+}
+
+using ccmx::util::i128;
+
+i128 div_floor_i128(i128 a, i128 b) {
+  i128 q = a / b;
+  if (a % b != 0 && ((a < 0) != (b < 0))) --q;
+  return q;
+}
+
+i128 div_ceil_i128(i128 a, i128 b) {
+  i128 q = a / b;
+  if (a % b != 0 && ((a < 0) == (b < 0))) ++q;
+  return q;
+}
+
+}  // namespace
+
+BigInt total_rows(const ConstructionParams& p) {
+  return BigInt::pow(BigInt(static_cast<std::int64_t>(p.q())),
+                     static_cast<unsigned>(p.free_entries_c()));
+}
+
+BigInt total_columns(const ConstructionParams& p) {
+  return BigInt::pow(BigInt(static_cast<std::int64_t>(p.q())),
+                     static_cast<unsigned>(p.free_entries_dey()));
+}
+
+RowCensus row_census(const ConstructionParams& p, const la::IntMatrix& c,
+                     std::uint64_t budget, std::size_t samples,
+                     util::Xoshiro256& rng) {
+  CCMX_REQUIRE(p.valid(), "invalid construction parameters");
+  const std::size_t half = p.half();
+  const std::size_t g = p.g();
+  const std::size_t l = p.l();
+  const std::uint64_t q = p.q();
+  const BigInt q_big(static_cast<std::int64_t>(q));
+  const std::vector<BigInt> w = p.w_vector();
+  const std::vector<BigInt> u = p.u_vector();
+  const BigInt neg_q_l = BigInt::pow(BigInt(-static_cast<std::int64_t>(q)),
+                                     static_cast<unsigned>(l));
+  const num::NegabaseRange r_g = num::negabase_range(q, g);
+  const num::NegabaseRange r_y = num::negabase_range(q, p.n() - 1);
+
+  // Enumerated digits: E (half * L) then D rows 1..half-1 (each G digits).
+  const std::size_t digits = half * l + (half - 1) * g;
+  // Space size as double-log to decide the engine.
+  const double log2_space =
+      static_cast<double>(digits) * std::log2(static_cast<double>(q));
+  const bool exact = log2_space <= std::log2(static_cast<double>(budget));
+
+  // One evaluation: digits -> interval count over D_0 (and the unique y).
+  const auto evaluate = [&](const std::vector<std::uint32_t>& digit_vec) {
+    // Tail of x from E.
+    std::vector<BigInt> x(p.n() - 1);
+    std::size_t pos = 0;
+    for (std::size_t r = 0; r < half; ++r) {
+      BigInt acc;
+      for (std::size_t t = 0; t < l; ++t) {
+        acc += BigInt(static_cast<std::int64_t>(digit_vec[pos++])) * w[t];
+      }
+      x[half + r] = acc;
+    }
+    // Heads x[half-1] .. x[1] from D rows half-1 .. 1.
+    for (std::size_t idx = half; idx-- > 1;) {
+      BigInt du;
+      for (std::size_t j = 0; j < g; ++j) {
+        // digit layout: D rows are stored in order row 1, row 2, ...
+        const std::size_t offset = half * l + (idx - 1) * g + j;
+        du += BigInt(static_cast<std::int64_t>(digit_vec[offset])) * u[j];
+      }
+      BigInt value = du;
+      if (idx + 1 <= half - 1) value -= q_big * x[idx + 1];
+      for (std::size_t t = 0; t < half; ++t) value -= c(idx, t) * x[half + t];
+      x[idx] = value;
+    }
+    // D_0 interval count: x0 = neg_q_l * t - q x1 - c_0 . tail must lie in
+    // the y-representable interval.
+    BigInt shift = q_big * x[1];
+    for (std::size_t t = 0; t < half; ++t) shift += c(0, t) * x[half + t];
+    return count_scaled_in_interval(neg_q_l, r_y.lo + shift, r_y.hi + shift,
+                                    r_g.lo, r_g.hi);
+  };
+
+  // __int128 fast path: every quantity in the chain is bounded by
+  // ~n * q^n, so it is exact whenever n * (k + 1) + 20 < 120 bits.
+  const bool fast = static_cast<double>(p.n()) * (p.k() + 1.0) + 20.0 < 120.0;
+  struct FastCtx {
+    std::vector<i128> w, u, c_flat;
+    i128 neg_q_l = 0, ry_lo = 0, ry_hi = 0, rg_lo = 0, rg_hi = 0, q = 0;
+  } fc;
+  if (fast) {
+    const auto to128 = [](const BigInt& v) {
+      i128 out = 0;
+      const BigInt mag = v.abs();
+      for (std::size_t bit = mag.bit_length(); bit-- > 0;) {
+        out <<= 1;
+        if (((mag >> static_cast<unsigned>(bit)) % BigInt(2)) == BigInt(1)) {
+          out |= 1;
+        }
+      }
+      return v.is_negative() ? -out : out;
+    };
+    for (const BigInt& v : w) fc.w.push_back(to128(v));
+    for (const BigInt& v : u) fc.u.push_back(to128(v));
+    fc.c_flat.reserve(half * half);
+    for (std::size_t i = 0; i < half; ++i) {
+      for (std::size_t t = 0; t < half; ++t) fc.c_flat.push_back(to128(c(i, t)));
+    }
+    fc.neg_q_l = to128(neg_q_l);
+    fc.ry_lo = to128(r_y.lo);
+    fc.ry_hi = to128(r_y.hi);
+    fc.rg_lo = to128(r_g.lo);
+    fc.rg_hi = to128(r_g.hi);
+    fc.q = static_cast<i128>(q);
+  }
+
+  const auto evaluate_fast = [&](const std::vector<std::uint32_t>& digit_vec)
+      -> std::uint64_t {
+    std::vector<i128> x(p.n() - 1, 0);
+    std::size_t pos = 0;
+    for (std::size_t r = 0; r < half; ++r) {
+      i128 acc = 0;
+      for (std::size_t t = 0; t < l; ++t) {
+        acc += static_cast<i128>(digit_vec[pos++]) * fc.w[t];
+      }
+      x[half + r] = acc;
+    }
+    for (std::size_t idx = half; idx-- > 1;) {
+      i128 du = 0;
+      for (std::size_t j = 0; j < g; ++j) {
+        du += static_cast<i128>(digit_vec[half * l + (idx - 1) * g + j]) *
+              fc.u[j];
+      }
+      i128 value = du;
+      if (idx + 1 <= half - 1) value -= fc.q * x[idx + 1];
+      for (std::size_t t = 0; t < half; ++t) {
+        value -= fc.c_flat[idx * half + t] * x[half + t];
+      }
+      x[idx] = value;
+    }
+    i128 shift = fc.q * x[1];
+    for (std::size_t t = 0; t < half; ++t) {
+      shift += fc.c_flat[t] * x[half + t];
+    }
+    i128 lo = fc.neg_q_l > 0 ? div_ceil_i128(fc.ry_lo + shift, fc.neg_q_l)
+                             : div_ceil_i128(fc.ry_hi + shift, fc.neg_q_l);
+    i128 hi = fc.neg_q_l > 0 ? div_floor_i128(fc.ry_hi + shift, fc.neg_q_l)
+                             : div_floor_i128(fc.ry_lo + shift, fc.neg_q_l);
+    if (lo < fc.rg_lo) lo = fc.rg_lo;
+    if (hi > fc.rg_hi) hi = fc.rg_hi;
+    if (hi < lo) return 0;
+    return static_cast<std::uint64_t>(hi - lo + 1);
+  };
+
+  RowCensus census;
+  census.columns = total_columns(p);
+  census.log_q_columns = log_base_q(census.columns, q);
+
+  std::vector<std::uint32_t> digit_vec(digits, 0);
+  if (exact) {
+    BigInt ones;
+    std::uint64_t fast_acc = 0;
+    // Odometer enumeration of all q^digits assignments.
+    for (;;) {
+      if (fast) {
+        fast_acc += evaluate_fast(digit_vec);
+        if (fast_acc >= (std::uint64_t{1} << 62)) {
+          ones += BigInt(static_cast<std::int64_t>(fast_acc));
+          fast_acc = 0;
+        }
+      } else {
+        ones += evaluate(digit_vec);
+      }
+      std::size_t pos = 0;
+      while (pos < digits) {
+        if (++digit_vec[pos] < q) break;
+        digit_vec[pos] = 0;
+        ++pos;
+      }
+      if (pos == digits) break;
+    }
+    ones += BigInt(static_cast<std::int64_t>(fast_acc));
+    census.ones = ones;
+    census.exact = true;
+  } else {
+    BigInt sum;
+    std::uint64_t fast_acc = 0;
+    for (std::size_t s = 0; s < samples; ++s) {
+      for (auto& digit : digit_vec) {
+        digit = static_cast<std::uint32_t>(rng.below(q));
+      }
+      if (fast) {
+        fast_acc += evaluate_fast(digit_vec);
+        if (fast_acc >= (std::uint64_t{1} << 62)) {
+          sum += BigInt(static_cast<std::int64_t>(fast_acc));
+          fast_acc = 0;
+        }
+      } else {
+        sum += evaluate(digit_vec);
+      }
+    }
+    sum += BigInt(static_cast<std::int64_t>(fast_acc));
+    // ones ~ q^digits * mean(count).
+    const BigInt space = BigInt::pow(q_big, static_cast<unsigned>(digits));
+    census.ones = (space * sum) / BigInt(static_cast<std::int64_t>(samples));
+    census.exact = false;
+  }
+  census.log_q_ones = log_base_q(census.ones, q);
+  return census;
+}
+
+Lemma35Bounds lemma35_bounds(const ConstructionParams& p) {
+  Lemma35Bounds bounds{};
+  bounds.upper_exponent =
+      static_cast<double>(p.n()) * static_cast<double>(p.n()) / 2.0;
+  bounds.lower_exponent =
+      static_cast<double>(p.half()) * static_cast<double>(p.l());
+  return bounds;
+}
+
+SpanCensus lemma34_census(const ConstructionParams& p,
+                          std::uint64_t max_instances,
+                          util::Xoshiro256& rng) {
+  const double log2_total = static_cast<double>(p.free_entries_c()) *
+                            std::log2(static_cast<double>(p.q()));
+  SpanCensus census;
+  std::unordered_set<std::string> canonical_forms;
+  if (log2_total <= std::log2(static_cast<double>(max_instances))) {
+    std::uint64_t total = 1;
+    for (std::size_t i = 0; i < p.free_entries_c(); ++i) total *= p.q();
+    census.exhaustive = true;
+    for (std::uint64_t index = 0; index < total; ++index) {
+      canonical_forms.insert(
+          span_canonical(p, c_instance(p, index)).to_string());
+    }
+    census.tested = total;
+  } else {
+    std::unordered_set<std::string> seen_c;
+    for (std::uint64_t trial = 0; trial < max_instances; ++trial) {
+      const FreeParts parts = FreeParts::random(p, rng);
+      if (!seen_c.insert(parts.c.to_string()).second) continue;  // dup C
+      canonical_forms.insert(span_canonical(p, parts.c).to_string());
+      ++census.tested;
+    }
+  }
+  census.distinct = canonical_forms.size();
+  return census;
+}
+
+std::vector<std::size_t> span_intersection_profile(const ConstructionParams& p,
+                                                   std::size_t count,
+                                                   util::Xoshiro256& rng) {
+  std::vector<std::size_t> dims;
+  // Maintain a generator matrix of the running intersection.
+  la::RatMatrix intersection;  // columns generate the intersection
+  for (std::size_t i = 0; i < count; ++i) {
+    const FreeParts parts = FreeParts::random(p, rng);
+    const la::RatMatrix a = la::to_rational(build_a(p, parts.c));
+    if (i == 0) {
+      intersection = a;
+    } else {
+      // span(G) ∩ span(A) = { G x : [G | -A][x; z] = 0 }.
+      la::RatMatrix negated = a;
+      for (std::size_t r = 0; r < negated.rows(); ++r) {
+        for (std::size_t col = 0; col < negated.cols(); ++col) {
+          negated(r, col) = -negated(r, col);
+        }
+      }
+      const la::RatMatrix stacked = intersection.augment(negated);
+      const auto kernel = la::nullspace(stacked);
+      if (kernel.empty()) {
+        intersection = la::RatMatrix(a.rows(), 0);
+      } else {
+        la::RatMatrix gens(a.rows(), kernel.size());
+        for (std::size_t kcol = 0; kcol < kernel.size(); ++kcol) {
+          for (std::size_t r = 0; r < a.rows(); ++r) {
+            Rational acc(0);
+            for (std::size_t gcol = 0; gcol < intersection.cols(); ++gcol) {
+              acc += intersection(r, gcol) * kernel[kcol][gcol];
+            }
+            gens(r, kcol) = acc;
+          }
+        }
+        intersection = gens;
+      }
+    }
+    dims.push_back(intersection.cols() == 0 ? 0 : la::rank(intersection));
+  }
+  return dims;
+}
+
+}  // namespace ccmx::core

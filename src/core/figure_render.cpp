@@ -1,0 +1,84 @@
+#include "core/figure_render.hpp"
+
+#include <sstream>
+
+#include "util/require.hpp"
+
+namespace ccmx::core {
+
+namespace {
+
+/// Block classification of cell (i, j) of the 2n x 2n matrix M.
+char region_of(const ConstructionParams& p, std::size_t i, std::size_t j) {
+  const std::size_t n = p.n();
+  const std::size_t half = p.half();
+  if (i < n) {
+    // Top half: column 0 is e_0, column n is e_{n-1}, columns n+1.. carry
+    // the antidiagonal pattern.
+    if (j == 0) return i == 0 ? '1' : '.';
+    if (j == n) return i == n - 1 ? '1' : '.';
+    if (j > n) {
+      if (i + j == 2 * n - 1) return '1';
+      if (i + j == 2 * n) return 'q';
+    }
+    return '.';
+  }
+  // Bottom half: A under columns 1..n-1, B under columns n+1..2n-1.
+  const std::size_t bi = i - n;  // row within A / B
+  if (j >= 1 && j <= n - 1) {
+    const std::size_t aj = j - 1;  // column within A
+    if (bi < half && aj >= half) return 'C';
+    if (bi == n - 1) return aj == 0 ? '1' : '.';
+    if (bi == aj) return '1';
+    if (bi + 1 == aj && aj <= half - 1) return 'q';
+    return '.';
+  }
+  if (j >= n + 1) {
+    const std::size_t bj = j - n - 1;  // column within B
+    if (bi == n - 1) return 'y';
+    if (bi < half && bj < p.g()) return 'D';
+    if (bi >= half && bi < n - 1 && bj >= p.g()) return 'E';
+    return '.';
+  }
+  return '.';
+}
+
+}  // namespace
+
+std::string render_region_map(const ConstructionParams& p) {
+  CCMX_REQUIRE(p.valid(), "invalid construction parameters");
+  std::ostringstream os;
+  const std::size_t size = 2 * p.n();
+  os << "region map (" << size << "x" << size << "), q = " << p.q() << ":\n";
+  for (std::size_t i = 0; i < size; ++i) {
+    os << "  ";
+    for (std::size_t j = 0; j < size; ++j) {
+      os << region_of(p, i, j) << ' ';
+    }
+    os << '\n';
+  }
+  os << "legend: . fixed 0 | 1 fixed one | q fixed q | C D E y free blocks\n";
+  return os.str();
+}
+
+std::string render_figure1(const ConstructionParams& p,
+                           const FreeParts& parts) {
+  CCMX_REQUIRE(p.valid(), "invalid construction parameters");
+  const la::IntMatrix m = build_m(p, parts);
+  std::ostringstream os;
+  const std::size_t size = 2 * p.n();
+  // Width for the largest entry (q fits every cell by construction).
+  const std::size_t width = std::to_string(p.q()).size();
+  for (std::size_t i = 0; i < size; ++i) {
+    os << "  ";
+    for (std::size_t j = 0; j < size; ++j) {
+      const std::string cell = m(i, j).to_string();
+      os << std::string(width - std::min(width, cell.size()), ' ') << cell
+         << ' ';
+    }
+    os << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace ccmx::core

@@ -1,0 +1,24 @@
+// ASCII rendering of the paper's Figure 1 / Figure 3 structure.
+//
+// Renders the 2n x 2n restricted matrix with each cell tagged by region:
+// fixed zeros '.', fixed ones '1', fixed q's 'q', and the free blocks
+// C/D/E/y shown as their digit values — the pictures the paper prints,
+// regenerated from the code that builds them.
+#pragma once
+
+#include <string>
+
+#include "core/construction.hpp"
+
+namespace ccmx::core {
+
+/// The 2n x 2n matrix with free digits shown and fixed cells tagged.
+[[nodiscard]] std::string render_figure1(const ConstructionParams& p,
+                                         const FreeParts& parts);
+
+/// A region map of the same grid: which block each cell belongs to
+/// ('.' fixed zero, '1'/'q' fixed values, 'C','D','E','y' free blocks,
+/// 'A'/'B' the remaining fixed structure of those submatrices).
+[[nodiscard]] std::string render_region_map(const ConstructionParams& p);
+
+}  // namespace ccmx::core

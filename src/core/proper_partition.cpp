@@ -1,0 +1,231 @@
+#include "core/proper_partition.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/require.hpp"
+
+namespace ccmx::core {
+
+using comm::Agent;
+using comm::MatrixBitLayout;
+using comm::Partition;
+
+Regions restricted_regions(const ConstructionParams& p) {
+  const std::size_t n = p.n();
+  const std::size_t half = p.half();
+  Regions regions;
+  for (std::size_t i = 0; i < half; ++i) {
+    regions.c_rows.push_back(n + i);           // A rows 0..half-1
+    regions.e_rows.push_back(n + half + i);    // B rows half..n-2
+  }
+  for (std::size_t j = 0; j < half; ++j) {
+    regions.c_cols.push_back(half + 1 + j);    // A cols half..n-2 -> M +1
+  }
+  for (std::size_t j = 0; j < p.l(); ++j) {
+    regions.e_cols.push_back(n + 1 + p.g() + j);  // B cols G..n-2 -> M +n+1
+  }
+  return regions;
+}
+
+namespace {
+
+/// agent-0 bit count of cell (i, j) under the (possibly renamed) partition.
+std::size_t cell_a0(const Partition& pi, const MatrixBitLayout& layout,
+                    std::size_t i, std::size_t j, bool swapped) {
+  std::size_t count = 0;
+  for (unsigned b = 0; b < layout.entry_bits(); ++b) {
+    const Agent owner = pi.owner(layout.bit_index(i, j, b));
+    const bool is_zero = owner == Agent::kZero;
+    if (is_zero != swapped) ++count;
+  }
+  return count;
+}
+
+}  // namespace
+
+ProperCheck check_proper(const Partition& pi, const ConstructionParams& p,
+                         bool agents_swapped) {
+  const MatrixBitLayout layout(2 * p.n(), 2 * p.n(), p.k());
+  CCMX_REQUIRE(pi.total_bits() == layout.total_bits(),
+               "partition size mismatch");
+  const Regions regions = restricted_regions(p);
+  ProperCheck check;
+  check.c_required_times8 = p.k() * (p.n() - 1) * (p.n() - 1);
+  check.e_required_times2 = p.k() * p.l();
+
+  for (const std::size_t r : regions.c_rows) {
+    for (const std::size_t c : regions.c_cols) {
+      check.c_agent0_bits += cell_a0(pi, layout, r, c, agents_swapped);
+    }
+  }
+  check.e_min_row_bits = p.k() * p.l() + 1;
+  for (const std::size_t r : regions.e_rows) {
+    std::size_t agent1_bits = 0;
+    for (const std::size_t c : regions.e_cols) {
+      agent1_bits += p.k() - cell_a0(pi, layout, r, c, agents_swapped);
+    }
+    check.e_min_row_bits = std::min(check.e_min_row_bits, agent1_bits);
+  }
+  check.proper = 8 * check.c_agent0_bits >= check.c_required_times8 &&
+                 2 * check.e_min_row_bits >= check.e_required_times2;
+  return check;
+}
+
+std::optional<ProperTransform> find_proper_transform(const Partition& pi,
+                                                     const ConstructionParams& p,
+                                                     util::Xoshiro256& rng,
+                                                     std::size_t restarts) {
+  const std::size_t size = 2 * p.n();
+  const MatrixBitLayout layout(size, size, p.k());
+  CCMX_REQUIRE(pi.total_bits() == layout.total_bits(),
+               "partition size mismatch");
+  const Regions regions = restricted_regions(p);
+  const std::size_t half = p.half();
+  const std::size_t l = p.l();
+
+  for (const bool swapped : {false, true}) {
+    // Per-cell agent-0 bit counts under this naming.
+    std::vector<std::vector<std::size_t>> a0(size,
+                                             std::vector<std::size_t>(size));
+    for (std::size_t i = 0; i < size; ++i) {
+      for (std::size_t j = 0; j < size; ++j) {
+        a0[i][j] = cell_a0(pi, layout, i, j, swapped);
+      }
+    }
+
+    for (std::size_t attempt = 0; attempt < restarts; ++attempt) {
+      // --- choose source columns ---
+      // Candidates ranked by total agent-0 mass; later attempts add noise.
+      std::vector<std::size_t> cols(size);
+      std::iota(cols.begin(), cols.end(), std::size_t{0});
+      std::vector<double> col_mass(size, 0.0);
+      for (std::size_t c = 0; c < size; ++c) {
+        std::size_t mass = 0;
+        for (std::size_t r = 0; r < size; ++r) mass += a0[r][c];
+        col_mass[c] = static_cast<double>(mass);
+        if (attempt > 0) {
+          col_mass[c] += static_cast<double>(rng.below(p.k() * size / 2 + 1));
+        }
+      }
+      std::sort(cols.begin(), cols.end(), [&](std::size_t x, std::size_t y) {
+        return col_mass[x] > col_mass[y];
+      });
+      std::vector<std::size_t> c_cols_src(cols.begin(),
+                                          cols.begin() + static_cast<std::ptrdiff_t>(half));
+      std::vector<std::size_t> e_cols_src(cols.end() - static_cast<std::ptrdiff_t>(l),
+                                          cols.end());
+
+      // --- alternating refinement of rows and columns ---
+      std::vector<std::size_t> c_rows_src, e_rows_src;
+      for (int round = 0; round < 3; ++round) {
+        // Rows for C: maximize agent-0 mass within c_cols_src.
+        std::vector<std::size_t> rows(size);
+        std::iota(rows.begin(), rows.end(), std::size_t{0});
+        const auto c_row_score = [&](std::size_t r) {
+          std::size_t s = 0;
+          for (const std::size_t c : c_cols_src) s += a0[r][c];
+          return s;
+        };
+        std::sort(rows.begin(), rows.end(), [&](std::size_t x, std::size_t y) {
+          return c_row_score(x) > c_row_score(y);
+        });
+        c_rows_src.assign(rows.begin(), rows.begin() + static_cast<std::ptrdiff_t>(half));
+
+        // Rows for E: among the rest, maximize the per-row agent-1 minimum.
+        const auto e_row_score = [&](std::size_t r) {
+          std::size_t s = 0;
+          for (const std::size_t c : e_cols_src) s += p.k() - a0[r][c];
+          return s;
+        };
+        std::vector<std::size_t> remaining(rows.begin() + static_cast<std::ptrdiff_t>(half),
+                                           rows.end());
+        std::sort(remaining.begin(), remaining.end(),
+                  [&](std::size_t x, std::size_t y) {
+                    return e_row_score(x) > e_row_score(y);
+                  });
+        e_rows_src.assign(remaining.begin(),
+                          remaining.begin() + static_cast<std::ptrdiff_t>(half));
+
+        // Columns for C refreshed against the chosen C rows.
+        const auto c_col_score = [&](std::size_t c) {
+          std::size_t s = 0;
+          for (const std::size_t r : c_rows_src) s += a0[r][c];
+          return s;
+        };
+        std::sort(cols.begin(), cols.end(), [&](std::size_t x, std::size_t y) {
+          return c_col_score(x) > c_col_score(y);
+        });
+        c_cols_src.assign(cols.begin(), cols.begin() + static_cast<std::ptrdiff_t>(half));
+        // Columns for E: disjoint from C columns, minimize agent-0 mass on
+        // the chosen E rows.
+        std::vector<std::size_t> rest;
+        for (const std::size_t c : cols) {
+          if (std::find(c_cols_src.begin(), c_cols_src.end(), c) ==
+              c_cols_src.end()) {
+            rest.push_back(c);
+          }
+        }
+        const auto e_col_score = [&](std::size_t c) {
+          std::size_t s = 0;
+          for (const std::size_t r : e_rows_src) s += p.k() - a0[r][c];
+          return s;
+        };
+        std::sort(rest.begin(), rest.end(), [&](std::size_t x, std::size_t y) {
+          return e_col_score(x) > e_col_score(y);
+        });
+        e_cols_src.assign(rest.begin(), rest.begin() + static_cast<std::ptrdiff_t>(l));
+      }
+
+      // --- assemble the permutations ---
+      ProperTransform transform;
+      transform.agents_swapped = swapped;
+      transform.row_perm.assign(size, size);
+      transform.col_perm.assign(size, size);
+      std::vector<bool> row_used(size, false), col_used(size, false);
+      for (std::size_t i = 0; i < half; ++i) {
+        transform.row_perm[regions.c_rows[i]] = c_rows_src[i];
+        row_used[c_rows_src[i]] = true;
+        transform.row_perm[regions.e_rows[i]] = e_rows_src[i];
+        row_used[e_rows_src[i]] = true;
+        transform.col_perm[regions.c_cols[i]] = c_cols_src[i];
+        col_used[c_cols_src[i]] = true;
+      }
+      for (std::size_t j = 0; j < l; ++j) {
+        transform.col_perm[regions.e_cols[j]] = e_cols_src[j];
+        col_used[e_cols_src[j]] = true;
+      }
+      std::size_t next_row = 0, next_col = 0;
+      for (std::size_t i = 0; i < size; ++i) {
+        if (transform.row_perm[i] == size) {
+          while (row_used[next_row]) ++next_row;
+          transform.row_perm[i] = next_row;
+          row_used[next_row] = true;
+        }
+        if (transform.col_perm[i] == size) {
+          while (col_used[next_col]) ++next_col;
+          transform.col_perm[i] = next_col;
+          col_used[next_col] = true;
+        }
+      }
+
+      const Partition permuted =
+          pi.permuted(layout, transform.row_perm, transform.col_perm);
+      transform.achieved = check_proper(permuted, p, swapped);
+      if (transform.achieved.proper) return transform;
+    }
+  }
+  return std::nullopt;
+}
+
+Partition apply_transform(const Partition& pi, const ConstructionParams& p,
+                          const ProperTransform& t) {
+  const MatrixBitLayout layout(2 * p.n(), 2 * p.n(), p.k());
+  return pi.permuted(layout, t.row_perm, t.col_perm);
+}
+
+std::size_t dy_bit_count(const ConstructionParams& p) {
+  return p.k() * (p.half() * p.g() + (p.n() - 1));
+}
+
+}  // namespace ccmx::core

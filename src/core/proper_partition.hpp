@@ -1,0 +1,70 @@
+// Proper partitions and the Lemma 3.9 transform.
+//
+// Definition 3.8: an input partition of the 2n x 2n matrix is *proper* if
+//   (a) agent 0 reads at least k (n-1)^2 / 8 bit positions of the C block,
+//   (b) agent 1 reads at least k L / 2 bit positions of every row of the E
+//       block  (L = n - 3 - ceil(log_q n)).
+// Lemma 3.9: permuting rows and columns (which preserves rank, hence the
+// problem) turns ANY even partition into a proper one, possibly after
+// renaming the agents.  The lemma's proof is an existence argument; here we
+// realize it constructively with an alternating-maximization search over
+// row/column placements, randomized restarts included — find_proper_transform
+// returns a verified witness.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "comm/partition.hpp"
+#include "core/construction.hpp"
+#include "util/rng.hpp"
+
+namespace ccmx::core {
+
+/// The M-coordinates (0-based) of the free blocks of the restricted family.
+struct Regions {
+  std::vector<std::size_t> c_rows, c_cols;  // half x half block
+  std::vector<std::size_t> e_rows, e_cols;  // half x L block
+};
+[[nodiscard]] Regions restricted_regions(const ConstructionParams& p);
+
+/// Bit thresholds of Definition 3.8 (doubled to stay integral):
+/// 2 * (agent-0 bits in C) >= k (n-1)^2 / 4  and per E row
+/// 2 * (agent-1 bits) >= k L.
+struct ProperCheck {
+  bool proper = false;
+  std::size_t c_agent0_bits = 0;     // achieved
+  std::size_t c_required_times8 = 0; // k (n-1)^2
+  std::size_t e_min_row_bits = 0;    // worst E row (agent 1)
+  std::size_t e_required_times2 = 0; // k L
+};
+[[nodiscard]] ProperCheck check_proper(const comm::Partition& pi,
+                                       const ConstructionParams& p,
+                                       bool agents_swapped);
+
+/// A witness for Lemma 3.9: apply (row_perm, col_perm) to the input matrix
+/// (new cell (i, j) = old cell (row_perm[i], col_perm[j])) and, if
+/// agents_swapped, exchange the agents' names; the induced partition is
+/// proper.
+struct ProperTransform {
+  bool agents_swapped = false;
+  std::vector<std::size_t> row_perm;
+  std::vector<std::size_t> col_perm;
+  ProperCheck achieved;
+};
+
+[[nodiscard]] std::optional<ProperTransform> find_proper_transform(
+    const comm::Partition& pi, const ConstructionParams& p,
+    util::Xoshiro256& rng, std::size_t restarts = 32);
+
+/// Applies a transform: permutes the partition and optionally swaps agent
+/// names, yielding the partition the restricted argument runs against.
+[[nodiscard]] comm::Partition apply_transform(const comm::Partition& pi,
+                                              const ConstructionParams& p,
+                                              const ProperTransform& t);
+
+/// Bit count of the D block plus the y row — the O(k n log n) slack the
+/// paper grants arbitrary proper partitions.
+[[nodiscard]] std::size_t dy_bit_count(const ConstructionParams& p);
+
+}  // namespace ccmx::core

@@ -1,0 +1,57 @@
+#include "core/rank_spectrum.hpp"
+
+#include "linalg/det.hpp"
+#include "linalg/rref.hpp"
+#include "util/require.hpp"
+
+namespace ccmx::core {
+
+using num::BigInt;
+
+namespace {
+
+la::IntMatrix random_box(std::size_t rows, std::size_t cols,
+                         std::int64_t magnitude, util::Xoshiro256& rng) {
+  return la::IntMatrix::generate(rows, cols, [&](std::size_t, std::size_t) {
+    return BigInt(rng.range(-magnitude, magnitude));
+  });
+}
+
+}  // namespace
+
+la::IntMatrix random_rank_r(std::size_t n, std::size_t r,
+                            std::int64_t magnitude, util::Xoshiro256& rng) {
+  CCMX_REQUIRE(r <= n, "rank cannot exceed the dimension");
+  CCMX_REQUIRE(magnitude >= 1, "magnitude must be positive");
+  if (r == 0) return la::IntMatrix(n, n);
+  for (;;) {
+    const la::IntMatrix left = random_box(n, r, magnitude, rng);
+    const la::IntMatrix right = random_box(r, n, magnitude, rng);
+    la::IntMatrix m = left * right;
+    if (la::rank(m) == r) return m;  // generic: fails with prob ~ 1/magnitude
+  }
+}
+
+la::IntMatrix border_for_rank_threshold(const la::IntMatrix& m, std::size_t r,
+                                        std::int64_t magnitude,
+                                        util::Xoshiro256& rng) {
+  CCMX_REQUIRE(m.is_square(), "bordering needs a square matrix");
+  const std::size_t n = m.rows();
+  CCMX_REQUIRE(r <= n, "rank threshold out of range");
+  const std::size_t s = n - r;
+  la::IntMatrix bordered(n + s, n + s);
+  bordered.set_block(0, 0, m);
+  bordered.set_block(0, n, random_box(n, s, magnitude, rng));
+  bordered.set_block(n, 0, random_box(s, n, magnitude, rng));
+  return bordered;
+}
+
+bool rank_at_least_via_singularity(const la::IntMatrix& m, std::size_t r,
+                                   std::int64_t magnitude,
+                                   util::Xoshiro256& rng) {
+  const la::IntMatrix bordered =
+      border_for_rank_threshold(m, r, magnitude, rng);
+  return !la::is_singular(bordered);
+}
+
+}  // namespace ccmx::core

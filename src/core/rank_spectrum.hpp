@@ -1,0 +1,48 @@
+// The rank spectrum: instances of prescribed rank and the bordering
+// reduction from rank thresholds to singularity.
+//
+// Section 1 of the paper singles out "the practically more interesting case
+// of input matrices of rank larger than n/2", where the Lin-Wu embedding
+// and Vuillemin's transitivity both stop working — Theorem 1.1 is what
+// covers it.  This module supplies the executable side:
+//   * random n x n integer matrices of exactly prescribed rank r,
+//   * the generic bordering fact  rank(M) >= r  <=>
+//       det [[M, U], [V, 0]] != 0  for generic U in Z^{n x (n-r)},
+//       V in Z^{(n-r) x n}
+//     — a randomized one-instance reduction from EVERY rank threshold to
+//     singularity, so the Theta(k n^2) bound transfers across the whole
+//     spectrum, not just r = n (Corollary 1.2(b)) and r = n/2 (Lin-Wu).
+#pragma once
+
+#include "core/construction.hpp"
+#include "linalg/convert.hpp"
+#include "util/rng.hpp"
+
+namespace ccmx::core {
+
+/// Random n x n integer matrix of exactly rank r with entries of roughly
+/// `magnitude` size (as a product of random n x r and r x n factors,
+/// re-drawn until the rank is exact — generically immediate).
+[[nodiscard]] la::IntMatrix random_rank_r(std::size_t n, std::size_t r,
+                                          std::int64_t magnitude,
+                                          util::Xoshiro256& rng);
+
+/// The bordered matrix [[M, U], [V, 0]] of size (2n - r) for the threshold
+/// "rank >= r", with U, V drawn uniformly from [-magnitude, magnitude].
+[[nodiscard]] la::IntMatrix border_for_rank_threshold(const la::IntMatrix& m,
+                                                      std::size_t r,
+                                                      std::int64_t magnitude,
+                                                      util::Xoshiro256& rng);
+
+/// One randomized reduction trial: answers "rank(M) >= r?" by a single
+/// singularity test of the bordered matrix.  One-sided: 'true' is always
+/// correct (a nonzero determinant certifies rank >= r); 'false' can be
+/// wrong with probability O((n + s) / magnitude) when an unlucky border
+/// zeroes the determinant despite rank >= r (Schwartz-Zippel).  Callers
+/// repeat with fresh borders to drive the error down.
+[[nodiscard]] bool rank_at_least_via_singularity(const la::IntMatrix& m,
+                                                 std::size_t r,
+                                                 std::int64_t magnitude,
+                                                 util::Xoshiro256& rng);
+
+}  // namespace ccmx::core

@@ -1,0 +1,115 @@
+#include "core/truth_sampling.hpp"
+
+#include "util/require.hpp"
+
+namespace ccmx::core {
+
+using num::BigInt;
+
+namespace {
+
+/// Exact integer determinant of a tiny matrix of values < 2^k via
+/// fraction-free elimination in int64 (safe for 2m <= 4, k <= 8).
+std::int64_t tiny_det(std::vector<std::int64_t> a, std::size_t n) {
+  std::int64_t prev = 1;
+  int sign = 1;
+  for (std::size_t col = 0; col + 1 < n; ++col) {
+    std::size_t pivot = col;
+    while (pivot < n && a[pivot * n + col] == 0) ++pivot;
+    if (pivot == n) return 0;
+    if (pivot != col) {
+      for (std::size_t j = 0; j < n; ++j) {
+        std::swap(a[pivot * n + j], a[col * n + j]);
+      }
+      sign = -sign;
+    }
+    for (std::size_t i = col + 1; i < n; ++i) {
+      for (std::size_t j = col + 1; j < n; ++j) {
+        a[i * n + j] = (a[col * n + col] * a[i * n + j] -
+                        a[i * n + col] * a[col * n + j]) /
+                       prev;
+      }
+      a[i * n + col] = 0;
+    }
+    prev = a[col * n + col];
+  }
+  return sign * a[n * n - 1];
+}
+
+}  // namespace
+
+comm::TruthMatrix singularity_truth_matrix(std::size_t m, unsigned k) {
+  CCMX_REQUIRE(m == 1 || m == 2, "exact truth matrices need m in {1, 2}");
+  const std::size_t share_bits = 2 * m * m * k;
+  CCMX_REQUIRE(share_bits <= 12 || (m == 1 && k <= 6),
+               "truth matrix too large to enumerate");
+  const std::size_t side = std::size_t{1} << share_bits;
+  const std::size_t dim = 2 * m;
+  const std::uint64_t mask = (std::uint64_t{1} << k) - 1;
+
+  return comm::TruthMatrix::build(side, side, [&](std::size_t r,
+                                                  std::size_t c) {
+    if (m == 1) {
+      // [x0 y0; x1 y1]: singular iff x0 y1 == y0 x1.
+      const std::uint64_t x0 = r & mask, x1 = (r >> k) & mask;
+      const std::uint64_t y0 = c & mask, y1 = (c >> k) & mask;
+      return x0 * y1 == y0 * x1;
+    }
+    std::vector<std::int64_t> cells(dim * dim, 0);
+    for (std::size_t i = 0; i < dim; ++i) {
+      for (std::size_t j = 0; j < m; ++j) {
+        cells[i * dim + j] = static_cast<std::int64_t>(
+            (r >> ((i * m + j) * k)) & mask);
+        cells[i * dim + m + j] = static_cast<std::int64_t>(
+            (c >> ((i * m + j) * k)) & mask);
+      }
+    }
+    return tiny_det(std::move(cells), dim) == 0;
+  });
+}
+
+comm::TruthMatrix sampled_restricted_truth_matrix(const ConstructionParams& p,
+                                                  std::size_t rows,
+                                                  std::size_t cols,
+                                                  bool enrich,
+                                                  util::Xoshiro256& rng) {
+  CCMX_REQUIRE(p.valid(), "invalid construction parameters");
+  CCMX_REQUIRE(rows > 0 && cols > 0, "empty sample");
+
+  std::vector<la::IntMatrix> row_cs;
+  row_cs.reserve(rows);
+  for (std::size_t r = 0; r < rows; ++r) {
+    row_cs.push_back(FreeParts::random(p, rng).c);
+  }
+
+  std::vector<FreeParts> col_parts;
+  col_parts.reserve(cols);
+  const std::size_t enriched = enrich ? cols / 2 : 0;
+  for (std::size_t c = 0; c < cols; ++c) {
+    FreeParts parts = FreeParts::random(p, rng);
+    if (c < enriched) {
+      // Plant a singular column against row (c mod rows) via the Lemma
+      // 3.5(a) completion, spreading ones over all rows; other rows see it
+      // as an ordinary column.
+      if (const auto done = lemma35_complete(p, row_cs[c % rows], parts.e)) {
+        parts = *done;
+      }
+    }
+    col_parts.push_back(std::move(parts));
+  }
+
+  const std::vector<BigInt> u = p.u_vector();
+  std::vector<BigInt> yu(cols);
+  for (std::size_t c = 0; c < cols; ++c) {
+    BigInt acc;
+    for (std::size_t j = 0; j + 1 < p.n(); ++j) acc += col_parts[c].y[j] * u[j];
+    yu[c] = acc;
+  }
+
+  return comm::TruthMatrix::build(rows, cols, [&](std::size_t r,
+                                                  std::size_t c) {
+    return forced_x1(p, row_cs[r], col_parts[c].d, col_parts[c].e) == yu[c];
+  });
+}
+
+}  // namespace ccmx::core

@@ -1,0 +1,35 @@
+// Truth-matrix construction for the experiments.
+//
+// Two regimes:
+//  * Exact, tiny, *unrestricted* singularity truth matrices (2m x 2m input
+//    matrices under pi_0 with m in {1, 2} and small k): every share is
+//    enumerable, so the lower-bound certificates (rectangles / rank /
+//    fooling sets) are exact.  These anchor the Theorem 1.1 scaling table.
+//  * Sampled *restricted* truth matrices for the paper's family: rows are
+//    random C instances, columns random (D, E, y) instances (optionally
+//    enriched with Lemma 3.5(a)-completed singular columns so the sample
+//    contains ones), evaluated by the O(n^2) scalar characterization.
+#pragma once
+
+#include <cstdint>
+
+#include "comm/truth_matrix.hpp"
+#include "core/construction.hpp"
+
+namespace ccmx::core {
+
+/// Exact truth matrix of "is the 2m x 2m matrix of k-bit entries singular"
+/// under pi_0.  Sizes: rows = cols = 2^{2 m^2 k}; keep 2 m^2 k <= 16.
+[[nodiscard]] comm::TruthMatrix singularity_truth_matrix(std::size_t m,
+                                                         unsigned k);
+
+/// Sampled restricted truth matrix: `rows` random C's x `cols` random
+/// (D, E, y)'s.  When `enrich` is true, half the columns are replaced by
+/// Lemma 3.5(a) completions against row (column-index mod rows)'s C, so
+/// ones appear spread across all rows — the other rows see each planted
+/// column as an ordinary (D, E, y).
+[[nodiscard]] comm::TruthMatrix sampled_restricted_truth_matrix(
+    const ConstructionParams& p, std::size_t rows, std::size_t cols,
+    bool enrich, util::Xoshiro256& rng);
+
+}  // namespace ccmx::core

@@ -1,0 +1,40 @@
+#include "linalg/charpoly.hpp"
+
+#include "util/require.hpp"
+
+namespace ccmx::la {
+
+using num::Rational;
+
+std::vector<Rational> charpoly(const RatMatrix& m) {
+  CCMX_REQUIRE(m.is_square(), "charpoly of a non-square matrix");
+  const std::size_t n = m.rows();
+  std::vector<Rational> coeffs(n + 1, Rational(0));
+  coeffs[0] = Rational(1);
+  // Faddeev-LeVerrier: M_1 = M, c_1 = -tr(M_1);
+  // M_{k+1} = M (M_k + c_k I), c_{k+1} = -tr(M_{k+1}) / (k+1).
+  RatMatrix mk = m;
+  for (std::size_t k = 1; k <= n; ++k) {
+    Rational trace(0);
+    for (std::size_t i = 0; i < n; ++i) trace += mk(i, i);
+    const Rational ck = -(trace / Rational(static_cast<std::int64_t>(k)));
+    coeffs[k] = ck;
+    if (k == n) break;
+    RatMatrix shifted = mk;
+    for (std::size_t i = 0; i < n; ++i) shifted(i, i) += ck;
+    mk = m * shifted;
+  }
+  return coeffs;
+}
+
+std::size_t zero_root_multiplicity(const std::vector<Rational>& monic_coeffs) {
+  CCMX_REQUIRE(!monic_coeffs.empty(), "empty polynomial");
+  std::size_t multiplicity = 0;
+  for (std::size_t i = monic_coeffs.size(); i-- > 1;) {
+    if (!monic_coeffs[i].is_zero()) break;
+    ++multiplicity;
+  }
+  return multiplicity;
+}
+
+}  // namespace ccmx::la

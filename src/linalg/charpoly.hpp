@@ -1,0 +1,25 @@
+// Exact characteristic polynomials via the Faddeev-LeVerrier recurrence.
+//
+// Used by the SVD-structure computation (Corollary 1.2(d)): the squared
+// singular values of A are the eigenvalues of A^T A, and the multiplicity of
+// the zero root of charpoly(A^T A) — read off exactly from the trailing zero
+// coefficients — gives the number of zero singular values without ever
+// leaving Q.
+#pragma once
+
+#include <vector>
+
+#include "linalg/convert.hpp"
+
+namespace ccmx::la {
+
+/// Coefficients c of det(xI - M) = x^n + c[1] x^{n-1} + ... + c[n],
+/// returned as [1, c1, .., cn] (monic, degree n, length n + 1).
+[[nodiscard]] std::vector<num::Rational> charpoly(const RatMatrix& m);
+
+/// Multiplicity of the root x = 0, i.e. the number of trailing zero
+/// coefficients of the characteristic polynomial.
+[[nodiscard]] std::size_t zero_root_multiplicity(
+    const std::vector<num::Rational>& monic_coeffs);
+
+}  // namespace ccmx::la

@@ -1,0 +1,36 @@
+// Conversions between the entry rings used by the library.
+#pragma once
+
+#include <cstdint>
+
+#include "bigint/bigint.hpp"
+#include "bigint/rational.hpp"
+#include "linalg/matrix.hpp"
+
+namespace ccmx::la {
+
+using IntMatrix = Matrix<num::BigInt>;
+using RatMatrix = Matrix<num::Rational>;
+using ModMatrix = Matrix<std::uint64_t>;
+
+[[nodiscard]] inline RatMatrix to_rational(const IntMatrix& m) {
+  return map_matrix<num::Rational>(
+      m, [](const num::BigInt& v) { return num::Rational(v); });
+}
+
+[[nodiscard]] inline IntMatrix from_int64(
+    const Matrix<std::int64_t>& m) {
+  return map_matrix<num::BigInt>(
+      m, [](std::int64_t v) { return num::BigInt(v); });
+}
+
+/// Entrywise canonical residue in [0, p).
+[[nodiscard]] inline ModMatrix reduce_mod(const IntMatrix& m,
+                                          std::uint64_t p) {
+  return map_matrix<std::uint64_t>(m, [p](const num::BigInt& v) {
+    const std::uint64_t r = v.mod_u64(p);
+    return v.is_negative() && r != 0 ? p - r : r;
+  });
+}
+
+}  // namespace ccmx::la

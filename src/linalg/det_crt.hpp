@@ -1,0 +1,22 @@
+// Exact determinant by Chinese remaindering.
+//
+// Ablation baseline for Bareiss (DESIGN.md): compute det mod p_i for enough
+// word-sized primes that prod p_i exceeds twice the Hadamard bound, then
+// reconstruct the signed integer by CRT.  The per-prime eliminations are
+// independent, so they shard across threads with util::parallel_for — the
+// classic HPC structure of exact linear algebra, and the same mod-p kernel
+// the fingerprint protocol runs (one prime = one protocol execution).
+#pragma once
+
+#include "bigint/bigint.hpp"
+#include "linalg/convert.hpp"
+
+namespace ccmx::la {
+
+/// det(m), exact, via CRT over 62-bit primes.  Matches det_bareiss.
+[[nodiscard]] num::BigInt det_crt(const IntMatrix& m);
+
+/// Number of 62-bit primes det_crt will use for this matrix (cost model).
+[[nodiscard]] std::size_t det_crt_prime_count(const IntMatrix& m);
+
+}  // namespace ccmx::la

@@ -1,0 +1,150 @@
+#include "linalg/hnf.hpp"
+
+#include "util/require.hpp"
+
+namespace ccmx::la {
+
+using num::BigInt;
+
+HnfResult hnf(const IntMatrix& m) {
+  HnfResult out;
+  out.h = m;
+  IntMatrix& a = out.h;
+  const std::size_t rows = a.rows();
+  const std::size_t cols = a.cols();
+  std::size_t row = 0;
+  for (std::size_t col = 0; col < cols && row < rows; ++col) {
+    // Euclidean reduction within the column: repeatedly subtract multiples
+    // of the minimal-magnitude row until a single nonzero survives at `row`.
+    for (;;) {
+      std::size_t best = rows;
+      for (std::size_t r = row; r < rows; ++r) {
+        if (a(r, col).is_zero()) continue;
+        if (best == rows || a(r, col).abs() < a(best, col).abs()) best = r;
+      }
+      if (best == rows) break;  // column is zero below `row`
+      a.swap_rows(best, row);
+      bool reduced_all = true;
+      for (std::size_t r = row + 1; r < rows; ++r) {
+        if (a(r, col).is_zero()) continue;
+        const BigInt q = BigInt::divmod(a(r, col), a(row, col)).first;
+        for (std::size_t j = 0; j < cols; ++j) {
+          a(r, j) -= q * a(row, j);
+        }
+        if (!a(r, col).is_zero()) reduced_all = false;
+      }
+      if (reduced_all) break;
+    }
+    if (a(row, col).is_zero()) continue;  // no pivot in this column
+    // Positive pivot.
+    if (a(row, col).is_negative()) {
+      for (std::size_t j = 0; j < cols; ++j) a(row, j) = -a(row, j);
+    }
+    // Reduce the entries above the pivot into [0, pivot).
+    for (std::size_t r = 0; r < row; ++r) {
+      if (a(r, col).is_zero()) continue;
+      // floor division so residues land in [0, pivot).
+      BigInt q = BigInt::divmod(a(r, col), a(row, col)).first;
+      if ((a(r, col) - q * a(row, col)).is_negative()) q -= BigInt(1);
+      if (q.is_zero()) continue;
+      for (std::size_t j = 0; j < cols; ++j) {
+        a(r, j) -= q * a(row, j);
+      }
+    }
+    ++row;
+  }
+  out.rank = row;
+  return out;
+}
+
+SnfResult snf(const IntMatrix& m) {
+  SnfResult out;
+  out.s = m;
+  IntMatrix& a = out.s;
+  const std::size_t rows = a.rows();
+  const std::size_t cols = a.cols();
+  const std::size_t steps = std::min(rows, cols);
+
+  for (std::size_t t = 0; t < steps; ++t) {
+    for (;;) {
+      // Minimal-magnitude nonzero pivot in the trailing block.
+      std::size_t pi = rows, pj = cols;
+      for (std::size_t i = t; i < rows; ++i) {
+        for (std::size_t j = t; j < cols; ++j) {
+          if (a(i, j).is_zero()) continue;
+          if (pi == rows || a(i, j).abs() < a(pi, pj).abs()) {
+            pi = i;
+            pj = j;
+          }
+        }
+      }
+      if (pi == rows) {
+        pj = cols;  // block is zero: done with the whole elimination
+      }
+      if (pi == rows) goto finished;
+      a.swap_rows(pi, t);
+      a.swap_cols(pj, t);
+
+      bool clean = true;
+      // Clear column t below the pivot.
+      for (std::size_t i = t + 1; i < rows; ++i) {
+        if (a(i, t).is_zero()) continue;
+        const BigInt q = BigInt::divmod(a(i, t), a(t, t)).first;
+        for (std::size_t j = t; j < cols; ++j) a(i, j) -= q * a(t, j);
+        if (!a(i, t).is_zero()) clean = false;
+      }
+      // Clear row t right of the pivot.
+      for (std::size_t j = t + 1; j < cols; ++j) {
+        if (a(t, j).is_zero()) continue;
+        const BigInt q = BigInt::divmod(a(t, j), a(t, t)).first;
+        for (std::size_t i = t; i < rows; ++i) a(i, j) -= q * a(i, t);
+        if (!a(t, j).is_zero()) clean = false;
+      }
+      if (!clean) continue;  // remainders appeared: shrink the pivot again
+
+      // Divisibility: the pivot must divide every trailing entry.
+      bool divides_all = true;
+      for (std::size_t i = t + 1; i < rows && divides_all; ++i) {
+        for (std::size_t j = t + 1; j < cols; ++j) {
+          if (!BigInt::divmod(a(i, j), a(t, t)).second.is_zero()) {
+            // Fold the offending row into row t and re-run the reduction.
+            for (std::size_t jj = t; jj < cols; ++jj) a(t, jj) += a(i, jj);
+            divides_all = false;
+            break;
+          }
+        }
+      }
+      if (divides_all) break;
+    }
+    if (a(t, t).is_negative()) {
+      for (std::size_t j = t; j < cols; ++j) a(t, j) = -a(t, j);
+    }
+  }
+finished:
+  for (std::size_t t = 0; t < steps; ++t) {
+    if (a(t, t).is_zero()) break;
+    out.divisors.push_back(a(t, t).abs());
+  }
+  return out;
+}
+
+BigInt abs_det_via_snf(const IntMatrix& m) {
+  CCMX_REQUIRE(m.is_square(), "determinant of a non-square matrix");
+  const SnfResult result = snf(m);
+  if (result.rank() < m.rows()) return BigInt(0);
+  BigInt det(1);
+  for (const BigInt& d : result.divisors) det *= d;
+  return det;
+}
+
+bool singular_via_hnf(const IntMatrix& m) {
+  CCMX_REQUIRE(m.is_square(), "singularity of a non-square matrix");
+  return hnf(m).rank < m.rows();
+}
+
+bool singular_via_snf(const IntMatrix& m) {
+  CCMX_REQUIRE(m.is_square(), "singularity of a non-square matrix");
+  return snf(m).rank() < m.rows();
+}
+
+}  // namespace ccmx::la

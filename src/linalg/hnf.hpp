@@ -1,0 +1,43 @@
+// Hermite and Smith normal forms over Z.
+//
+// Extensions beyond the paper's list: both canonical forms determine
+// singularity (and much more — the determinant up to sign is the product of
+// the diagonal), so they slot into the Corollary 1.2 family: any protocol
+// computing the (nonzero structure of the) HNF or SNF pays Theta(k n^2)
+// bits.  Implemented with standard integer row/column reduction; entries
+// stay exact BigInts.
+#pragma once
+
+#include <vector>
+
+#include "linalg/convert.hpp"
+
+namespace ccmx::la {
+
+struct HnfResult {
+  IntMatrix h;          // row-style HNF: upper triangular, positive pivots,
+                        // entries above a pivot reduced mod the pivot
+  std::size_t rank = 0; // number of nonzero rows
+};
+
+/// Row Hermite normal form (unimodular row operations only).
+[[nodiscard]] HnfResult hnf(const IntMatrix& m);
+
+struct SnfResult {
+  IntMatrix s;                       // diag(d_1, .., d_r, 0, ..): d_i | d_{i+1}
+  std::vector<num::BigInt> divisors; // the nonzero d_i
+  [[nodiscard]] std::size_t rank() const noexcept { return divisors.size(); }
+};
+
+/// Smith normal form (unimodular row and column operations).
+[[nodiscard]] SnfResult snf(const IntMatrix& m);
+
+/// |det| = product of the SNF divisors for square full-rank matrices; used
+/// as an independent determinant oracle in tests.
+[[nodiscard]] num::BigInt abs_det_via_snf(const IntMatrix& m);
+
+/// Corollary 1.2-style oracle: singular iff the HNF has a zero diagonal row.
+[[nodiscard]] bool singular_via_hnf(const IntMatrix& m);
+[[nodiscard]] bool singular_via_snf(const IntMatrix& m);
+
+}  // namespace ccmx::la

@@ -1,0 +1,53 @@
+#include "linalg/lup.hpp"
+
+#include <numeric>
+
+#include "util/require.hpp"
+
+namespace ccmx::la {
+
+using num::Rational;
+
+LupResult lup_decompose(const RatMatrix& a) {
+  CCMX_REQUIRE(a.is_square(), "LUP of a non-square matrix");
+  const std::size_t n = a.rows();
+  LupResult out;
+  out.perm.resize(n);
+  std::iota(out.perm.begin(), out.perm.end(), std::size_t{0});
+  out.lower = RatMatrix::identity(n, Rational(1));
+  out.upper = a;
+
+  std::size_t row = 0;
+  for (std::size_t col = 0; col < n && row < n; ++col) {
+    // Pivot: first nonzero entry at or below `row` in this column.
+    std::size_t pivot = row;
+    while (pivot < n && out.upper(pivot, col).is_zero()) ++pivot;
+    if (pivot == n) continue;  // zero column under `row`: U keeps a 0 pivot
+    if (pivot != row) {
+      out.upper.swap_rows(pivot, row);
+      std::swap(out.perm[pivot], out.perm[row]);
+      // Swap the already-computed multiplier part of L (columns < row).
+      for (std::size_t j = 0; j < row; ++j) {
+        std::swap(out.lower(pivot, j), out.lower(row, j));
+      }
+    }
+    const Rational inv = out.upper(row, col).reciprocal();
+    for (std::size_t i = row + 1; i < n; ++i) {
+      if (out.upper(i, col).is_zero()) continue;
+      const Rational factor = out.upper(i, col) * inv;
+      out.lower(i, row) = factor;
+      for (std::size_t j = col; j < n; ++j) {
+        out.upper(i, j) -= factor * out.upper(row, j);
+      }
+    }
+    ++out.rank;
+    ++row;
+  }
+  return out;
+}
+
+RatMatrix lup_reconstruct(const LupResult& f) {
+  return f.lower * f.upper;
+}
+
+}  // namespace ccmx::la

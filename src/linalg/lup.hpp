@@ -1,0 +1,33 @@
+// Exact LUP decomposition over the rationals: P A = L U with L unit lower
+// triangular and U upper triangular (Corollary 1.2(e) of the paper).  For a
+// singular A, U surfaces a zero pivot on its diagonal — the "nonzero
+// structure of the factor matrices" already decides singularity, which is
+// the reduction the paper exploits.
+#pragma once
+
+#include <vector>
+
+#include "linalg/convert.hpp"
+
+namespace ccmx::la {
+
+struct LupResult {
+  std::vector<std::size_t> perm;  // P as a row permutation: PA row i = A row perm[i]
+  RatMatrix lower;                // unit lower triangular
+  RatMatrix upper;                // upper triangular (possibly with zero pivots)
+  std::size_t rank = 0;           // number of nonzero pivots
+
+  [[nodiscard]] bool singular() const noexcept {
+    return rank < upper.rows();
+  }
+};
+
+/// Decomposes a square rational matrix.  Always succeeds; for rank-deficient
+/// inputs the elimination simply proceeds past zero columns, leaving zero
+/// pivots in U.
+[[nodiscard]] LupResult lup_decompose(const RatMatrix& a);
+
+/// Reconstructs P A from the factors (test helper): returns L * U.
+[[nodiscard]] RatMatrix lup_reconstruct(const LupResult& f);
+
+}  // namespace ccmx::la

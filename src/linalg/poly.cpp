@@ -1,0 +1,172 @@
+#include "linalg/poly.hpp"
+
+#include <algorithm>
+
+#include "util/require.hpp"
+
+namespace ccmx::la {
+
+using num::BigInt;
+using num::Rational;
+
+Poly::Poly(std::vector<Rational> coeffs_msf) : coeffs_(std::move(coeffs_msf)) {
+  trim();
+}
+
+void Poly::trim() {
+  std::size_t lead = 0;
+  while (lead < coeffs_.size() && coeffs_[lead].is_zero()) ++lead;
+  coeffs_.erase(coeffs_.begin(), coeffs_.begin() + static_cast<std::ptrdiff_t>(lead));
+}
+
+std::size_t Poly::degree() const {
+  CCMX_REQUIRE(!is_zero(), "degree of the zero polynomial");
+  return coeffs_.size() - 1;
+}
+
+const Rational& Poly::leading() const {
+  CCMX_REQUIRE(!is_zero(), "leading coefficient of the zero polynomial");
+  return coeffs_.front();
+}
+
+Rational Poly::eval(const Rational& x) const {
+  Rational acc(0);
+  for (const Rational& c : coeffs_) {
+    acc = acc * x + c;
+  }
+  return acc;
+}
+
+Poly Poly::derivative() const {
+  if (is_zero() || coeffs_.size() == 1) return Poly();
+  std::vector<Rational> out;
+  out.reserve(coeffs_.size() - 1);
+  const std::size_t n = coeffs_.size() - 1;  // degree
+  for (std::size_t i = 0; i < n; ++i) {
+    out.push_back(coeffs_[i] *
+                  Rational(BigInt(static_cast<std::int64_t>(n - i))));
+  }
+  return Poly(std::move(out));
+}
+
+Poly Poly::operator-() const {
+  std::vector<Rational> out;
+  out.reserve(coeffs_.size());
+  for (const Rational& c : coeffs_) out.push_back(-c);
+  return Poly(std::move(out));
+}
+
+Poly operator+(const Poly& a, const Poly& b) {
+  const std::size_t size = std::max(a.coeffs_.size(), b.coeffs_.size());
+  std::vector<Rational> out(size, Rational(0));
+  const std::size_t oa = size - a.coeffs_.size();
+  const std::size_t ob = size - b.coeffs_.size();
+  for (std::size_t i = 0; i < a.coeffs_.size(); ++i) out[oa + i] += a.coeffs_[i];
+  for (std::size_t i = 0; i < b.coeffs_.size(); ++i) out[ob + i] += b.coeffs_[i];
+  return Poly(std::move(out));
+}
+
+Poly operator-(const Poly& a, const Poly& b) { return a + (-b); }
+
+Poly operator*(const Poly& a, const Poly& b) {
+  if (a.is_zero() || b.is_zero()) return Poly();
+  std::vector<Rational> out(a.coeffs_.size() + b.coeffs_.size() - 1,
+                            Rational(0));
+  for (std::size_t i = 0; i < a.coeffs_.size(); ++i) {
+    for (std::size_t j = 0; j < b.coeffs_.size(); ++j) {
+      out[i + j] += a.coeffs_[i] * b.coeffs_[j];
+    }
+  }
+  return Poly(std::move(out));
+}
+
+std::pair<Poly, Poly> Poly::divmod(const Poly& a, const Poly& b) {
+  CCMX_REQUIRE(!b.is_zero(), "polynomial division by zero");
+  if (a.is_zero() || a.coeffs_.size() < b.coeffs_.size()) {
+    return {Poly(), a};
+  }
+  std::vector<Rational> rem = a.coeffs_;
+  const std::size_t qsize = a.coeffs_.size() - b.coeffs_.size() + 1;
+  std::vector<Rational> quot(qsize, Rational(0));
+  for (std::size_t i = 0; i < qsize; ++i) {
+    if (rem[i].is_zero()) continue;
+    const Rational factor = rem[i] / b.coeffs_.front();
+    quot[i] = factor;
+    for (std::size_t j = 0; j < b.coeffs_.size(); ++j) {
+      rem[i + j] -= factor * b.coeffs_[j];
+    }
+  }
+  return {Poly(std::move(quot)), Poly(std::move(rem))};
+}
+
+std::vector<Poly> sturm_chain(const Poly& p) {
+  CCMX_REQUIRE(!p.is_zero(), "Sturm chain of the zero polynomial");
+  std::vector<Poly> chain;
+  chain.push_back(p);
+  Poly d = p.derivative();
+  if (d.is_zero()) return chain;
+  chain.push_back(std::move(d));
+  for (;;) {
+    const Poly& a = chain[chain.size() - 2];
+    const Poly& b = chain.back();
+    Poly rem = -Poly::divmod(a, b).second;
+    if (rem.is_zero()) break;
+    chain.push_back(std::move(rem));
+  }
+  return chain;
+}
+
+namespace {
+
+/// Sign variations of the chain evaluated at x.
+std::size_t sign_variations(const std::vector<Poly>& chain,
+                            const Rational& x) {
+  std::size_t variations = 0;
+  int last = 0;
+  for (const Poly& p : chain) {
+    const int sign = p.eval(x).signum();
+    if (sign == 0) continue;
+    if (last != 0 && sign != last) ++variations;
+    last = sign;
+  }
+  return variations;
+}
+
+/// A bound B with all real roots of p in (-B, B): 1 + max |a_i / a_0|.
+Rational cauchy_bound(const Poly& p) {
+  Rational bound(1);
+  for (const Rational& c : p.coeffs()) {
+    const Rational ratio = (c / p.leading()).abs();
+    if (ratio > bound) bound = ratio;
+  }
+  return bound + Rational(1);
+}
+
+}  // namespace
+
+std::size_t count_real_roots(const Poly& p, const Rational& lo,
+                             const Rational& hi) {
+  CCMX_REQUIRE(lo < hi, "empty interval");
+  CCMX_REQUIRE(!p.is_zero(), "root count of the zero polynomial");
+  if (p.degree() == 0) return 0;
+  const auto chain = sturm_chain(p);
+  const std::size_t at_lo = sign_variations(chain, lo);
+  const std::size_t at_hi = sign_variations(chain, hi);
+  CCMX_ASSERT(at_lo >= at_hi);
+  return at_lo - at_hi;
+}
+
+std::size_t count_real_roots(const Poly& p) {
+  CCMX_REQUIRE(!p.is_zero(), "root count of the zero polynomial");
+  if (p.degree() == 0) return 0;
+  const Rational bound = cauchy_bound(p);
+  return count_real_roots(p, -bound, bound);
+}
+
+std::size_t count_positive_roots(const Poly& p) {
+  CCMX_REQUIRE(!p.is_zero(), "root count of the zero polynomial");
+  if (p.degree() == 0) return 0;
+  return count_real_roots(p, Rational(0), cauchy_bound(p));
+}
+
+}  // namespace ccmx::la

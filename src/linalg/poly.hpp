@@ -1,0 +1,68 @@
+// Dense univariate polynomials over Q, with Sturm sequences.
+//
+// Upgrade path for the SVD-structure computation (Corollary 1.2(d)): the
+// squared singular values are the roots of charpoly(A^T A); a Sturm
+// sequence counts the DISTINCT real roots in any interval exactly, so we
+// can report not just how many singular values are nonzero (the rank) but
+// how many distinct ones there are — still without ever leaving Q.
+#pragma once
+
+#include <vector>
+
+#include "bigint/rational.hpp"
+
+namespace ccmx::la {
+
+/// Coefficients most-significant-first (matching charpoly()): p[0] x^n +
+/// p[1] x^{n-1} + ... + p[n].  The zero polynomial is the empty vector.
+class Poly {
+ public:
+  Poly() = default;
+  explicit Poly(std::vector<num::Rational> coeffs_msf);
+
+  [[nodiscard]] static Poly zero() { return Poly(); }
+
+  [[nodiscard]] bool is_zero() const noexcept { return coeffs_.empty(); }
+  /// Degree; requires a nonzero polynomial.
+  [[nodiscard]] std::size_t degree() const;
+  [[nodiscard]] const std::vector<num::Rational>& coeffs() const noexcept {
+    return coeffs_;
+  }
+  [[nodiscard]] const num::Rational& leading() const;
+
+  [[nodiscard]] num::Rational eval(const num::Rational& x) const;
+  [[nodiscard]] Poly derivative() const;
+  [[nodiscard]] Poly operator-() const;
+
+  friend Poly operator+(const Poly& a, const Poly& b);
+  friend Poly operator-(const Poly& a, const Poly& b);
+  friend Poly operator*(const Poly& a, const Poly& b);
+  /// Polynomial division: returns (quotient, remainder); b nonzero.
+  [[nodiscard]] static std::pair<Poly, Poly> divmod(const Poly& a,
+                                                    const Poly& b);
+
+  friend bool operator==(const Poly& a, const Poly& b) noexcept {
+    return a.coeffs_ == b.coeffs_;
+  }
+
+ private:
+  void trim();
+  std::vector<num::Rational> coeffs_;  // MSF, leading nonzero
+};
+
+/// The Sturm chain p, p', -rem(...), ...
+[[nodiscard]] std::vector<Poly> sturm_chain(const Poly& p);
+
+/// Number of DISTINCT real roots of p in the half-open interval (lo, hi].
+[[nodiscard]] std::size_t count_real_roots(const Poly& p,
+                                           const num::Rational& lo,
+                                           const num::Rational& hi);
+
+/// Number of distinct real roots anywhere (uses a Cauchy root bound).
+[[nodiscard]] std::size_t count_real_roots(const Poly& p);
+
+/// Number of distinct roots in (0, +bound]: for the Gram characteristic
+/// polynomial this is the count of distinct nonzero singular values.
+[[nodiscard]] std::size_t count_positive_roots(const Poly& p);
+
+}  // namespace ccmx::la

@@ -1,0 +1,47 @@
+#include "linalg/qr.hpp"
+
+#include "util/require.hpp"
+
+namespace ccmx::la {
+
+using num::Rational;
+
+namespace {
+
+Rational dot_col(const RatMatrix& m, std::size_t a, std::size_t b) {
+  Rational sum(0);
+  for (std::size_t i = 0; i < m.rows(); ++i) sum += m(i, a) * m(i, b);
+  return sum;
+}
+
+}  // namespace
+
+QrResult qr_decompose(const RatMatrix& a) {
+  CCMX_REQUIRE(a.rows() >= a.cols(), "QR needs rows >= cols");
+  const std::size_t n = a.cols();
+  QrResult out;
+  out.q = a;
+  out.r = RatMatrix::identity(n, Rational(1));
+
+  for (std::size_t j = 0; j < n; ++j) {
+    // Subtract projections onto the previous (orthogonal) columns.
+    for (std::size_t i = 0; i < j; ++i) {
+      const Rational denom = dot_col(out.q, i, i);
+      if (denom.is_zero()) continue;  // dependent column produced a zero q_i
+      const Rational coeff = dot_col(out.q, i, j) / denom;
+      out.r(i, j) = coeff;
+      if (coeff.is_zero()) continue;
+      for (std::size_t row = 0; row < out.q.rows(); ++row) {
+        out.q(row, j) -= coeff * out.q(row, i);
+      }
+    }
+    if (!dot_col(out.q, j, j).is_zero()) ++out.rank;
+  }
+  return out;
+}
+
+RatMatrix qr_reconstruct(const QrResult& f) { return f.q * f.r; }
+
+RatMatrix gram(const RatMatrix& m) { return m.transpose() * m; }
+
+}  // namespace ccmx::la

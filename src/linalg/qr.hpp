@@ -1,0 +1,35 @@
+// Exact QR factorization over the rationals (Corollary 1.2(c)).
+//
+// True QR needs square roots, which leave Q.  The paper only needs the
+// *nonzero structure* of the factors ("the results remain correct even if we
+// only require that we know the nonzero structure of the factor matrices"),
+// so we compute the rational Gram-Schmidt form A = Q R with Q's columns
+// pairwise orthogonal (not unit) and R upper triangular with unit diagonal.
+// Normalizing Q's columns would only rescale R's rows by the (irrational)
+// column norms, leaving every zero/nonzero position unchanged — hence this
+// factorization carries exactly the information the corollary is about.
+// A zero column in Q certifies linear dependence, i.e. singularity.
+#pragma once
+
+#include "linalg/convert.hpp"
+
+namespace ccmx::la {
+
+struct QrResult {
+  RatMatrix q;  // pairwise orthogonal columns (possibly zero columns)
+  RatMatrix r;  // upper triangular, unit diagonal
+  std::size_t rank = 0;  // number of nonzero columns of Q
+
+  [[nodiscard]] bool singular() const noexcept { return rank < q.cols(); }
+};
+
+/// Gram-Schmidt; exact over Q.  Works for any rows >= cols matrix.
+[[nodiscard]] QrResult qr_decompose(const RatMatrix& a);
+
+/// Returns Q * R (test helper; must equal the input).
+[[nodiscard]] RatMatrix qr_reconstruct(const QrResult& f);
+
+/// Gram matrix Q^T Q — diagonal iff the columns are orthogonal.
+[[nodiscard]] RatMatrix gram(const RatMatrix& m);
+
+}  // namespace ccmx::la

@@ -1,0 +1,58 @@
+// Reduced row echelon form over the rationals, and everything that falls
+// out of it: rank, nullspace, linear solves, span membership / equality.
+//
+// Span equality via canonical RREF is the comparison the reproduction of
+// Lemma 3.4 uses ("distinct instances of C yield distinct vector spaces"):
+// two column spans are equal iff the RREFs of the transposed generators
+// coincide.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "linalg/convert.hpp"
+
+namespace ccmx::la {
+
+struct RrefResult {
+  RatMatrix rref;                        // the reduced form
+  std::vector<std::size_t> pivot_cols;   // increasing
+  [[nodiscard]] std::size_t rank() const noexcept { return pivot_cols.size(); }
+};
+
+/// Gauss-Jordan over Q; exact.
+[[nodiscard]] RrefResult rref(const RatMatrix& m);
+
+/// rank over Q of an integer matrix, via fraction-free (Bareiss) elimination
+/// with full pivot search — no rational normalization cost.
+[[nodiscard]] std::size_t rank(const IntMatrix& m);
+[[nodiscard]] std::size_t rank(const RatMatrix& m);
+
+/// Basis of the right nullspace {x : m x = 0}; one column vector per basis
+/// element (empty when m has full column rank).
+[[nodiscard]] std::vector<std::vector<num::Rational>> nullspace(
+    const RatMatrix& m);
+
+/// Solves m x = b exactly; nullopt when inconsistent.  When the system is
+/// underdetermined, returns the solution with free variables set to zero.
+[[nodiscard]] std::optional<std::vector<num::Rational>> solve(
+    const RatMatrix& m, const std::vector<num::Rational>& b);
+
+/// True iff v lies in the column span of m.
+[[nodiscard]] bool in_column_span(const RatMatrix& m,
+                                  const std::vector<num::Rational>& v);
+
+/// Canonical form of the column span of m: the RREF of m^T with zero rows
+/// dropped.  Two matrices have equal column spans iff their canonical forms
+/// are equal.
+[[nodiscard]] RatMatrix column_span_canonical(const RatMatrix& m);
+
+/// True iff the column spans coincide.
+[[nodiscard]] bool same_column_span(const RatMatrix& a, const RatMatrix& b);
+
+/// Dimension of the intersection of the column spans of a and b
+/// (dim a + dim b - dim [a | b]).
+[[nodiscard]] std::size_t span_intersection_dim(const RatMatrix& a,
+                                                const RatMatrix& b);
+
+}  // namespace ccmx::la

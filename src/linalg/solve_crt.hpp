@@ -1,0 +1,33 @@
+// Exact solution of nonsingular integer systems by CRT + rational
+// reconstruction.
+//
+// The production path of exact linear algebra (and the per-prime structure
+// the fingerprint protocol mirrors): solve A x = b over Z_{p_i} for enough
+// word-sized primes, CRT-combine each coordinate, then recover the rational
+// x_j = num/den from its residue with Wang's lattice/continued-fraction
+// reconstruction.  Cramer bounds size the prime pool so the reconstruction
+// is provably unique; the result is verified by exact substitution anyway.
+// The per-prime solves are independent and shard with util::parallel_for.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "bigint/rational.hpp"
+#include "linalg/convert.hpp"
+
+namespace ccmx::la {
+
+/// Rational reconstruction: the unique p/q with value ≡ p q^{-1} (mod m),
+/// |p| <= bound, 0 < q <= bound, gcd(q, m) = 1 — provided 2*bound^2 < m.
+/// nullopt if no such pair exists.
+[[nodiscard]] std::optional<num::Rational> rational_reconstruct(
+    const num::BigInt& value, const num::BigInt& modulus,
+    const num::BigInt& bound);
+
+/// Solves A x = b exactly for square nonsingular A (entries BigInt).
+/// Returns nullopt iff A is singular.  Result verified by substitution.
+[[nodiscard]] std::optional<std::vector<num::Rational>> solve_crt(
+    const IntMatrix& a, const std::vector<num::BigInt>& b);
+
+}  // namespace ccmx::la

@@ -1,0 +1,43 @@
+#include "linalg/svd.hpp"
+
+#include "linalg/charpoly.hpp"
+#include "linalg/poly.hpp"
+#include "linalg/rref.hpp"
+#include "util/require.hpp"
+
+namespace ccmx::la {
+
+using num::Rational;
+
+SvdStructure svd_structure(const RatMatrix& a) {
+  SvdStructure out;
+  out.dimension = std::min(a.rows(), a.cols());
+  // Work with the smaller Gram matrix.
+  const RatMatrix g = a.rows() >= a.cols() ? a.transpose() * a
+                                           : a * a.transpose();
+  out.gram_charpoly = charpoly(g);
+  const std::size_t zero_mult = zero_root_multiplicity(out.gram_charpoly);
+  out.rank = g.rows() - zero_mult;
+  CCMX_ASSERT(out.rank == rank(a));  // cross-check the two exact routes
+  const std::size_t lowest_nonzero = g.rows() - zero_mult;
+  if (out.rank == 0) {
+    out.nonzero_sigma_sq_product = Rational(1);  // empty product
+  } else {
+    // charpoly = prod (x - lambda_i); the coefficient of x^{zero_mult} is
+    // (-1)^rank * e_rank(nonzero lambdas).
+    Rational coeff = out.gram_charpoly[lowest_nonzero];
+    if (out.rank % 2 == 1) coeff = -coeff;
+    out.nonzero_sigma_sq_product = coeff;
+  }
+  // Distinct nonzero singular values: the Gram matrix is PSD, so every
+  // nonzero eigenvalue is positive; Sturm counts the distinct ones exactly.
+  if (out.rank == 0) {
+    out.distinct_nonzero_sigmas = 0;
+  } else {
+    out.distinct_nonzero_sigmas =
+        count_positive_roots(Poly(out.gram_charpoly));
+  }
+  return out;
+}
+
+}  // namespace ccmx::la

@@ -1,0 +1,38 @@
+// Exact SVD *structure* (Corollary 1.2(d)).
+//
+// The singular values themselves are algebraic irrationals, but everything
+// the paper's reduction needs — how many of them are nonzero, and the
+// nonzero structure of Sigma — is exactly computable over Q:
+//   * #nonzero singular values == rank(A) (== rank of A^T A),
+//   * their squares are the nonzero roots of charpoly(A^T A), whose
+//     elementary symmetric functions we return exactly,
+//   * sigma_min > 0  <=>  A nonsingular.
+#pragma once
+
+#include <vector>
+
+#include "linalg/convert.hpp"
+
+namespace ccmx::la {
+
+struct SvdStructure {
+  std::size_t rank = 0;                   // number of nonzero singular values
+  std::size_t dimension = 0;              // min(rows, cols)
+  /// charpoly(A^T A) = x^n + c1 x^{n-1} + ... ; coefficients are (+-) the
+  /// elementary symmetric polynomials in the squared singular values.
+  std::vector<num::Rational> gram_charpoly;
+  /// product of the squared *nonzero* singular values (== det(A)^2 for
+  /// square nonsingular A): the lowest nonzero charpoly coefficient up to
+  /// sign.
+  num::Rational nonzero_sigma_sq_product;
+  /// Number of DISTINCT nonzero singular values (Sturm count of the
+  /// positive roots of the Gram characteristic polynomial; <= rank, with
+  /// equality iff all nonzero singular values are simple).
+  std::size_t distinct_nonzero_sigmas = 0;
+
+  [[nodiscard]] bool singular() const noexcept { return rank < dimension; }
+};
+
+[[nodiscard]] SvdStructure svd_structure(const RatMatrix& a);
+
+}  // namespace ccmx::la

@@ -1,0 +1,70 @@
+#include "protocols/equality.hpp"
+
+#include "bigint/modular.hpp"
+#include "util/require.hpp"
+
+namespace ccmx::proto {
+
+using comm::Agent;
+using comm::AgentView;
+using comm::BitVec;
+using comm::Channel;
+using comm::Partition;
+
+Partition equality_partition(std::size_t s) {
+  Partition pi(2 * s);
+  for (std::size_t i = s; i < 2 * s; ++i) pi.assign(i, Agent::kOne);
+  return pi;
+}
+
+BitVec equality_input(const BitVec& x, const BitVec& y) {
+  CCMX_REQUIRE(x.size() == y.size(), "EQ halves must have equal length");
+  BitVec input(0);
+  for (std::size_t i = 0; i < x.size(); ++i) input.push_back(x.get(i));
+  for (std::size_t i = 0; i < y.size(); ++i) input.push_back(y.get(i));
+  return input;
+}
+
+bool EqualitySendAll::run(const AgentView& agent0, const AgentView& agent1,
+                          Channel& channel) const {
+  BitVec payload(0);
+  for (std::size_t i = 0; i < s_; ++i) payload.push_back(agent0.get(i));
+  const BitVec& received = channel.send(Agent::kZero, std::move(payload));
+  bool equal = true;
+  for (std::size_t i = 0; i < s_; ++i) {
+    if (received.get(i) != agent1.get(s_ + i)) {
+      equal = false;
+      break;
+    }
+  }
+  return channel.send_bit(Agent::kOne, equal);
+}
+
+EqualityFingerprint::EqualityFingerprint(std::size_t s, unsigned prime_bits,
+                                         std::uint64_t seed)
+    : s_(s), prime_bits_(prime_bits), coins_(seed) {
+  CCMX_REQUIRE(prime_bits >= 2 && prime_bits <= 62,
+               "prime width out of range");
+}
+
+bool EqualityFingerprint::run(const AgentView& agent0, const AgentView& agent1,
+                              Channel& channel) const {
+  const std::uint64_t p = num::random_prime(prime_bits_, coins_);
+  // x mod p by Horner over the bit string (MSB first keeps it streaming).
+  std::uint64_t hx = 0;
+  for (std::size_t i = s_; i-- > 0;) {
+    hx = (hx * 2 + (agent0.get(i) ? 1u : 0u)) % p;
+  }
+  BitVec payload(0);
+  payload.append_uint(hx, prime_bits_);
+  const BitVec& received = channel.send(Agent::kZero, std::move(payload));
+
+  std::uint64_t hy = 0;
+  for (std::size_t i = s_; i-- > 0;) {
+    hy = (hy * 2 + (agent1.get(s_ + i) ? 1u : 0u)) % p;
+  }
+  const bool equal = received.read_uint(0, prime_bits_) == hy;
+  return channel.send_bit(Agent::kOne, equal);
+}
+
+}  // namespace ccmx::proto

@@ -1,0 +1,59 @@
+// Equality (identity) protocols.
+//
+// Section 1 of the paper discusses Vuillemin's transitivity method, which
+// works for problems that embed a large *identity* problem; singularity does
+// not, which is why the paper needs its rectangle argument.  We keep EQ
+// protocols in the library both as the canonical contrast (deterministic EQ
+// costs s bits; randomized EQ costs O(log s)) and as building blocks for the
+// crossover experiment E11.
+//
+// Input convention: 2s bits; bits [0, s) are x (agent 0), bits [s, 2s) are
+// y (agent 1) under the fixed partition returned by equality_partition().
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "comm/channel.hpp"
+#include "comm/partition.hpp"
+#include "util/rng.hpp"
+
+namespace ccmx::proto {
+
+/// The fixed partition of the 2s-bit EQ input.
+[[nodiscard]] comm::Partition equality_partition(std::size_t s);
+
+/// Packs (x, y) into the 2s-bit input.
+[[nodiscard]] comm::BitVec equality_input(const comm::BitVec& x,
+                                          const comm::BitVec& y);
+
+/// Deterministic EQ: agent 0 ships x verbatim (s + 1 bits).
+class EqualitySendAll final : public comm::Protocol {
+ public:
+  explicit EqualitySendAll(std::size_t s) : s_(s) {}
+  [[nodiscard]] std::string name() const override { return "eq/send-all"; }
+  [[nodiscard]] bool run(const comm::AgentView& agent0,
+                         const comm::AgentView& agent1,
+                         comm::Channel& channel) const override;
+
+ private:
+  std::size_t s_;
+};
+
+/// Randomized EQ: interpret x as an integer, send x mod p for a public
+/// random prime p of `prime_bits` bits.  One-sided error <= s / #primes.
+class EqualityFingerprint final : public comm::Protocol {
+ public:
+  EqualityFingerprint(std::size_t s, unsigned prime_bits, std::uint64_t seed);
+  [[nodiscard]] std::string name() const override { return "eq/fingerprint"; }
+  [[nodiscard]] bool run(const comm::AgentView& agent0,
+                         const comm::AgentView& agent1,
+                         comm::Channel& channel) const override;
+
+ private:
+  std::size_t s_;
+  unsigned prime_bits_;
+  mutable util::Xoshiro256 coins_;
+};
+
+}  // namespace ccmx::proto

@@ -1,0 +1,99 @@
+// Public-coin fingerprint protocols (the Leighton 1987 upper bound quoted in
+// Section 1: probabilistic CC of singularity is O(n^2 max{log n, log k})).
+//
+// Mechanism: both agents share a random prime p with Theta(max{log n,
+// log k}) bits (public coins are free in the probabilistic model).  Agent 0
+// reduces each of its entries mod p and ships the residues — ceil(log2 p)
+// bits per entry.  Agent 1 assembles the matrix over Z_p and decides there.
+//
+// Error is one-sided for singularity: a singular matrix has det = 0, hence
+// det = 0 mod every p; a nonsingular matrix fools the protocol only when p
+// divides its nonzero determinant.  |det| <= (2^k sqrt(n))^n by Hadamard, so
+// at most n(k + log n)/(b - 1) primes of b bits divide it; sizing the pool
+// beats any constant error, and t-fold repetition decays it geometrically.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "comm/channel.hpp"
+#include "comm/partition.hpp"
+#include "util/rng.hpp"
+
+namespace ccmx::proto {
+
+enum class FingerprintTask : std::uint8_t {
+  kSingularity,     // det == 0 mod p
+  kFullRank,        // rank == min(rows, cols) mod p  (negated singularity)
+  kSolvability,     // input is [A | b]; rank(A) == rank([A|b]) mod p
+  kRankAtMostHalf,  // rank <= rows/2 mod p (the Lin-Wu style question)
+};
+
+class FingerprintProtocol final : public comm::Protocol {
+ public:
+  /// `repetitions` independent primes; answers are AND-combined for the
+  /// one-sided tasks (singularity, solvability) so the error decays as
+  /// eps^t.  Public coins are drawn from an internal deterministic stream
+  /// seeded by `seed` — rerunning the protocol uses fresh coins.
+  FingerprintProtocol(comm::MatrixBitLayout layout, FingerprintTask task,
+                      unsigned prime_bits, unsigned repetitions,
+                      std::uint64_t seed);
+
+  [[nodiscard]] std::string name() const override;
+
+  [[nodiscard]] bool run(const comm::AgentView& agent0,
+                         const comm::AgentView& agent1,
+                         comm::Channel& channel) const override;
+
+  [[nodiscard]] unsigned prime_bits() const noexcept { return prime_bits_; }
+
+ private:
+  [[nodiscard]] bool run_once(const comm::AgentView& agent0,
+                              const comm::AgentView& agent1,
+                              comm::Channel& channel, std::uint64_t prime) const;
+
+  comm::MatrixBitLayout layout_;
+  FingerprintTask task_;
+  unsigned prime_bits_;
+  unsigned repetitions_;
+  mutable util::Xoshiro256 coins_;  // public randomness (free in the model)
+};
+
+/// Parameterized rank-threshold protocol: decides "rank(M) >= r" from the
+/// mod-p sketch.  rank mod p <= rank always, so 'false' answers can be
+/// wrong only when p divides the pivotal minors — one-sided the same way
+/// the bordered reduction of core/rank_spectrum is; AND-combining
+/// repetitions drives the error down.  Together with that reduction this
+/// covers the paper's "rank larger than n/2" discussion end to end in the
+/// communication model.
+class RankThresholdProtocol final : public comm::Protocol {
+ public:
+  RankThresholdProtocol(comm::MatrixBitLayout layout, std::size_t threshold,
+                        unsigned prime_bits, unsigned repetitions,
+                        std::uint64_t seed);
+
+  [[nodiscard]] std::string name() const override;
+
+  [[nodiscard]] bool run(const comm::AgentView& agent0,
+                         const comm::AgentView& agent1,
+                         comm::Channel& channel) const override;
+
+ private:
+  comm::MatrixBitLayout layout_;
+  std::size_t threshold_;
+  unsigned prime_bits_;
+  unsigned repetitions_;
+  mutable util::Xoshiro256 coins_;
+};
+
+/// Recommended prime width for the target error: the smallest b with
+/// (#bad primes)/(#b-bit primes) <= epsilon, where #bad <=
+/// hadamard_bits/(b-1).  Grows like max{log n, log k} + O(log 1/eps).
+[[nodiscard]] unsigned recommend_prime_bits(std::size_t n, unsigned k,
+                                            double epsilon);
+
+/// Upper bound on the per-run error probability for the singularity task.
+[[nodiscard]] double singularity_error_bound(std::size_t n, unsigned k,
+                                             unsigned prime_bits);
+
+}  // namespace ccmx::proto

@@ -1,0 +1,65 @@
+// Freivalds-style verification of A * B == C (the Lin-Wu discussion in
+// Section 1: the decision problem "is A x B equal to C?" has deterministic
+// CC Theta(k n^2), but a randomized check needs only O(n log p) bits).
+//
+// Input convention: a 3n x n stacked matrix [A; B; C] of k-bit entries.
+// Agent 0 owns A and B (rows [0, 2n)), agent 1 owns C (rows [2n, 3n)).
+// Public coins supply a prime p and a vector r in Z_p^n; agent 0 ships
+// z = A (B r) mod p, and agent 1 accepts iff z == C r mod p.
+// One-sided error <= n * 2^{k + log n} / p  (each entry of AB - C is
+// bounded, so a nonzero row survives r with prob <= 1/p; union over rows).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "comm/channel.hpp"
+#include "comm/partition.hpp"
+#include "util/rng.hpp"
+
+namespace ccmx::proto {
+
+/// Layout of the stacked [A; B; C] input.
+[[nodiscard]] comm::MatrixBitLayout product_layout(std::size_t n, unsigned k);
+
+/// Partition: A and B to agent 0, C to agent 1.
+[[nodiscard]] comm::Partition product_partition(std::size_t n, unsigned k);
+
+/// Packs (A, B, C) into the stacked input.
+[[nodiscard]] comm::BitVec product_input(const la::IntMatrix& a,
+                                         const la::IntMatrix& b,
+                                         const la::IntMatrix& c, unsigned k);
+
+class FreivaldsProtocol final : public comm::Protocol {
+ public:
+  FreivaldsProtocol(std::size_t n, unsigned k, unsigned prime_bits,
+                    unsigned repetitions, std::uint64_t seed);
+
+  [[nodiscard]] std::string name() const override { return "freivalds/AB==C"; }
+  [[nodiscard]] bool run(const comm::AgentView& agent0,
+                         const comm::AgentView& agent1,
+                         comm::Channel& channel) const override;
+
+ private:
+  std::size_t n_;
+  unsigned k_;
+  unsigned prime_bits_;
+  unsigned repetitions_;
+  mutable util::Xoshiro256 coins_;
+};
+
+/// Deterministic reference: agent 1 ships C; agent 0 multiplies exactly.
+class ProductSendAll final : public comm::Protocol {
+ public:
+  ProductSendAll(std::size_t n, unsigned k) : n_(n), k_(k) {}
+  [[nodiscard]] std::string name() const override { return "product/send-C"; }
+  [[nodiscard]] bool run(const comm::AgentView& agent0,
+                         const comm::AgentView& agent1,
+                         comm::Channel& channel) const override;
+
+ private:
+  std::size_t n_;
+  unsigned k_;
+};
+
+}  // namespace ccmx::proto

@@ -1,0 +1,55 @@
+// Private-coin singularity fingerprinting (Newman-style derandomization).
+//
+// The Leighton bound is stated for public coins (shared random prime).
+// Newman's theorem says private coins cost only +O(log input) extra bits:
+// fix a table of T pseudo-random primes as part of the protocol description
+// (both agents know the table — it is code, not communication); agent 0
+// draws an index privately, announces it (ceil(log2 T) bits), and the run
+// proceeds as the public-coin protocol on that prime.  Error is the
+// public-coin error with the pool restricted to the table, so T of
+// poly(input) size suffices.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "comm/channel.hpp"
+#include "comm/partition.hpp"
+#include "protocols/fingerprint.hpp"
+#include "util/rng.hpp"
+
+namespace ccmx::proto {
+
+class PrivateCoinSingularity final : public comm::Protocol {
+ public:
+  /// `table_size` pseudo-random primes of `prime_bits` bits, derived from
+  /// `table_seed` (protocol description, shared by construction).
+  /// `private_seed` feeds agent 0's private index draws.
+  PrivateCoinSingularity(comm::MatrixBitLayout layout, unsigned prime_bits,
+                         std::size_t table_size, std::uint64_t table_seed,
+                         std::uint64_t private_seed);
+
+  [[nodiscard]] std::string name() const override {
+    return "fingerprint/singularity/private-coin";
+  }
+
+  [[nodiscard]] bool run(const comm::AgentView& agent0,
+                         const comm::AgentView& agent1,
+                         comm::Channel& channel) const override;
+
+  /// Extra bits vs the public-coin protocol: ceil(log2 table_size).
+  [[nodiscard]] unsigned index_bits() const noexcept { return index_bits_; }
+  [[nodiscard]] const std::vector<std::uint64_t>& table() const noexcept {
+    return table_;
+  }
+
+ private:
+  comm::MatrixBitLayout layout_;
+  unsigned prime_bits_;
+  std::vector<std::uint64_t> table_;
+  unsigned index_bits_;
+  mutable util::Xoshiro256 private_coins_;
+};
+
+}  // namespace ccmx::proto

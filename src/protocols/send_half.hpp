@@ -1,0 +1,52 @@
+// The trivial deterministic protocol: the agent with the smaller share ships
+// every bit it owns; the other agent reconstructs the full input and decides
+// locally, echoing the answer bit back.
+//
+// For singularity testing of a 2n x 2n matrix of k-bit entries under an even
+// partition this costs exactly 2kn^2 + 1 bits — the O(k n^2) upper bound
+// that Theorem 1.1 shows is tight.
+#pragma once
+
+#include <functional>
+#include <string>
+
+#include "comm/channel.hpp"
+#include "comm/partition.hpp"
+#include "linalg/convert.hpp"
+
+namespace ccmx::proto {
+
+/// Decides an arbitrary predicate over the decoded input matrix.
+class SendHalfProtocol final : public comm::Protocol {
+ public:
+  using Predicate = std::function<bool(const la::IntMatrix&)>;
+
+  SendHalfProtocol(comm::MatrixBitLayout layout, Predicate predicate,
+                   std::string name);
+
+  [[nodiscard]] std::string name() const override { return name_; }
+
+  [[nodiscard]] bool run(const comm::AgentView& agent0,
+                         const comm::AgentView& agent1,
+                         comm::Channel& channel) const override;
+
+ private:
+  comm::MatrixBitLayout layout_;
+  Predicate predicate_;
+  std::string name_;
+};
+
+/// Factory: singularity testing ("is det == 0") by exact Bareiss.
+[[nodiscard]] SendHalfProtocol make_send_half_singularity(
+    const comm::MatrixBitLayout& layout);
+
+/// Factory: "has full rank n".
+[[nodiscard]] SendHalfProtocol make_send_half_full_rank(
+    const comm::MatrixBitLayout& layout);
+
+/// Factory: solvability of A x = b where the input matrix is [A | b] with b
+/// its last column.
+[[nodiscard]] SendHalfProtocol make_send_half_solvability(
+    const comm::MatrixBitLayout& layout);
+
+}  // namespace ccmx::proto

@@ -1,0 +1,10 @@
+// 128-bit integer aliases.  GCC/Clang's __int128 is a compiler extension;
+// the __extension__ marker keeps -Wpedantic quiet at every use site.
+#pragma once
+
+namespace ccmx::util {
+
+__extension__ typedef unsigned __int128 u128;
+__extension__ typedef __int128 i128;
+
+}  // namespace ccmx::util

@@ -1,0 +1,25 @@
+// Checked narrowing conversions (C++ Core Guidelines ES.46 / gsl::narrow).
+#pragma once
+
+#include <type_traits>
+
+#include "util/require.hpp"
+
+namespace ccmx::util {
+
+/// Converts between integral types, throwing if the value is not
+/// representable in the destination type.
+template <class To, class From>
+[[nodiscard]] constexpr To narrow(From value) {
+  static_assert(std::is_integral_v<To> && std::is_integral_v<From>);
+  const To converted = static_cast<To>(value);
+  CCMX_REQUIRE(static_cast<From>(converted) == value,
+               "narrowing changed the value");
+  if constexpr (std::is_signed_v<From> != std::is_signed_v<To>) {
+    CCMX_REQUIRE((value < From{}) == (converted < To{}),
+                 "narrowing changed the sign");
+  }
+  return converted;
+}
+
+}  // namespace ccmx::util

@@ -1,0 +1,60 @@
+#include "util/parallel.hpp"
+
+#include <algorithm>
+#include <exception>
+#include <mutex>
+#include <thread>
+
+namespace ccmx::util {
+
+std::size_t hardware_parallelism() noexcept {
+  const unsigned hc = std::thread::hardware_concurrency();
+  return hc == 0 ? 1 : hc;
+}
+
+namespace detail {
+
+void parallel_shards(std::size_t begin, std::size_t end,
+                     const std::function<void(std::size_t, std::size_t,
+                                              std::size_t)>& shard_body) {
+  if (begin >= end) return;
+  const std::size_t count = end - begin;
+  const std::size_t workers = std::min(hardware_parallelism(), count);
+  if (workers <= 1) {
+    shard_body(0, begin, end);
+    return;
+  }
+  std::exception_ptr first_error;
+  std::mutex error_mutex;
+  {
+    std::vector<std::jthread> pool;
+    pool.reserve(workers);
+    const std::size_t chunk = (count + workers - 1) / workers;
+    for (std::size_t w = 0; w < workers; ++w) {
+      const std::size_t lo = begin + w * chunk;
+      const std::size_t hi = std::min(end, lo + chunk);
+      if (lo >= hi) break;
+      pool.emplace_back([&, w, lo, hi] {
+        try {
+          shard_body(w, lo, hi);
+        } catch (...) {
+          const std::scoped_lock lock(error_mutex);
+          if (!first_error) first_error = std::current_exception();
+        }
+      });
+    }
+  }  // jthreads join here
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+}  // namespace detail
+
+void parallel_for(std::size_t begin, std::size_t end,
+                  const std::function<void(std::size_t)>& body) {
+  detail::parallel_shards(begin, end,
+                          [&](std::size_t, std::size_t lo, std::size_t hi) {
+                            for (std::size_t i = lo; i < hi; ++i) body(i);
+                          });
+}
+
+}  // namespace ccmx::util

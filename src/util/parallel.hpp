@@ -1,0 +1,63 @@
+// Shared-memory parallel loops over index ranges.
+//
+// The enumeration sweeps (truth-matrix censuses, rectangle searches, protocol
+// error estimation) are embarrassingly parallel over independent indices, so
+// the only primitive we need is a static-sharded parallel_for plus a
+// tree-free parallel_reduce — the OpenMP "parallel for / reduction" idiom
+// realized with std::jthread.  Degree is capped by hardware_concurrency(), so
+// on a single-core host everything degenerates to a plain serial loop with no
+// thread overhead.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+namespace ccmx::util {
+
+/// Number of worker threads parallel_for will use (>= 1).
+[[nodiscard]] std::size_t hardware_parallelism() noexcept;
+
+/// Calls body(i) for every i in [begin, end), sharded statically over the
+/// available hardware threads.  body must be safe to call concurrently for
+/// distinct indices.  Exceptions thrown by body are propagated (the first
+/// one observed).
+void parallel_for(std::size_t begin, std::size_t end,
+                  const std::function<void(std::size_t)>& body);
+
+/// Like parallel_for but each worker owns an accumulator created by
+/// make_acc(); combine() folds the per-worker accumulators serially at the
+/// end and returns the total.
+template <class Acc>
+Acc parallel_reduce(std::size_t begin, std::size_t end,
+                    const std::function<Acc()>& make_acc,
+                    const std::function<void(Acc&, std::size_t)>& body,
+                    const std::function<void(Acc&, const Acc&)>& combine);
+
+// --- implementation ---
+
+namespace detail {
+void parallel_shards(std::size_t begin, std::size_t end,
+                     const std::function<void(std::size_t, std::size_t,
+                                              std::size_t)>& shard_body);
+}  // namespace detail
+
+template <class Acc>
+Acc parallel_reduce(std::size_t begin, std::size_t end,
+                    const std::function<Acc()>& make_acc,
+                    const std::function<void(Acc&, std::size_t)>& body,
+                    const std::function<void(Acc&, const Acc&)>& combine) {
+  const std::size_t workers = hardware_parallelism();
+  std::vector<Acc> accs;
+  accs.reserve(workers);
+  for (std::size_t w = 0; w < workers; ++w) accs.push_back(make_acc());
+  detail::parallel_shards(
+      begin, end, [&](std::size_t shard, std::size_t lo, std::size_t hi) {
+        for (std::size_t i = lo; i < hi; ++i) body(accs[shard], i);
+      });
+  Acc total = make_acc();
+  for (const Acc& acc : accs) combine(total, acc);
+  return total;
+}
+
+}  // namespace ccmx::util

@@ -1,0 +1,49 @@
+// Contract checking macros (C++ Core Guidelines I.6/E.12 style).
+//
+// CCMX_REQUIRE is used for preconditions on public API entry points and
+// throws; CCMX_ASSERT is an internal invariant check that is compiled out in
+// release builds unless CCMX_CHECKED is defined.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace ccmx::util {
+
+/// Thrown when a public-API precondition is violated.
+class contract_error : public std::logic_error {
+ public:
+  explicit contract_error(const std::string& what) : std::logic_error(what) {}
+};
+
+[[noreturn]] inline void contract_failure(const char* kind, const char* expr,
+                                          const char* file, int line,
+                                          const std::string& msg) {
+  std::ostringstream os;
+  os << kind << " failed: (" << expr << ") at " << file << ':' << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw contract_error(os.str());
+}
+
+}  // namespace ccmx::util
+
+#define CCMX_REQUIRE(expr, msg)                                            \
+  do {                                                                     \
+    if (!(expr)) {                                                         \
+      ::ccmx::util::contract_failure("precondition", #expr, __FILE__,      \
+                                     __LINE__, (msg));                     \
+    }                                                                      \
+  } while (false)
+
+#if defined(CCMX_CHECKED) || !defined(NDEBUG)
+#define CCMX_ASSERT(expr)                                                  \
+  do {                                                                     \
+    if (!(expr)) {                                                         \
+      ::ccmx::util::contract_failure("invariant", #expr, __FILE__,         \
+                                     __LINE__, "");                        \
+    }                                                                      \
+  } while (false)
+#else
+#define CCMX_ASSERT(expr) ((void)0)
+#endif

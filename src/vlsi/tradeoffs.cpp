@@ -1,0 +1,54 @@
+#include "vlsi/tradeoffs.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/require.hpp"
+
+namespace ccmx::vlsi {
+
+double comm_complexity(std::size_t n, unsigned k) {
+  return static_cast<double>(k) * static_cast<double>(n) *
+         static_cast<double>(n);
+}
+
+std::vector<BoundRow> audit_design(std::size_t n, unsigned k, double area,
+                                   double time) {
+  CCMX_REQUIRE(area > 0 && time > 0, "design must have positive area/time");
+  const double c = comm_complexity(n, k);
+  const double dn = static_cast<double>(n);
+  const double dk = static_cast<double>(k);
+  std::vector<BoundRow> rows;
+  const auto add = [&rows](std::string name, double measured, double bound) {
+    rows.push_back(BoundRow{std::move(name), measured, bound,
+                            bound > 0 ? measured / bound : 0.0});
+  };
+  add("A", area, c);
+  add("A*T^2", area * time * time, c * c);
+  add("A*T", area * time, std::pow(dk, 1.5) * dn * dn * dn);
+  add("T (Thompson)", time, c / std::sqrt(area));
+  add("T (CM, sharpened)", time, std::sqrt(dk) * dn);
+  // The a-parameterized family at a = 1/2 as a representative interior point.
+  add("A*T (a=1/2 family)", area * time, std::pow(c, 1.5));
+  return rows;
+}
+
+ComparisonRow bound_comparison(std::size_t n, unsigned k) {
+  const double dn = static_cast<double>(n);
+  const double dk = static_cast<double>(k);
+  return ComparisonRow{std::pow(dk, 1.5) * dn * dn * dn, dn * dn,
+                       std::sqrt(dk) * dn, dn};
+}
+
+double min_time_for_area(std::size_t n, unsigned k, double area) {
+  CCMX_REQUIRE(area > 0, "area must be positive");
+  return comm_complexity(n, k) / std::sqrt(area);
+}
+
+double min_area_for_time(std::size_t n, unsigned k, double time) {
+  CCMX_REQUIRE(time > 0, "time must be positive");
+  const double c = comm_complexity(n, k);
+  return std::max(c, (c / time) * (c / time));
+}
+
+}  // namespace ccmx::vlsi

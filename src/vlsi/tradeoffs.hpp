@@ -1,0 +1,56 @@
+// Area-time tradeoff calculators (Section 1 of the paper).
+//
+// With C = communication complexity (Theorem 1.1: C = Theta(k n^2) for
+// singularity of an n x n matrix of k-bit integers), the chip-model results
+// quoted in the paper give:
+//   * Thompson 1979:       A T^2   = Omega(C^2)
+//   * Brent-Kung/Vuillemin/Yao:  A = Omega(C)
+//   * combined family:     A T^{2a} = Omega(C^{1+a}),  0 <= a <= 1
+//   * derived:             A T     = Omega(k^{3/2} n^3),  T = Omega(C / sqrt(A))
+// and, in the Chazelle-Monier wire-delay model (inputs on the boundary):
+//   * CM 1985:             T = Omega(n),  A T = Omega(n^2)
+//   * sharpened by Thm 1.1: T = Omega(k^{1/2} n)
+// These functions evaluate all of the above (with unit constants) so a
+// candidate design (A, T) can be audited against every inequality.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace ccmx::vlsi {
+
+/// The communication-complexity figure the bounds are driven by (unit
+/// constant): C = k n^2.
+[[nodiscard]] double comm_complexity(std::size_t n, unsigned k);
+
+struct BoundRow {
+  std::string name;     // e.g. "A*T^2"
+  double measured;      // value of the left-hand side for the design
+  double bound;         // required lower bound (unit constants)
+  double ratio;         // measured / bound  (>= 1 means consistent)
+};
+
+/// Audits a design with area `area` (unit squares) and time `time` (cycles)
+/// for the singularity problem at (n, k) against every inequality above.
+[[nodiscard]] std::vector<BoundRow> audit_design(std::size_t n, unsigned k,
+                                                 double area, double time);
+
+/// The paper's comparison table: our AT bound vs Chazelle-Monier's, and the
+/// sharpened T bound, as functions of (n, k).
+struct ComparisonRow {
+  double at_ours;      // k^{3/2} n^3
+  double at_cm;        // n^2
+  double t_ours;       // k^{1/2} n
+  double t_cm;         // n
+};
+[[nodiscard]] ComparisonRow bound_comparison(std::size_t n, unsigned k);
+
+/// Smallest admissible time for a given area (T >= C / sqrt(A)).
+[[nodiscard]] double min_time_for_area(std::size_t n, unsigned k, double area);
+
+/// Smallest admissible area for a given time, combining A >= C and
+/// A >= (C/T)^2.
+[[nodiscard]] double min_area_for_time(std::size_t n, unsigned k, double time);
+
+}  // namespace ccmx::vlsi

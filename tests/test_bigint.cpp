@@ -1,0 +1,245 @@
+// BigInt: representation, arithmetic, division, shifts — unit tests plus
+// randomized cross-checks against native __int128 arithmetic.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "bigint/bigint.hpp"
+#include "util/int128.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using ccmx::num::BigInt;
+using ccmx::util::i128;
+using ccmx::util::Xoshiro256;
+
+TEST(BigIntBasics, ZeroProperties) {
+  const BigInt zero;
+  EXPECT_TRUE(zero.is_zero());
+  EXPECT_EQ(zero.signum(), 0);
+  EXPECT_EQ(zero.bit_length(), 0u);
+  EXPECT_EQ(zero.to_string(), "0");
+  EXPECT_EQ(zero, BigInt(0));
+  EXPECT_EQ(-zero, zero);
+}
+
+TEST(BigIntBasics, Int64RoundTrip) {
+  for (const std::int64_t v :
+       {std::int64_t{0}, std::int64_t{1}, std::int64_t{-1},
+        std::int64_t{42}, std::int64_t{-123456789},
+        std::int64_t{1} << 40, INT64_MAX, INT64_MIN}) {
+    const BigInt b(v);
+    ASSERT_TRUE(b.fits_int64()) << v;
+    EXPECT_EQ(b.to_int64(), v);
+  }
+}
+
+TEST(BigIntBasics, Int64MinEdge) {
+  const BigInt min(INT64_MIN);
+  EXPECT_TRUE(min.fits_int64());
+  EXPECT_FALSE((min - BigInt(1)).fits_int64());
+  EXPECT_TRUE((min + BigInt(1)).fits_int64());
+  const BigInt max(INT64_MAX);
+  EXPECT_FALSE((max + BigInt(1)).fits_int64());
+}
+
+TEST(BigIntBasics, StringRoundTrip) {
+  for (const char* s :
+       {"0", "1", "-1", "999999999999999999999999999999",
+        "-170141183460469231731687303715884105728", "123456789",
+        "340282366920938463463374607431768211456"}) {
+    EXPECT_EQ(BigInt::from_string(s).to_string(), s);
+  }
+}
+
+TEST(BigIntBasics, FromStringRejectsGarbage) {
+  EXPECT_THROW((void)BigInt::from_string(""), ccmx::util::contract_error);
+  EXPECT_THROW((void)BigInt::from_string("-"), ccmx::util::contract_error);
+  EXPECT_THROW((void)BigInt::from_string("12a3"), ccmx::util::contract_error);
+}
+
+TEST(BigIntBasics, Pow2AndBitLength) {
+  for (unsigned e : {0u, 1u, 31u, 32u, 33u, 63u, 64u, 100u, 200u}) {
+    const BigInt p = BigInt::pow2(e);
+    EXPECT_EQ(p.bit_length(), e + 1) << e;
+    EXPECT_EQ((p - BigInt(1)).bit_length(), e) << e;
+  }
+}
+
+TEST(BigIntBasics, PowSmall) {
+  EXPECT_EQ(BigInt::pow(BigInt(3), 0), BigInt(1));
+  EXPECT_EQ(BigInt::pow(BigInt(3), 5), BigInt(243));
+  EXPECT_EQ(BigInt::pow(BigInt(-2), 3), BigInt(-8));
+  EXPECT_EQ(BigInt::pow(BigInt(-2), 4), BigInt(16));
+  EXPECT_EQ(BigInt::pow(BigInt(10), 30).to_string(),
+            "1000000000000000000000000000000");
+}
+
+TEST(BigIntBasics, ComparisonOrdering) {
+  const BigInt a(-5), b(-2), c(0), d(3), e(300);
+  EXPECT_LT(a, b);
+  EXPECT_LT(b, c);
+  EXPECT_LT(c, d);
+  EXPECT_LT(d, e);
+  EXPECT_GT(e, a);
+  EXPECT_EQ(BigInt(7) <=> BigInt(7), std::strong_ordering::equal);
+}
+
+TEST(BigIntBasics, ShiftsAgainstPow2) {
+  BigInt x(1);
+  x <<= 200;
+  EXPECT_EQ(x, BigInt::pow2(200));
+  x >>= 137;
+  EXPECT_EQ(x, BigInt::pow2(63));
+  x >>= 64;
+  EXPECT_TRUE(x.is_zero());
+}
+
+TEST(BigIntBasics, SelfSubtractIsZero) {
+  BigInt x = BigInt::from_string("123456789123456789123456789");
+  x -= x;
+  EXPECT_TRUE(x.is_zero());
+}
+
+TEST(BigIntDivision, DivModSignConventions) {
+  // Truncated division, remainder has dividend's sign.
+  const auto check = [](std::int64_t a, std::int64_t b) {
+    const auto [q, r] = BigInt::divmod(BigInt(a), BigInt(b));
+    EXPECT_EQ(q.to_int64(), a / b) << a << "/" << b;
+    EXPECT_EQ(r.to_int64(), a % b) << a << "%" << b;
+  };
+  check(7, 3);
+  check(-7, 3);
+  check(7, -3);
+  check(-7, -3);
+  check(6, 3);
+  check(0, 5);
+}
+
+TEST(BigIntDivision, ModFloorIsNonNegative) {
+  EXPECT_EQ(BigInt::mod_floor(BigInt(-7), BigInt(3)).to_int64(), 2);
+  EXPECT_EQ(BigInt::mod_floor(BigInt(7), BigInt(3)).to_int64(), 1);
+  EXPECT_EQ(BigInt::mod_floor(BigInt(-9), BigInt(3)).to_int64(), 0);
+}
+
+TEST(BigIntDivision, ThrowsOnZeroDivisor) {
+  EXPECT_THROW((void)BigInt::divmod(BigInt(1), BigInt(0)),
+               ccmx::util::contract_error);
+}
+
+TEST(BigIntDivision, KnuthDAddBackCase) {
+  // A classic near-overflow pattern that exercises the q_hat correction.
+  const BigInt num = BigInt::pow2(96) - BigInt(1);
+  const BigInt den = BigInt::pow2(64) - BigInt(1);
+  const auto [q, r] = BigInt::divmod(num, den);
+  EXPECT_EQ(q * den + r, num);
+  EXPECT_LT(r.abs(), den);
+}
+
+TEST(BigIntDivision, ExactDivision) {
+  const BigInt a = BigInt::from_string("987654321987654321987654321");
+  const BigInt b = BigInt::from_string("123456789");
+  EXPECT_EQ((a * b).divide_exact(b), a);
+  EXPECT_THROW((void)(a * b + BigInt(1)).divide_exact(b),
+               ccmx::util::contract_error);
+}
+
+TEST(BigIntGcd, KnownValues) {
+  EXPECT_EQ(BigInt::gcd(BigInt(12), BigInt(18)), BigInt(6));
+  EXPECT_EQ(BigInt::gcd(BigInt(-12), BigInt(18)), BigInt(6));
+  EXPECT_EQ(BigInt::gcd(BigInt(0), BigInt(5)), BigInt(5));
+  EXPECT_EQ(BigInt::gcd(BigInt(7), BigInt(0)), BigInt(7));
+  EXPECT_EQ(BigInt::gcd(BigInt(17), BigInt(13)), BigInt(1));
+}
+
+TEST(BigIntModU64, MatchesDivmod) {
+  const BigInt a = BigInt::from_string("123456789012345678901234567890");
+  for (const std::uint64_t m : {2ull, 3ull, 97ull, 1000000007ull}) {
+    EXPECT_EQ(a.mod_u64(m),
+              static_cast<std::uint64_t>(
+                  (a % BigInt(static_cast<std::int64_t>(m))).to_int64()));
+  }
+}
+
+TEST(BigIntKaratsuba, LargeMultiplicationConsistency) {
+  // Build operands long enough to cross the Karatsuba threshold (32 limbs =
+  // 1024 bits) and verify via the distributive law on split halves.
+  Xoshiro256 rng(1);
+  BigInt a, b;
+  for (int i = 0; i < 80; ++i) {
+    a = (a << 32) + BigInt(static_cast<std::int64_t>(rng() & 0xffffffffu));
+    b = (b << 32) + BigInt(static_cast<std::int64_t>(rng() & 0xffffffffu));
+  }
+  const BigInt a_hi = a >> 1280, a_lo = a - (a_hi << 1280);
+  const BigInt direct = a * b;
+  const BigInt split = ((a_hi * b) << 1280) + a_lo * b;
+  EXPECT_EQ(direct, split);
+  EXPECT_EQ((a * b) % b, BigInt(0) * b);  // b | a*b
+}
+
+// --- randomized cross-checks against __int128 ---
+
+class BigIntRandomized : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(BigIntRandomized, RingOpsMatchInt128) {
+  Xoshiro256 rng(GetParam());
+  for (int trial = 0; trial < 200; ++trial) {
+    const std::int64_t x = rng.range(-1000000000LL, 1000000000LL);
+    const std::int64_t y = rng.range(-1000000000LL, 1000000000LL);
+    const BigInt bx(x), by(y);
+    EXPECT_EQ((bx + by).to_int64(), x + y);
+    EXPECT_EQ((bx - by).to_int64(), x - y);
+    EXPECT_EQ(static_cast<i128>((bx * by).to_int64()),
+              static_cast<i128>(x) * y);
+    if (y != 0) {
+      EXPECT_EQ((bx / by).to_int64(), x / y);
+      EXPECT_EQ((bx % by).to_int64(), x % y);
+    }
+  }
+}
+
+TEST_P(BigIntRandomized, DivModInvariant) {
+  Xoshiro256 rng(GetParam() * 977 + 3);
+  for (int trial = 0; trial < 60; ++trial) {
+    // Random numbers of widely varying widths.
+    BigInt a, b;
+    const std::size_t la = 1 + rng.below(12);
+    const std::size_t lb = 1 + rng.below(8);
+    for (std::size_t i = 0; i < la; ++i) {
+      a = (a << 32) + BigInt(static_cast<std::int64_t>(rng() & 0xffffffffu));
+    }
+    for (std::size_t i = 0; i < lb; ++i) {
+      b = (b << 32) + BigInt(static_cast<std::int64_t>(rng() & 0xffffffffu));
+    }
+    if (b.is_zero()) b = BigInt(1);
+    if (rng.coin()) a = -a;
+    if (rng.coin()) b = -b;
+    const auto [q, r] = BigInt::divmod(a, b);
+    EXPECT_EQ(q * b + r, a);
+    EXPECT_LT(r.abs(), b.abs());
+    if (!r.is_zero()) {
+      EXPECT_EQ(r.signum(), a.signum());
+    }
+  }
+}
+
+TEST_P(BigIntRandomized, MulCommutesAndAssociates) {
+  Xoshiro256 rng(GetParam() * 31 + 7);
+  for (int trial = 0; trial < 40; ++trial) {
+    BigInt a, b, c;
+    for (int i = 0; i < 6; ++i) {
+      a = (a << 32) + BigInt(static_cast<std::int64_t>(rng() & 0xffffffffu));
+      b = (b << 32) + BigInt(static_cast<std::int64_t>(rng() & 0xffffffffu));
+      c = (c << 32) + BigInt(static_cast<std::int64_t>(rng() & 0xffffffffu));
+    }
+    EXPECT_EQ(a * b, b * a);
+    EXPECT_EQ((a * b) * c, a * (b * c));
+    EXPECT_EQ(a * (b + c), a * b + a * c);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BigIntRandomized,
+                         ::testing::Values(1u, 2u, 3u, 5u, 8u, 13u));
+
+}  // namespace

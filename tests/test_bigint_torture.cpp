@@ -1,0 +1,148 @@
+// Heavier BigInt property sweeps: string round trips, shift/power
+// equivalences, gcd axioms, width-crossing arithmetic.
+#include <gtest/gtest.h>
+
+#include "bigint/bigint.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using ccmx::num::BigInt;
+using ccmx::util::Xoshiro256;
+
+BigInt random_bigint(std::size_t limbs, Xoshiro256& rng,
+                     bool allow_negative = true) {
+  BigInt v;
+  for (std::size_t i = 0; i < limbs; ++i) {
+    v = (v << 32) + BigInt(static_cast<std::int64_t>(rng() & 0xffffffffu));
+  }
+  if (allow_negative && rng.coin()) v = -v;
+  return v;
+}
+
+class BigIntTorture : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(BigIntTorture, StringRoundTripRandom) {
+  Xoshiro256 rng(GetParam());
+  for (int trial = 0; trial < 40; ++trial) {
+    const BigInt v = random_bigint(1 + rng.below(20), rng);
+    EXPECT_EQ(BigInt::from_string(v.to_string()), v);
+  }
+}
+
+TEST_P(BigIntTorture, ShiftEqualsMulDivByPow2) {
+  Xoshiro256 rng(GetParam() + 100);
+  for (int trial = 0; trial < 40; ++trial) {
+    const BigInt v = random_bigint(1 + rng.below(8), rng, false);
+    const unsigned s = static_cast<unsigned>(rng.below(130));
+    EXPECT_EQ(v << s, v * BigInt::pow2(s));
+    EXPECT_EQ((v << s) >> s, v);
+    EXPECT_EQ(v >> s, v / BigInt::pow2(s));  // nonnegative: truncation ok
+  }
+}
+
+TEST_P(BigIntTorture, GcdAxioms) {
+  Xoshiro256 rng(GetParam() + 200);
+  for (int trial = 0; trial < 30; ++trial) {
+    const BigInt a = random_bigint(1 + rng.below(4), rng);
+    const BigInt b = random_bigint(1 + rng.below(4), rng);
+    const BigInt g = BigInt::gcd(a, b);
+    if (a.is_zero() && b.is_zero()) {
+      EXPECT_TRUE(g.is_zero());
+      continue;
+    }
+    EXPECT_GT(g, BigInt(0));
+    EXPECT_TRUE(BigInt::divmod(a, g).second.is_zero());
+    EXPECT_TRUE(BigInt::divmod(b, g).second.is_zero());
+    EXPECT_EQ(BigInt::gcd(a, b), BigInt::gcd(b, a));
+    // gcd(a, b) == gcd(a - b, b).
+    EXPECT_EQ(g, BigInt::gcd(a - b, b));
+    // Scaling: gcd(3a, 3b) = 3 gcd(a, b).
+    EXPECT_EQ(BigInt::gcd(a * BigInt(3), b * BigInt(3)), g * BigInt(3));
+  }
+}
+
+TEST_P(BigIntTorture, ModFloorProperties) {
+  Xoshiro256 rng(GetParam() + 300);
+  for (int trial = 0; trial < 40; ++trial) {
+    const BigInt a = random_bigint(1 + rng.below(6), rng);
+    BigInt m = random_bigint(1 + rng.below(3), rng, false);
+    if (m.is_zero()) m = BigInt(7);
+    const BigInt r = BigInt::mod_floor(a, m);
+    EXPECT_GE(r, BigInt(0));
+    EXPECT_LT(r, m);
+    EXPECT_TRUE(BigInt::divmod(a - r, m).second.is_zero());
+  }
+}
+
+TEST_P(BigIntTorture, PowLawsAndHashConsistency) {
+  Xoshiro256 rng(GetParam() + 400);
+  for (int trial = 0; trial < 20; ++trial) {
+    const BigInt base = random_bigint(1 + rng.below(2), rng);
+    const unsigned e1 = static_cast<unsigned>(rng.below(8));
+    const unsigned e2 = static_cast<unsigned>(rng.below(8));
+    EXPECT_EQ(BigInt::pow(base, e1) * BigInt::pow(base, e2),
+              BigInt::pow(base, e1 + e2));
+    // Equal values hash equally (copies and recomputed forms).
+    const BigInt copy = BigInt::from_string(base.to_string());
+    EXPECT_EQ(copy.hash(), base.hash());
+  }
+}
+
+TEST_P(BigIntTorture, MixedWidthArithmeticConsistency) {
+  // (a + b) - b == a and (a * b) / b == a across widely mismatched widths.
+  Xoshiro256 rng(GetParam() + 500);
+  for (int trial = 0; trial < 30; ++trial) {
+    const BigInt a = random_bigint(1 + rng.below(16), rng);
+    BigInt b = random_bigint(1 + rng.below(2), rng);
+    if (b.is_zero()) b = BigInt(-3);
+    EXPECT_EQ((a + b) - b, a);
+    EXPECT_EQ((a * b).divide_exact(b), a);
+    EXPECT_EQ(-(-a), a);
+    EXPECT_EQ(a.abs().signum(), a.is_zero() ? 0 : 1);
+  }
+}
+
+TEST_P(BigIntTorture, OrderingIsTotalAndConsistentWithArithmetic) {
+  Xoshiro256 rng(GetParam() + 600);
+  for (int trial = 0; trial < 30; ++trial) {
+    const BigInt a = random_bigint(1 + rng.below(5), rng);
+    const BigInt b = random_bigint(1 + rng.below(5), rng);
+    const BigInt c = random_bigint(1 + rng.below(5), rng);
+    EXPECT_EQ(a < b, (a - b).is_negative());
+    if (a < b && b < c) {
+      EXPECT_LT(a, c);
+    }
+    if (a < b) {
+      EXPECT_LT(a + c, b + c);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BigIntTorture,
+                         ::testing::Values(21u, 42u, 63u, 84u));
+
+TEST(BigIntCarry, ChainedCarriesAcrossManyLimbs) {
+  // (2^512 - 1) + 1 == 2^512 exercises a full carry chain.
+  const BigInt big = BigInt::pow2(512) - BigInt(1);
+  EXPECT_EQ(big + BigInt(1), BigInt::pow2(512));
+  EXPECT_EQ(big.bit_length(), 512u);
+  EXPECT_EQ((big + BigInt(1)).bit_length(), 513u);
+  // Borrow chain in the other direction.
+  EXPECT_EQ(BigInt::pow2(512) - BigInt::pow2(511), BigInt::pow2(511));
+}
+
+TEST(BigIntDivision, WordBoundaryDivisors) {
+  // Divisors straddling the limb boundary stress Knuth D normalization.
+  const BigInt num = BigInt::from_string("340282366920938463426481119284349108225");
+  for (const char* d : {"4294967295", "4294967296", "4294967297",
+                        "18446744073709551615", "18446744073709551617"}) {
+    const BigInt den = BigInt::from_string(d);
+    const auto [q, r] = BigInt::divmod(num, den);
+    EXPECT_EQ(q * den + r, num) << d;
+    EXPECT_LT(r, den) << d;
+    EXPECT_GE(r, BigInt(0)) << d;
+  }
+}
+
+}  // namespace

@@ -1,0 +1,149 @@
+// Greedy rectangle covers and the rank-threshold fingerprint protocol.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "comm/channel.hpp"
+#include "comm/cover.hpp"
+#include "core/rank_spectrum.hpp"
+#include "linalg/rref.hpp"
+#include "protocols/fingerprint.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace ccmx::comm;
+using ccmx::la::IntMatrix;
+using ccmx::num::BigInt;
+using ccmx::util::Xoshiro256;
+
+TruthMatrix equality_matrix(unsigned s) {
+  const std::size_t side = std::size_t{1} << s;
+  return TruthMatrix::build(
+      side, side, [](std::size_t r, std::size_t c) { return r == c; });
+}
+
+TEST(Cover, AllOnesIsASingleRectangle) {
+  TruthMatrix ones(5, 7);
+  for (std::size_t r = 0; r < 5; ++r) {
+    for (std::size_t c = 0; c < 7; ++c) ones.set(r, c, true);
+  }
+  Xoshiro256 rng(1);
+  const auto cover = greedy_cover(ones, true, rng);
+  EXPECT_EQ(cover.size(), 1u);
+  EXPECT_TRUE(is_cover(ones, true, cover));
+}
+
+TEST(Cover, EqualityNeedsOneRectanglePerDiagonalCell) {
+  // The ones of EQ are an antichain: every cover needs 2^s rectangles.
+  for (const unsigned s : {2u, 3u, 4u}) {
+    const TruthMatrix eq = equality_matrix(s);
+    Xoshiro256 rng(s);
+    const auto cover = greedy_cover(eq, true, rng);
+    EXPECT_EQ(cover.size(), std::size_t{1} << s);
+    EXPECT_TRUE(is_cover(eq, true, cover));
+    // The zeros of EQ have covers far below the cell count (the optimum is
+    // O(s); the halving greedy lands at 2^{s+1} - 2 — still exponentially
+    // below the 2^{2s} - 2^s zero cells).
+    const auto zero_cover = greedy_cover(eq, false, rng);
+    EXPECT_TRUE(is_cover(eq, false, zero_cover));
+    EXPECT_LE(zero_cover.size(), (std::size_t{1} << (s + 1)) - 2);
+  }
+}
+
+TEST(Cover, CoverAtLeastOnesOverMaxRectangle) {
+  // Counting bound: #cover >= ones / max-1-rectangle.
+  Xoshiro256 rng(7);
+  for (int trial = 0; trial < 8; ++trial) {
+    TruthMatrix m(10, 10);
+    for (std::size_t r = 0; r < 10; ++r) {
+      for (std::size_t c = 0; c < 10; ++c) m.set(r, c, rng.coin());
+    }
+    if (m.ones() == 0) continue;
+    const auto cover = greedy_cover(m, true, rng);
+    EXPECT_TRUE(is_cover(m, true, cover));
+    const auto best = max_rectangle_exact(m, true);
+    const double lower = static_cast<double>(m.ones()) /
+                         static_cast<double>(best.area());
+    EXPECT_GE(static_cast<double>(cover.size()) + 1e-9, lower);
+  }
+}
+
+TEST(Cover, EmptyValueSetGivesEmptyCover) {
+  TruthMatrix zeros(4, 4);
+  Xoshiro256 rng(2);
+  EXPECT_EQ(greedy_cover(zeros, true, rng).size(), 0u);
+  EXPECT_TRUE(is_cover(zeros, true, greedy_cover(zeros, true, rng)));
+}
+
+// --- rank-threshold protocol -------------------------------------------
+
+IntMatrix embed_rank(std::size_t n, std::size_t r, Xoshiro256& rng,
+                     unsigned k) {
+  // Entries must fit k bits: build from small nonneg factors.
+  for (;;) {
+    IntMatrix m(n, n);
+    for (std::size_t t = 0; t < r; ++t) {
+      std::vector<std::uint64_t> u(n), v(n);
+      for (auto& x : u) x = rng.below(2);
+      for (auto& x : v) x = rng.below(2);
+      for (std::size_t i = 0; i < n; ++i) {
+        for (std::size_t j = 0; j < n; ++j) {
+          m(i, j) += BigInt(static_cast<std::int64_t>(u[i] * v[j]));
+        }
+      }
+    }
+    bool fits = true;
+    for (std::size_t i = 0; i < n && fits; ++i) {
+      for (std::size_t j = 0; j < n; ++j) {
+        if (m(i, j).bit_length() > k) {
+          fits = false;
+          break;
+        }
+      }
+    }
+    if (fits && ccmx::la::rank(m) == r) return m;
+  }
+}
+
+TEST(RankThresholdProtocol, AnswersMatchTruthOnSweep) {
+  const std::size_t n = 6;
+  const unsigned k = 4;
+  const MatrixBitLayout layout(n, n, k);
+  const Partition pi = Partition::pi0(layout);
+  Xoshiro256 rng(11);
+  for (std::size_t true_rank = 1; true_rank <= 3; ++true_rank) {
+    const IntMatrix m = embed_rank(n, true_rank, rng, k);
+    for (std::size_t threshold = 1; threshold <= n; ++threshold) {
+      const ccmx::proto::RankThresholdProtocol protocol(layout, threshold, 20,
+                                                        2, threshold * 31);
+      const bool answered =
+          execute(protocol, layout.encode(m), pi).answer;
+      const bool expected = true_rank >= threshold;
+      // One-sided: a 'true' answer is a certificate; 'false' can err only
+      // with probability ~ (bad primes)/(pool) — negligible at 20 bits.
+      EXPECT_EQ(answered, expected)
+          << "rank=" << true_rank << " threshold=" << threshold;
+    }
+  }
+}
+
+TEST(RankThresholdProtocol, CostAccounting) {
+  const std::size_t n = 6;
+  const unsigned k = 3, pb = 14, reps = 2;
+  const MatrixBitLayout layout(n, n, k);
+  const Partition pi = Partition::pi0(layout);
+  Xoshiro256 rng(13);
+  const IntMatrix m = embed_rank(n, 2, rng, k);
+  const ccmx::proto::RankThresholdProtocol protocol(layout, 2, pb, reps, 7);
+  const auto outcome = execute(protocol, layout.encode(m), pi);
+  EXPECT_EQ(outcome.bits, reps * (n * (n / 2) * pb + 1));
+}
+
+TEST(RankThresholdProtocol, RejectsBadThreshold) {
+  const MatrixBitLayout layout(3, 3, 2);
+  EXPECT_THROW((void)ccmx::proto::RankThresholdProtocol(layout, 4, 8, 1, 1),
+               ccmx::util::contract_error);
+}
+
+}  // namespace

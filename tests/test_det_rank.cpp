@@ -1,0 +1,169 @@
+// Exact determinants and rank: Bareiss vs cofactor, multiplicativity,
+// singularity detection, rank invariants.
+#include <gtest/gtest.h>
+
+#include "linalg/det.hpp"
+#include "linalg/rref.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using ccmx::la::IntMatrix;
+using ccmx::num::BigInt;
+using ccmx::util::Xoshiro256;
+
+IntMatrix random_matrix(std::size_t n, Xoshiro256& rng, std::int64_t lo = -9,
+                        std::int64_t hi = 9) {
+  return IntMatrix::generate(n, n, [&](std::size_t, std::size_t) {
+    return BigInt(rng.range(lo, hi));
+  });
+}
+
+TEST(Determinant, HandValues) {
+  EXPECT_EQ(ccmx::la::det_bareiss(IntMatrix(0, 0)), BigInt(1));
+  EXPECT_EQ(ccmx::la::det_bareiss(IntMatrix{{BigInt(7)}}), BigInt(7));
+  EXPECT_EQ(ccmx::la::det_bareiss(
+                IntMatrix{{BigInt(1), BigInt(2)}, {BigInt(3), BigInt(4)}}),
+            BigInt(-2));
+  EXPECT_EQ(
+      ccmx::la::det_bareiss(IntMatrix{{BigInt(2), BigInt(0), BigInt(0)},
+                                      {BigInt(0), BigInt(3), BigInt(0)},
+                                      {BigInt(0), BigInt(0), BigInt(5)}}),
+      BigInt(30));
+}
+
+TEST(Determinant, ZeroPivotNeedsRowSwap) {
+  const IntMatrix m{{BigInt(0), BigInt(1)}, {BigInt(1), BigInt(0)}};
+  EXPECT_EQ(ccmx::la::det_bareiss(m), BigInt(-1));
+  const IntMatrix m3{{BigInt(0), BigInt(0), BigInt(1)},
+                     {BigInt(0), BigInt(1), BigInt(0)},
+                     {BigInt(1), BigInt(0), BigInt(0)}};
+  EXPECT_EQ(ccmx::la::det_bareiss(m3), BigInt(-1));
+}
+
+TEST(Determinant, IdentityAndPermutationSigns) {
+  const auto id = IntMatrix::identity(5, BigInt(1));
+  EXPECT_EQ(ccmx::la::det_bareiss(id), BigInt(1));
+  EXPECT_EQ(ccmx::la::det_bareiss(id.permute_rows({1, 0, 2, 3, 4})),
+            BigInt(-1));
+  EXPECT_EQ(ccmx::la::det_bareiss(id.permute_rows({1, 2, 0, 3, 4})),
+            BigInt(1));
+}
+
+TEST(Determinant, SingularByConstruction) {
+  Xoshiro256 rng(17);
+  for (int trial = 0; trial < 20; ++trial) {
+    IntMatrix m = random_matrix(5, rng);
+    // Make row 4 a combination of rows 0 and 1.
+    for (std::size_t j = 0; j < 5; ++j) {
+      m(4, j) = m(0, j) * BigInt(2) - m(1, j) * BigInt(3);
+    }
+    EXPECT_TRUE(ccmx::la::is_singular(m));
+    EXPECT_EQ(ccmx::la::det_bareiss(m), BigInt(0));
+  }
+}
+
+class DetCrossCheck : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(DetCrossCheck, BareissMatchesCofactor) {
+  const std::size_t n = GetParam();
+  Xoshiro256 rng(n * 7 + 1);
+  for (int trial = 0; trial < 25; ++trial) {
+    const IntMatrix m = random_matrix(n, rng);
+    EXPECT_EQ(ccmx::la::det_bareiss(m), ccmx::la::det_cofactor(m));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, DetCrossCheck,
+                         ::testing::Values(1u, 2u, 3u, 4u, 5u, 6u));
+
+TEST(Determinant, Multiplicative) {
+  Xoshiro256 rng(23);
+  for (int trial = 0; trial < 10; ++trial) {
+    const IntMatrix a = random_matrix(4, rng);
+    const IntMatrix b = random_matrix(4, rng);
+    EXPECT_EQ(ccmx::la::det_bareiss(a * b),
+              ccmx::la::det_bareiss(a) * ccmx::la::det_bareiss(b));
+  }
+}
+
+TEST(Determinant, TransposeInvariant) {
+  Xoshiro256 rng(29);
+  for (int trial = 0; trial < 10; ++trial) {
+    const IntMatrix m = random_matrix(5, rng);
+    EXPECT_EQ(ccmx::la::det_bareiss(m), ccmx::la::det_bareiss(m.transpose()));
+  }
+}
+
+TEST(Determinant, LargeEntriesNoOverflow) {
+  // 8x8 with 60-bit entries: |det| can reach ~2^500; exactness required.
+  Xoshiro256 rng(31);
+  const IntMatrix m = IntMatrix::generate(8, 8, [&](std::size_t, std::size_t) {
+    return BigInt(static_cast<std::int64_t>(rng() >> 4));
+  });
+  const BigInt det = ccmx::la::det_bareiss(m);
+  // Hadamard bound check.
+  EXPECT_LE(det.abs().bit_length(), ccmx::la::hadamard_det_bits(8, 60));
+  // Scaling one row by 3 scales det by 3.
+  IntMatrix scaled = m;
+  for (std::size_t j = 0; j < 8; ++j) scaled(0, j) *= BigInt(3);
+  EXPECT_EQ(ccmx::la::det_bareiss(scaled), det * BigInt(3));
+}
+
+TEST(HadamardBits, Monotone) {
+  EXPECT_GE(ccmx::la::hadamard_det_bits(8, 4), ccmx::la::hadamard_det_bits(4, 4));
+  EXPECT_GE(ccmx::la::hadamard_det_bits(8, 8), ccmx::la::hadamard_det_bits(8, 4));
+  EXPECT_GE(ccmx::la::hadamard_det_bits(1, 1), 1u);
+}
+
+TEST(Rank, HandValues) {
+  EXPECT_EQ(ccmx::la::rank(IntMatrix::identity(4, BigInt(1))), 4u);
+  EXPECT_EQ(ccmx::la::rank(IntMatrix(3, 5)), 0u);
+  const IntMatrix rank1{{BigInt(1), BigInt(2)},
+                        {BigInt(2), BigInt(4)},
+                        {BigInt(3), BigInt(6)}};
+  EXPECT_EQ(ccmx::la::rank(rank1), 1u);
+}
+
+TEST(Rank, AgreesWithRationalRref) {
+  Xoshiro256 rng(41);
+  for (int trial = 0; trial < 30; ++trial) {
+    const std::size_t r = 1 + rng.below(6);
+    const std::size_t c = 1 + rng.below(6);
+    const IntMatrix m = IntMatrix::generate(r, c, [&](std::size_t, std::size_t) {
+      return BigInt(rng.range(-3, 3));
+    });
+    EXPECT_EQ(ccmx::la::rank(m), ccmx::la::rank(ccmx::la::to_rational(m)));
+  }
+}
+
+TEST(Rank, OuterProductsHaveExpectedRank) {
+  Xoshiro256 rng(43);
+  for (std::size_t target = 1; target <= 4; ++target) {
+    // Sum of `target` random rank-1 outer products (generically rank target).
+    IntMatrix m(6, 6);
+    for (std::size_t t = 0; t < target; ++t) {
+      std::vector<BigInt> u(6), v(6);
+      for (auto& x : u) x = BigInt(rng.range(1, 9));
+      for (auto& x : v) x = BigInt(rng.range(1, 9));
+      // Perturb to avoid accidental dependence.
+      u[t] += BigInt(100);
+      v[t] += BigInt(100);
+      for (std::size_t i = 0; i < 6; ++i) {
+        for (std::size_t j = 0; j < 6; ++j) m(i, j) += u[i] * v[j];
+      }
+    }
+    EXPECT_EQ(ccmx::la::rank(m), target);
+  }
+}
+
+TEST(Rank, PermutationInvariant) {
+  Xoshiro256 rng(47);
+  const IntMatrix m = random_matrix(5, rng, -2, 2);
+  const std::size_t base = ccmx::la::rank(m);
+  EXPECT_EQ(ccmx::la::rank(m.permute_rows({4, 3, 2, 1, 0})), base);
+  EXPECT_EQ(ccmx::la::rank(m.permute_cols({2, 0, 4, 1, 3})), base);
+  EXPECT_EQ(ccmx::la::rank(m.transpose()), base);
+}
+
+}  // namespace

@@ -1,0 +1,153 @@
+// Exact deterministic communication complexity on fully enumerable
+// functions: known closed forms, and the sandwich
+// certificate <= exact <= trivial-upper on singularity instances.
+#include <gtest/gtest.h>
+
+#include "comm/bounds.hpp"
+#include "comm/exact_cc.hpp"
+#include "core/truth_sampling.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace ccmx::comm;
+
+TruthMatrix equality_matrix(unsigned s) {
+  const std::size_t side = std::size_t{1} << s;
+  return TruthMatrix::build(
+      side, side, [](std::size_t r, std::size_t c) { return r == c; });
+}
+
+TEST(ExactCc, ConstantFunctionsAreFree) {
+  TruthMatrix zeros(4, 4);
+  EXPECT_EQ(exact_cc(zeros), 0u);
+  EXPECT_EQ(exact_cc(zeros.complement()), 0u);
+}
+
+TEST(ExactCc, SingleDisagreementCostsOneOrTwo) {
+  // f depends only on the row: one bit from agent 0 suffices.
+  TruthMatrix row_half(4, 4);
+  for (std::size_t c = 0; c < 4; ++c) {
+    row_half.set(0, c, true);
+    row_half.set(1, c, true);
+  }
+  EXPECT_EQ(exact_cc(row_half), 1u);
+}
+
+TEST(ExactCc, EqualityClosedForm) {
+  // CC(EQ_s) = s + 1 in the protocol-tree model.
+  EXPECT_EQ(exact_cc(equality_matrix(1)), 2u);
+  EXPECT_EQ(exact_cc(equality_matrix(2)), 3u);
+  EXPECT_EQ(exact_cc(equality_matrix(3)), 4u);
+}
+
+TEST(ExactCc, GreaterThanFunction) {
+  // GT on 3-bit numbers: CC is known to be s + 1 as well.
+  const std::size_t side = 8;
+  const TruthMatrix gt = TruthMatrix::build(
+      side, side, [](std::size_t r, std::size_t c) { return r > c; });
+  EXPECT_EQ(exact_cc(gt), 4u);
+}
+
+TEST(ExactCc, SingularityTinyInstanceExact) {
+  // 2x2 matrices of 1-bit entries under pi_0: the truth matrix is 4x4.
+  const auto tm = ccmx::core::singularity_truth_matrix(1, 1);
+  const std::size_t exact = exact_cc(tm);
+  // Sandwich by certificate and trivial upper bound.
+  ccmx::util::Xoshiro256 rng(1);
+  const auto cert = certificate(tm, rng);
+  EXPECT_GE(static_cast<double>(exact) + 1e-9, cert.best_bits);
+  EXPECT_LE(exact, trivial_upper_bound(2, 2));
+  // Known value: each agent holds 2 bits; 3 bits of talk are needed and
+  // sufficient (rank is 3, so >= 2; a 2-bit protocol cannot shatter the
+  // 10 ones / 6 zeros into 4 monochromatic leaves).
+  EXPECT_EQ(exact, 3u);
+}
+
+TEST(ExactCc, MonotoneUnderSubmatrices) {
+  // CC of a submatrix never exceeds CC of the full matrix.
+  const auto tm = ccmx::core::singularity_truth_matrix(1, 1);
+  const std::size_t full = exact_cc(tm);
+  const TruthMatrix sub = tm.submatrix({0, 1, 2}, {1, 2, 3});
+  EXPECT_LE(exact_cc(sub), full);
+}
+
+TEST(ProtocolTree, ReproducesEveryCellWithinDepth) {
+  ccmx::util::Xoshiro256 rng(3);
+  for (int trial = 0; trial < 8; ++trial) {
+    TruthMatrix m(5 + rng.below(3), 5 + rng.below(3));
+    for (std::size_t r = 0; r < m.rows(); ++r) {
+      for (std::size_t c = 0; c < m.cols(); ++c) m.set(r, c, rng.coin());
+    }
+    const ProtocolTree tree = exact_protocol_tree(m);
+    EXPECT_EQ(tree.depth, exact_cc(m));
+    std::size_t max_bits = 0;
+    for (std::size_t r = 0; r < m.rows(); ++r) {
+      for (std::size_t c = 0; c < m.cols(); ++c) {
+        const auto [answer, bits] = run_tree(tree, r, c);
+        EXPECT_EQ(answer, m.get(r, c)) << r << "," << c;
+        max_bits = std::max(max_bits, bits);
+      }
+    }
+    // The worst path realizes the depth exactly (the tree is optimal).
+    EXPECT_EQ(max_bits, tree.depth);
+  }
+}
+
+TEST(ProtocolTree, EqualityTreeIsOptimal) {
+  const TruthMatrix eq = equality_matrix(3);
+  const ProtocolTree tree = exact_protocol_tree(eq);
+  EXPECT_EQ(tree.depth, 4u);
+  for (std::size_t r = 0; r < 8; ++r) {
+    for (std::size_t c = 0; c < 8; ++c) {
+      EXPECT_EQ(run_tree(tree, r, c).first, r == c);
+    }
+  }
+}
+
+TEST(ProtocolTree, ConstantFunctionIsALeaf) {
+  TruthMatrix ones(4, 4);
+  for (std::size_t r = 0; r < 4; ++r) {
+    for (std::size_t c = 0; c < 4; ++c) ones.set(r, c, true);
+  }
+  const ProtocolTree tree = exact_protocol_tree(ones);
+  EXPECT_EQ(tree.depth, 0u);
+  EXPECT_EQ(tree.nodes.size(), 1u);
+  EXPECT_TRUE(tree.nodes[tree.root].leaf);
+  EXPECT_TRUE(run_tree(tree, 2, 3).first);
+}
+
+TEST(ProtocolTree, SingularityTreeDecidesAllInstances) {
+  const auto tm = ccmx::core::singularity_truth_matrix(1, 1);
+  const ProtocolTree tree = exact_protocol_tree(tm);
+  EXPECT_EQ(tree.depth, 3u);
+  for (std::size_t r = 0; r < 4; ++r) {
+    for (std::size_t c = 0; c < 4; ++c) {
+      EXPECT_EQ(run_tree(tree, r, c).first, tm.get(r, c));
+    }
+  }
+}
+
+TEST(ExactCc, RejectsOversizedInputs) {
+  TruthMatrix big(13, 4);
+  EXPECT_THROW((void)exact_cc(big), ccmx::util::contract_error);
+}
+
+TEST(ExactCc, RandomMatricesSandwiched) {
+  ccmx::util::Xoshiro256 rng(7);
+  for (int trial = 0; trial < 10; ++trial) {
+    TruthMatrix m(6, 6);
+    for (std::size_t r = 0; r < 6; ++r) {
+      for (std::size_t c = 0; c < 6; ++c) m.set(r, c, rng.coin());
+    }
+    const std::size_t exact = exact_cc(m);
+    const auto cert = certificate(m, rng);
+    EXPECT_GE(static_cast<double>(exact) + 1e-9, cert.log_rank_bits - 1.0)
+        << "log-rank can exceed CC by at most ... no: CC >= log2(rank); "
+           "allow slack for the GF(2) rank being a lower bound";
+    EXPECT_LE(exact, 6u + 1u);
+    EXPECT_GE(exact, m.ones() == 0 || m.zeros() == 0 ? 0u : 1u);
+  }
+}
+
+}  // namespace

@@ -1,0 +1,106 @@
+// The region map must agree cell-by-cell with what build_m actually fixes.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/figure_render.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace ccmx::core;
+using ccmx::num::BigInt;
+using ccmx::util::Xoshiro256;
+
+/// Parses the region map back into a grid of tags.
+std::vector<std::string> parse_map(const std::string& rendered,
+                                   std::size_t size) {
+  std::vector<std::string> rows;
+  std::istringstream is(rendered);
+  std::string line;
+  std::getline(is, line);  // header
+  for (std::size_t i = 0; i < size; ++i) {
+    std::getline(is, line);
+    std::string tags;
+    for (const char c : line) {
+      if (c != ' ') tags.push_back(c);
+    }
+    rows.push_back(tags);
+  }
+  return rows;
+}
+
+TEST(FigureRender, RegionMapConsistentWithBuildM) {
+  for (const auto& [n, k] :
+       std::vector<std::pair<std::size_t, unsigned>>{{7, 2}, {9, 3}}) {
+    const ConstructionParams p(n, k);
+    Xoshiro256 rng(n);
+    // Two instances differing only in the free parts.
+    const FreeParts a = FreeParts::random(p, rng);
+    const FreeParts b = FreeParts::random(p, rng);
+    const auto ma = build_m(p, a);
+    const auto mb = build_m(p, b);
+    const auto tags = parse_map(render_region_map(p), 2 * n);
+    const BigInt q(static_cast<std::int64_t>(p.q()));
+    for (std::size_t i = 0; i < 2 * n; ++i) {
+      ASSERT_EQ(tags[i].size(), 2 * n);
+      for (std::size_t j = 0; j < 2 * n; ++j) {
+        switch (tags[i][j]) {
+          case '.':
+            EXPECT_EQ(ma(i, j), BigInt(0)) << i << "," << j;
+            EXPECT_EQ(mb(i, j), BigInt(0)) << i << "," << j;
+            break;
+          case '1':
+            EXPECT_EQ(ma(i, j), BigInt(1)) << i << "," << j;
+            EXPECT_EQ(mb(i, j), BigInt(1)) << i << "," << j;
+            break;
+          case 'q':
+            EXPECT_EQ(ma(i, j), q) << i << "," << j;
+            EXPECT_EQ(mb(i, j), q) << i << "," << j;
+            break;
+          case 'C':
+          case 'D':
+          case 'E':
+          case 'y':
+            // Free cells: must be in [0, q-1] in both instances.
+            EXPECT_GE(ma(i, j), BigInt(0));
+            EXPECT_LT(ma(i, j), q);
+            break;
+          default:
+            FAIL() << "unknown tag " << tags[i][j];
+        }
+      }
+    }
+    // Free-cell counts match the Section 3 formulas.
+    std::size_t c_cells = 0, d_cells = 0, e_cells = 0, y_cells = 0;
+    for (const auto& row : tags) {
+      for (const char t : row) {
+        c_cells += t == 'C';
+        d_cells += t == 'D';
+        e_cells += t == 'E';
+        y_cells += t == 'y';
+      }
+    }
+    EXPECT_EQ(c_cells, p.half() * p.half());
+    EXPECT_EQ(d_cells, p.half() * p.g());
+    EXPECT_EQ(e_cells, p.half() * p.l());
+    EXPECT_EQ(y_cells, n - 1);
+  }
+}
+
+TEST(FigureRender, Figure1ShowsAllEntries) {
+  const ConstructionParams p(7, 2);
+  Xoshiro256 rng(1);
+  const FreeParts parts = FreeParts::random(p, rng);
+  const std::string rendered = render_figure1(p, parts);
+  // 14 data lines, each with 14 cells.
+  std::size_t lines = 0;
+  std::istringstream is(rendered);
+  std::string line;
+  while (std::getline(is, line)) {
+    if (!line.empty()) ++lines;
+  }
+  EXPECT_EQ(lines, 14u);
+}
+
+}  // namespace

@@ -1,0 +1,163 @@
+// Hermite and Smith normal forms: shape invariants, determinant recovery,
+// singularity oracles, divisibility chains.
+#include <gtest/gtest.h>
+
+#include "linalg/det.hpp"
+#include "linalg/hnf.hpp"
+#include "linalg/rref.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using ccmx::la::IntMatrix;
+using ccmx::num::BigInt;
+using ccmx::util::Xoshiro256;
+
+IntMatrix random_matrix(std::size_t r, std::size_t c, Xoshiro256& rng,
+                        std::int64_t bound = 9) {
+  return IntMatrix::generate(r, c, [&](std::size_t, std::size_t) {
+    return BigInt(rng.range(-bound, bound));
+  });
+}
+
+TEST(Hnf, KnownSmallCases) {
+  // [[2, 4], [1, 3]] -> HNF [[1, 1], [0, 2]]  (check: same row lattice).
+  const IntMatrix m{{BigInt(2), BigInt(4)}, {BigInt(1), BigInt(3)}};
+  const auto result = ccmx::la::hnf(m);
+  EXPECT_EQ(result.rank, 2u);
+  EXPECT_EQ(result.h(1, 0), BigInt(0));
+  // |det| preserved by unimodular row ops.
+  EXPECT_EQ(ccmx::la::det_bareiss(result.h).abs(),
+            ccmx::la::det_bareiss(m).abs());
+}
+
+TEST(Hnf, ShapeInvariants) {
+  Xoshiro256 rng(1);
+  for (int trial = 0; trial < 25; ++trial) {
+    const std::size_t r = 1 + rng.below(5);
+    const std::size_t c = 1 + rng.below(5);
+    const IntMatrix m = random_matrix(r, c, rng);
+    const auto result = ccmx::la::hnf(m);
+    EXPECT_EQ(result.rank, ccmx::la::rank(m));
+    // Echelon: pivots strictly right of prior pivots, positive, entries
+    // above reduced into [0, pivot).
+    std::size_t last_pivot_col = 0;
+    bool first = true;
+    for (std::size_t i = 0; i < result.rank; ++i) {
+      std::size_t pivot_col = c;
+      for (std::size_t j = 0; j < c; ++j) {
+        if (!result.h(i, j).is_zero()) {
+          pivot_col = j;
+          break;
+        }
+      }
+      ASSERT_LT(pivot_col, c);
+      if (!first) {
+        EXPECT_GT(pivot_col, last_pivot_col);
+      }
+      first = false;
+      last_pivot_col = pivot_col;
+      EXPECT_GT(result.h(i, pivot_col), BigInt(0));
+      for (std::size_t above = 0; above < i; ++above) {
+        EXPECT_GE(result.h(above, pivot_col), BigInt(0));
+        EXPECT_LT(result.h(above, pivot_col), result.h(i, pivot_col));
+      }
+    }
+    // Zero rows at the bottom.
+    for (std::size_t i = result.rank; i < r; ++i) {
+      for (std::size_t j = 0; j < c; ++j) {
+        EXPECT_TRUE(result.h(i, j).is_zero());
+      }
+    }
+  }
+}
+
+TEST(Hnf, RowSpanPreserved) {
+  // Unimodular row operations keep the rational row span.
+  Xoshiro256 rng(2);
+  for (int trial = 0; trial < 15; ++trial) {
+    const IntMatrix m = random_matrix(4, 5, rng);
+    const auto result = ccmx::la::hnf(m);
+    EXPECT_TRUE(ccmx::la::same_column_span(
+        ccmx::la::to_rational(m.transpose()),
+        ccmx::la::to_rational(result.h.transpose())));
+  }
+}
+
+TEST(Snf, KnownSmallCases) {
+  // diag(2, 6) is already in SNF (2 | 6).
+  const IntMatrix d{{BigInt(2), BigInt(0)}, {BigInt(0), BigInt(6)}};
+  const auto result = ccmx::la::snf(d);
+  ASSERT_EQ(result.divisors.size(), 2u);
+  EXPECT_EQ(result.divisors[0], BigInt(2));
+  EXPECT_EQ(result.divisors[1], BigInt(6));
+  // diag(4, 6) must refactor to diag(2, 12).
+  const IntMatrix e{{BigInt(4), BigInt(0)}, {BigInt(0), BigInt(6)}};
+  const auto refactored = ccmx::la::snf(e);
+  ASSERT_EQ(refactored.divisors.size(), 2u);
+  EXPECT_EQ(refactored.divisors[0], BigInt(2));
+  EXPECT_EQ(refactored.divisors[1], BigInt(12));
+}
+
+TEST(Snf, DivisibilityChainAndRank) {
+  Xoshiro256 rng(3);
+  for (int trial = 0; trial < 25; ++trial) {
+    const std::size_t r = 1 + rng.below(5);
+    const std::size_t c = 1 + rng.below(5);
+    IntMatrix m = random_matrix(r, c, rng);
+    if (trial % 3 == 0 && r >= 2) {
+      for (std::size_t j = 0; j < c; ++j) m(r - 1, j) = m(0, j);
+    }
+    const auto result = ccmx::la::snf(m);
+    EXPECT_EQ(result.rank(), ccmx::la::rank(m));
+    for (std::size_t i = 0; i + 1 < result.divisors.size(); ++i) {
+      EXPECT_TRUE(BigInt::divmod(result.divisors[i + 1], result.divisors[i])
+                      .second.is_zero())
+          << "chain broken at " << i;
+      EXPECT_GT(result.divisors[i], BigInt(0));
+    }
+    // Off-diagonal must be zero.
+    for (std::size_t i = 0; i < r; ++i) {
+      for (std::size_t j = 0; j < c; ++j) {
+        if (i != j) {
+          EXPECT_TRUE(result.s(i, j).is_zero());
+        }
+      }
+    }
+  }
+}
+
+TEST(Snf, DeterminantMagnitudeRecovered) {
+  Xoshiro256 rng(4);
+  for (int trial = 0; trial < 20; ++trial) {
+    const std::size_t n = 1 + rng.below(5);
+    const IntMatrix m = random_matrix(n, n, rng);
+    EXPECT_EQ(ccmx::la::abs_det_via_snf(m),
+              ccmx::la::det_bareiss(m).abs());
+  }
+}
+
+TEST(SnfHnf, SingularityOracles) {
+  Xoshiro256 rng(5);
+  for (int trial = 0; trial < 20; ++trial) {
+    IntMatrix m = random_matrix(4, 4, rng);
+    if (trial % 2 == 0) {
+      for (std::size_t i = 0; i < 4; ++i) m(i, 3) = m(i, 1);
+    }
+    const bool truth = ccmx::la::is_singular(m);
+    EXPECT_EQ(ccmx::la::singular_via_hnf(m), truth);
+    EXPECT_EQ(ccmx::la::singular_via_snf(m), truth);
+  }
+}
+
+TEST(Snf, GcdIsFirstDivisor) {
+  // d_1 = gcd of all entries.
+  const IntMatrix m{{BigInt(6), BigInt(10)}, {BigInt(15), BigInt(9)}};
+  const auto result = ccmx::la::snf(m);
+  ASSERT_FALSE(result.divisors.empty());
+  EXPECT_EQ(result.divisors[0], BigInt(1));
+  const IntMatrix scaled{{BigInt(6), BigInt(12)}, {BigInt(18), BigInt(24)}};
+  EXPECT_EQ(ccmx::la::snf(scaled).divisors[0], BigInt(6));
+}
+
+}  // namespace

@@ -1,0 +1,99 @@
+// Base-(-q) digit expansions: the arithmetic backbone of the paper's
+// construction (rows of free digits dotted with powers of -q).
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "bigint/negabase.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace ccmx::num;
+using ccmx::util::Xoshiro256;
+
+TEST(Negabase, RoundTripSmall) {
+  for (std::uint64_t q : {2ull, 3ull, 7ull, 15ull}) {
+    for (std::int64_t v = -200; v <= 200; ++v) {
+      const auto digits = to_negabase(BigInt(v), q, 16);
+      ASSERT_TRUE(digits.has_value()) << v << " q=" << q;
+      EXPECT_EQ(from_negabase(*digits, q), BigInt(v)) << v << " q=" << q;
+      for (const std::uint32_t d : *digits) EXPECT_LT(d, q);
+    }
+  }
+}
+
+TEST(Negabase, ZeroIsAllZeros) {
+  const auto digits = to_negabase(BigInt(0), 3, 5);
+  ASSERT_TRUE(digits.has_value());
+  for (const std::uint32_t d : *digits) EXPECT_EQ(d, 0u);
+}
+
+TEST(Negabase, BudgetOverflowReturnsNullopt) {
+  // 3 digits base -2 represent [lo, hi] with hi = 1 + 4 = 5, lo = -2.
+  EXPECT_TRUE(to_negabase(BigInt(5), 2, 3).has_value());
+  EXPECT_FALSE(to_negabase(BigInt(6), 2, 3).has_value());
+  EXPECT_TRUE(to_negabase(BigInt(-2), 2, 3).has_value());
+  EXPECT_FALSE(to_negabase(BigInt(-3), 2, 3).has_value());
+}
+
+TEST(Negabase, RangeIsTightAndContiguous) {
+  for (std::uint64_t q : {2ull, 3ull, 7ull}) {
+    for (std::size_t len = 1; len <= 6; ++len) {
+      const NegabaseRange range = negabase_range(q, len);
+      // Exactly q^len integers in [lo, hi].
+      EXPECT_EQ(range.hi - range.lo + BigInt(1),
+                BigInt::pow(BigInt(static_cast<std::int64_t>(q)),
+                            static_cast<unsigned>(len)));
+      // Endpoints representable, one-past endpoints not.
+      EXPECT_TRUE(to_negabase(range.lo, q, len).has_value());
+      EXPECT_TRUE(to_negabase(range.hi, q, len).has_value());
+      EXPECT_FALSE(to_negabase(range.lo - BigInt(1), q, len).has_value());
+      EXPECT_FALSE(to_negabase(range.hi + BigInt(1), q, len).has_value());
+    }
+  }
+}
+
+TEST(Negabase, UniquenessByExhaustion) {
+  // Every value in the 4-digit base -3 range has exactly one expansion.
+  const std::uint64_t q = 3;
+  const std::size_t len = 4;
+  std::map<std::int64_t, int> counts;
+  std::vector<std::uint32_t> digits(len, 0);
+  for (;;) {
+    counts[from_negabase(digits, q).to_int64()]++;
+    std::size_t pos = 0;
+    while (pos < len && ++digits[pos] == q) digits[pos++] = 0;
+    if (pos == len) break;
+  }
+  const NegabaseRange range = negabase_range(q, len);
+  EXPECT_EQ(counts.size(), 81u);
+  for (const auto& [value, count] : counts) {
+    EXPECT_EQ(count, 1) << value;
+    EXPECT_GE(value, range.lo.to_int64());
+    EXPECT_LE(value, range.hi.to_int64());
+  }
+}
+
+class NegabaseRandomized : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(NegabaseRandomized, LargeRoundTrips) {
+  Xoshiro256 rng(GetParam());
+  for (const std::uint64_t q : {3ull, 7ull, 15ull, 255ull}) {
+    for (int trial = 0; trial < 50; ++trial) {
+      BigInt v;
+      for (int limb = 0; limb < 4; ++limb) {
+        v = (v << 32) + BigInt(static_cast<std::int64_t>(rng() & 0xffffffffu));
+      }
+      if (rng.coin()) v = -v;
+      const auto digits = to_negabase(v, q, 128);
+      ASSERT_TRUE(digits.has_value());
+      EXPECT_EQ(from_negabase(*digits, q), v);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, NegabaseRandomized,
+                         ::testing::Values(7u, 77u, 777u));
+
+}  // namespace

@@ -1,0 +1,163 @@
+// Polynomials over Q and Sturm-sequence root counting.
+#include <gtest/gtest.h>
+
+#include "linalg/charpoly.hpp"
+#include "linalg/qr.hpp"
+#include "linalg/poly.hpp"
+#include "linalg/svd.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using ccmx::la::Poly;
+using ccmx::la::RatMatrix;
+using ccmx::num::BigInt;
+using ccmx::num::Rational;
+using ccmx::util::Xoshiro256;
+
+Poly from_ints(std::initializer_list<std::int64_t> msf) {
+  std::vector<Rational> coeffs;
+  for (const std::int64_t v : msf) coeffs.emplace_back(BigInt(v));
+  return Poly(std::move(coeffs));
+}
+
+TEST(Poly, TrimAndDegree) {
+  EXPECT_TRUE(Poly().is_zero());
+  EXPECT_TRUE(from_ints({0, 0, 0}).is_zero());
+  EXPECT_EQ(from_ints({0, 3, 1}).degree(), 1u);
+  EXPECT_EQ(from_ints({5}).degree(), 0u);
+  EXPECT_THROW((void)Poly().degree(), ccmx::util::contract_error);
+}
+
+TEST(Poly, EvalHorner) {
+  const Poly p = from_ints({1, -3, 2});  // x^2 - 3x + 2 = (x-1)(x-2)
+  EXPECT_EQ(p.eval(Rational(0)), Rational(2));
+  EXPECT_EQ(p.eval(Rational(1)), Rational(0));
+  EXPECT_EQ(p.eval(Rational(2)), Rational(0));
+  EXPECT_EQ(p.eval(Rational(3)), Rational(2));
+  EXPECT_EQ(p.eval(Rational(BigInt(1), BigInt(2))),
+            Rational(BigInt(3), BigInt(4)));
+}
+
+TEST(Poly, Derivative) {
+  // d/dx (x^3 - 2x + 7) = 3x^2 - 2.
+  EXPECT_EQ(from_ints({1, 0, -2, 7}).derivative(), from_ints({3, 0, -2}));
+  EXPECT_TRUE(from_ints({5}).derivative().is_zero());
+}
+
+TEST(Poly, RingOps) {
+  const Poly a = from_ints({1, 2});     // x + 2
+  const Poly b = from_ints({1, -2});    // x - 2
+  EXPECT_EQ(a + b, from_ints({2, 0}));
+  EXPECT_EQ(a - b, from_ints({4}));
+  EXPECT_EQ(a * b, from_ints({1, 0, -4}));  // x^2 - 4
+  EXPECT_EQ(a + (-a), Poly());
+}
+
+TEST(Poly, DivMod) {
+  // (x^3 - 1) / (x - 1) = x^2 + x + 1 rem 0.
+  const auto [q, r] = Poly::divmod(from_ints({1, 0, 0, -1}), from_ints({1, -1}));
+  EXPECT_EQ(q, from_ints({1, 1, 1}));
+  EXPECT_TRUE(r.is_zero());
+  // x^2 / (x^2 + 1) = 1 rem -1.
+  const auto [q2, r2] = Poly::divmod(from_ints({1, 0, 0}), from_ints({1, 0, 1}));
+  EXPECT_EQ(q2, from_ints({1}));
+  EXPECT_EQ(r2, from_ints({-1}));
+  EXPECT_THROW((void)Poly::divmod(from_ints({1}), Poly()),
+               ccmx::util::contract_error);
+}
+
+TEST(Poly, DivModRandomizedInvariant) {
+  Xoshiro256 rng(5);
+  for (int trial = 0; trial < 30; ++trial) {
+    std::vector<Rational> ca, cb;
+    const std::size_t da = 1 + rng.below(5);
+    const std::size_t db = 1 + rng.below(4);
+    for (std::size_t i = 0; i <= da; ++i) ca.emplace_back(BigInt(rng.range(-5, 5)));
+    for (std::size_t i = 0; i <= db; ++i) cb.emplace_back(BigInt(rng.range(-5, 5)));
+    const Poly a(std::move(ca));
+    Poly b(std::move(cb));
+    if (b.is_zero()) b = from_ints({1, 1});
+    const auto [q, r] = Poly::divmod(a, b);
+    EXPECT_EQ(q * b + r, a);
+    if (!r.is_zero()) {
+      EXPECT_LT(r.degree(), b.degree());
+    }
+  }
+}
+
+TEST(Sturm, CountsKnownRoots) {
+  // (x-1)(x-2)(x-3): 3 distinct real roots, 2 of them positive in (0, 2.5].
+  const Poly p = from_ints({1, -6, 11, -6});
+  EXPECT_EQ(ccmx::la::count_real_roots(p), 3u);
+  EXPECT_EQ(ccmx::la::count_real_roots(p, Rational(0),
+                                       Rational(BigInt(5), BigInt(2))),
+            2u);
+  EXPECT_EQ(ccmx::la::count_positive_roots(p), 3u);
+}
+
+TEST(Sturm, RepeatedRootsCountedOnce) {
+  // (x-1)^2 (x+2): distinct real roots = 2.
+  const Poly p = from_ints({1, 0, -3, 2});
+  EXPECT_EQ(ccmx::la::count_real_roots(p), 2u);
+  EXPECT_EQ(ccmx::la::count_positive_roots(p), 1u);
+}
+
+TEST(Sturm, ComplexRootsIgnored) {
+  // x^2 + 1: no real roots.  x^4 - 1: two real roots.
+  EXPECT_EQ(ccmx::la::count_real_roots(from_ints({1, 0, 1})), 0u);
+  EXPECT_EQ(ccmx::la::count_real_roots(from_ints({1, 0, 0, 0, -1})), 2u);
+  EXPECT_EQ(ccmx::la::count_positive_roots(from_ints({1, 0, 0, 0, -1})), 1u);
+}
+
+TEST(Sturm, LinearAndConstant) {
+  EXPECT_EQ(ccmx::la::count_real_roots(from_ints({2, -6})), 1u);  // x = 3
+  EXPECT_EQ(ccmx::la::count_real_roots(from_ints({7})), 0u);
+}
+
+TEST(SvdDistinct, CountsDistinctSingularValues) {
+  // diag(2, 2, 3): singular values {2, 2, 3} -> rank 3, distinct 2.
+  RatMatrix d(3, 3);
+  d(0, 0) = Rational(2);
+  d(1, 1) = Rational(2);
+  d(2, 2) = Rational(3);
+  const auto s = ccmx::la::svd_structure(d);
+  EXPECT_EQ(s.rank, 3u);
+  EXPECT_EQ(s.distinct_nonzero_sigmas, 2u);
+  // diag(1, 2, 0): rank 2, distinct 2.
+  RatMatrix e(3, 3);
+  e(0, 0) = Rational(1);
+  e(1, 1) = Rational(2);
+  const auto se = ccmx::la::svd_structure(e);
+  EXPECT_EQ(se.rank, 2u);
+  EXPECT_EQ(se.distinct_nonzero_sigmas, 2u);
+  // Zero matrix: no singular values.
+  EXPECT_EQ(ccmx::la::svd_structure(RatMatrix(3, 3)).distinct_nonzero_sigmas,
+            0u);
+}
+
+TEST(SvdDistinct, BoundedByRank) {
+  Xoshiro256 rng(9);
+  for (int trial = 0; trial < 15; ++trial) {
+    const std::size_t n = 2 + rng.below(4);
+    const RatMatrix m = RatMatrix::generate(n, n, [&](std::size_t, std::size_t) {
+      return Rational(BigInt(rng.range(-4, 4)));
+    });
+    const auto s = ccmx::la::svd_structure(m);
+    EXPECT_LE(s.distinct_nonzero_sigmas, s.rank);
+    EXPECT_GE(s.distinct_nonzero_sigmas, s.rank > 0 ? 1u : 0u);
+  }
+}
+
+TEST(SturmCharpolyIntegration, GramRootsAreSingularValuesSquared) {
+  // A = diag(1, 2): A^T A = diag(1, 4); roots of charpoly are {1, 4}.
+  RatMatrix a(2, 2);
+  a(0, 0) = Rational(1);
+  a(1, 1) = Rational(2);
+  const Poly p(ccmx::la::charpoly(ccmx::la::gram(a)));
+  EXPECT_EQ(p.eval(Rational(1)), Rational(0));
+  EXPECT_EQ(p.eval(Rational(4)), Rational(0));
+  EXPECT_EQ(ccmx::la::count_positive_roots(p), 2u);
+}
+
+}  // namespace

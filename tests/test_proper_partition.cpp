@@ -1,0 +1,149 @@
+// Definition 3.8 and Lemma 3.9: properness checks and the constructive
+// permutation transform for arbitrary even partitions.
+#include <gtest/gtest.h>
+
+#include "core/proper_partition.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace ccmx::core;
+using ccmx::comm::Agent;
+using ccmx::comm::MatrixBitLayout;
+using ccmx::comm::Partition;
+using ccmx::util::Xoshiro256;
+
+TEST(Regions, GeometryMatchesConstruction) {
+  const ConstructionParams p(7, 2);
+  const Regions r = restricted_regions(p);
+  EXPECT_EQ(r.c_rows.size(), p.half());
+  EXPECT_EQ(r.c_cols.size(), p.half());
+  EXPECT_EQ(r.e_rows.size(), p.half());
+  EXPECT_EQ(r.e_cols.size(), p.l());
+  // C rows live in the bottom half, C columns in the left half.
+  for (const std::size_t row : r.c_rows) {
+    EXPECT_GE(row, p.n());
+    EXPECT_LT(row, 2 * p.n());
+  }
+  for (const std::size_t col : r.c_cols) EXPECT_LT(col, p.n());
+  // E columns live in the right half.
+  for (const std::size_t col : r.e_cols) EXPECT_GE(col, p.n() + 1);
+  // C and E rows are disjoint.
+  for (const std::size_t cr : r.c_rows) {
+    for (const std::size_t er : r.e_rows) EXPECT_NE(cr, er);
+  }
+}
+
+TEST(ProperCheck, Pi0IsAlreadyProper) {
+  // Under pi_0, agent 0 reads every C bit and agent 1 every E bit.
+  const ConstructionParams p(7, 2);
+  const MatrixBitLayout layout(14, 14, 2);
+  const Partition pi = Partition::pi0(layout);
+  const ProperCheck check = check_proper(pi, p, /*agents_swapped=*/false);
+  EXPECT_TRUE(check.proper);
+  EXPECT_EQ(check.c_agent0_bits, p.k() * p.half() * p.half());
+  EXPECT_EQ(check.e_min_row_bits, p.k() * p.l());
+}
+
+TEST(ProperCheck, AdversarialAntiPi0Fails) {
+  // Give agent 1 every C bit: the C requirement fails without renaming.
+  const ConstructionParams p(7, 2);
+  const MatrixBitLayout layout(14, 14, 2);
+  Partition pi = Partition::pi0(layout);
+  const Regions r = restricted_regions(p);
+  for (const std::size_t row : r.c_rows) {
+    for (const std::size_t col : r.c_cols) {
+      for (unsigned b = 0; b < 2; ++b) {
+        pi.assign(layout.bit_index(row, col, b), Agent::kOne);
+      }
+    }
+  }
+  EXPECT_FALSE(check_proper(pi, p, false).proper);
+}
+
+class Lemma39Sweep
+    : public ::testing::TestWithParam<std::tuple<std::size_t, unsigned>> {};
+
+TEST_P(Lemma39Sweep, RandomEvenPartitionsTransformToProper) {
+  const auto [n, k] = GetParam();
+  const ConstructionParams p(n, k);
+  ASSERT_TRUE(p.valid());
+  const MatrixBitLayout layout(2 * n, 2 * n, k);
+  Xoshiro256 rng(n * 1000 + k);
+  for (int trial = 0; trial < 10; ++trial) {
+    const Partition pi = Partition::random_even(layout.total_bits(), rng);
+    const auto transform = find_proper_transform(pi, p, rng);
+    ASSERT_TRUE(transform.has_value()) << "n=" << n << " k=" << k
+                                       << " trial=" << trial;
+    // Re-verify the witness from scratch.
+    const Partition permuted = apply_transform(pi, p, *transform);
+    EXPECT_TRUE(check_proper(permuted, p, transform->agents_swapped).proper);
+    // Permutations are valid bijections.
+    std::vector<bool> seen_row(2 * n, false), seen_col(2 * n, false);
+    for (std::size_t i = 0; i < 2 * n; ++i) {
+      EXPECT_FALSE(seen_row[transform->row_perm[i]]);
+      seen_row[transform->row_perm[i]] = true;
+      EXPECT_FALSE(seen_col[transform->col_perm[i]]);
+      seen_col[transform->col_perm[i]] = true;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Params, Lemma39Sweep,
+    ::testing::Values(std::make_tuple(std::size_t{7}, 2u),
+                      std::make_tuple(std::size_t{9}, 2u),
+                      std::make_tuple(std::size_t{9}, 3u),
+                      std::make_tuple(std::size_t{11}, 2u)));
+
+TEST(Lemma39, ColumnConcentratedPartitionNeedsAgentSwap) {
+  // Agent 0 holds the RIGHT half columns: the transform must still succeed
+  // (possibly renaming agents or permuting columns across the middle).
+  const ConstructionParams p(7, 2);
+  const MatrixBitLayout layout(14, 14, 2);
+  Partition pi(layout.total_bits());
+  for (std::size_t i = 0; i < 14; ++i) {
+    for (std::size_t j = 0; j < 14; ++j) {
+      for (unsigned b = 0; b < 2; ++b) {
+        pi.assign(layout.bit_index(i, j, b),
+                  j >= 7 ? Agent::kZero : Agent::kOne);
+      }
+    }
+  }
+  Xoshiro256 rng(5);
+  const auto transform = find_proper_transform(pi, p, rng);
+  ASSERT_TRUE(transform.has_value());
+  const Partition permuted = apply_transform(pi, p, *transform);
+  EXPECT_TRUE(check_proper(permuted, p, transform->agents_swapped).proper);
+}
+
+TEST(Lemma39, RowStripedPartition) {
+  // Alternating full rows — a partition far from pi_0.
+  const ConstructionParams p(9, 2);
+  const MatrixBitLayout layout(18, 18, 2);
+  Partition pi(layout.total_bits());
+  for (std::size_t i = 0; i < 18; ++i) {
+    for (std::size_t j = 0; j < 18; ++j) {
+      for (unsigned b = 0; b < 2; ++b) {
+        pi.assign(layout.bit_index(i, j, b),
+                  i % 2 == 0 ? Agent::kZero : Agent::kOne);
+      }
+    }
+  }
+  Xoshiro256 rng(6);
+  const auto transform = find_proper_transform(pi, p, rng);
+  ASSERT_TRUE(transform.has_value());
+  EXPECT_TRUE(check_proper(apply_transform(pi, p, *transform), p,
+                           transform->agents_swapped)
+                  .proper);
+}
+
+TEST(DyBits, MatchesPaperSlack) {
+  // D and y carry O(k n log n) bits — the slack Lemma 3.9 grants.
+  const ConstructionParams p(9, 3);
+  EXPECT_EQ(dy_bit_count(p),
+            p.k() * (p.half() * p.g() + (p.n() - 1)));
+  EXPECT_LT(dy_bit_count(p), p.k() * p.n() * p.n() / 2);  // well below k n^2
+}
+
+}  // namespace

@@ -1,0 +1,163 @@
+// Protocol behaviour across the partition space: correctness must be
+// partition-independent, costs must track the partition shares, and the
+// locality guard must catch every out-of-share read.
+#include <gtest/gtest.h>
+
+#include "comm/channel.hpp"
+#include "linalg/det.hpp"
+#include "protocols/fingerprint.hpp"
+#include "protocols/send_half.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace ccmx::comm;
+using namespace ccmx::proto;
+using ccmx::la::IntMatrix;
+using ccmx::num::BigInt;
+using ccmx::util::Xoshiro256;
+
+IntMatrix random_entries(std::size_t n, unsigned k, Xoshiro256& rng) {
+  return IntMatrix::generate(n, n, [&](std::size_t, std::size_t) {
+    return BigInt(static_cast<std::int64_t>(rng.below(std::uint64_t{1} << k)));
+  });
+}
+
+/// A random partition that keeps whole entries together (what fingerprint
+/// protocols require), with exactly half the entries per agent.
+Partition random_entry_aligned(const MatrixBitLayout& layout,
+                               Xoshiro256& rng) {
+  Partition pi(layout.total_bits());
+  const std::size_t cells = layout.rows() * layout.cols();
+  const auto agent0_cells =
+      ccmx::util::sample_without_replacement(cells, cells / 2, rng);
+  std::vector<bool> is_zero(cells, false);
+  for (const std::size_t c : agent0_cells) is_zero[c] = true;
+  for (std::size_t i = 0; i < layout.rows(); ++i) {
+    for (std::size_t j = 0; j < layout.cols(); ++j) {
+      const Agent who = is_zero[i * layout.cols() + j] ? Agent::kZero
+                                                       : Agent::kOne;
+      for (unsigned b = 0; b < layout.entry_bits(); ++b) {
+        pi.assign(layout.bit_index(i, j, b), who);
+      }
+    }
+  }
+  return pi;
+}
+
+class PartitionSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(PartitionSweep, SendHalfCorrectUnderAnyPartition) {
+  Xoshiro256 rng(GetParam());
+  const MatrixBitLayout layout(4, 4, 2);
+  const auto protocol = make_send_half_singularity(layout);
+  for (int trial = 0; trial < 15; ++trial) {
+    IntMatrix m = random_entries(4, 2, rng);
+    if (trial % 2 == 0) {
+      for (std::size_t i = 0; i < 4; ++i) m(i, 3) = m(i, 0);
+    }
+    const Partition pi = Partition::random_even(layout.total_bits(), rng);
+    const auto outcome = execute(protocol, layout.encode(m), pi);
+    EXPECT_EQ(outcome.answer, ccmx::la::is_singular(m));
+    // Cost is governed by the smaller share.
+    const std::size_t smaller =
+        std::min(pi.bits_of(Agent::kZero), pi.bits_of(Agent::kOne));
+    EXPECT_EQ(outcome.bits, smaller + 1);
+  }
+}
+
+TEST_P(PartitionSweep, FingerprintCorrectUnderEntryAlignedPartitions) {
+  Xoshiro256 rng(GetParam() + 50);
+  const MatrixBitLayout layout(4, 4, 3);
+  for (int trial = 0; trial < 10; ++trial) {
+    IntMatrix m = random_entries(4, 3, rng);
+    for (std::size_t i = 0; i < 4; ++i) m(i, 2) = m(i, 1);  // singular
+    const Partition pi = random_entry_aligned(layout, rng);
+    const FingerprintProtocol fp(layout, FingerprintTask::kSingularity, 16, 1,
+                                 GetParam() * 100 + static_cast<std::uint64_t>(trial));
+    // Singular inputs always answered singular, regardless of partition.
+    EXPECT_TRUE(execute(fp, layout.encode(m), pi).answer);
+    // Cost: agent 0's entry count times the prime width, plus the answer.
+    const std::size_t agent0_entries = pi.bits_of(Agent::kZero) / 3;
+    EXPECT_EQ(execute(fp, layout.encode(m), pi).bits,
+              agent0_entries * 16 + 1);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PartitionSweep,
+                         ::testing::Values(1u, 2u, 3u));
+
+TEST(PartitionInvariance, PermutedInstanceSameAnswer) {
+  // Singularity is invariant under row/column permutations of the matrix,
+  // so a protocol run on the permuted instance must agree.
+  Xoshiro256 rng(9);
+  const MatrixBitLayout layout(4, 4, 2);
+  const Partition pi = Partition::pi0(layout);
+  const auto protocol = make_send_half_singularity(layout);
+  for (int trial = 0; trial < 15; ++trial) {
+    const IntMatrix m = random_entries(4, 2, rng);
+    const auto row_perm = ccmx::util::random_permutation(4, rng);
+    const auto col_perm = ccmx::util::random_permutation(4, rng);
+    const IntMatrix permuted = m.permute_rows(row_perm).permute_cols(col_perm);
+    EXPECT_EQ(execute(protocol, layout.encode(m), pi).answer,
+              execute(protocol, layout.encode(permuted), pi).answer);
+  }
+}
+
+TEST(ChannelAccounting, TranscriptBitsSumToTotal) {
+  Xoshiro256 rng(11);
+  const MatrixBitLayout layout(6, 6, 4);
+  const Partition pi = Partition::pi0(layout);
+  const IntMatrix m = random_entries(6, 4, rng);
+  const BitVec input = layout.encode(m);
+  const AgentView a0(Agent::kZero, input, pi);
+  const AgentView a1(Agent::kOne, input, pi);
+  Channel channel;
+  const FingerprintProtocol fp(layout, FingerprintTask::kSingularity, 12, 3,
+                               5);
+  (void)fp.run(a0, a1, channel);
+  std::size_t total = 0;
+  for (const auto& message : channel.transcript()) {
+    total += message.payload.size();
+  }
+  EXPECT_EQ(total, channel.bits_sent());
+  EXPECT_EQ(channel.rounds(), 6u);  // 3 repetitions x (payload + answer)
+  EXPECT_EQ(channel.bits_sent_by(Agent::kZero) +
+                channel.bits_sent_by(Agent::kOne),
+            channel.bits_sent());
+}
+
+TEST(LocalityGuard, ForeignReadsAlwaysThrow) {
+  const MatrixBitLayout layout(3, 4, 2);
+  Xoshiro256 rng(13);
+  const Partition pi = Partition::random_even(layout.total_bits(), rng);
+  BitVec input(layout.total_bits());
+  const AgentView a0(Agent::kZero, input, pi);
+  const AgentView a1(Agent::kOne, input, pi);
+  for (std::size_t bit = 0; bit < layout.total_bits(); ++bit) {
+    if (pi.owner(bit) == Agent::kZero) {
+      EXPECT_NO_THROW((void)a0.get(bit));
+      EXPECT_THROW((void)a1.get(bit), ccmx::util::contract_error);
+    } else {
+      EXPECT_THROW((void)a0.get(bit), ccmx::util::contract_error);
+      EXPECT_NO_THROW((void)a1.get(bit));
+    }
+  }
+}
+
+TEST(CostScaling, SendHalfBitsScaleWithLayout) {
+  // Cost = k n^2 / 2 + 1 under pi_0: verify the formula across shapes.
+  Xoshiro256 rng(15);
+  for (const auto& [n, k] : std::vector<std::pair<std::size_t, unsigned>>{
+           {2, 1}, {4, 3}, {6, 5}, {8, 2}}) {
+    const MatrixBitLayout layout(n, n, k);
+    const Partition pi = Partition::pi0(layout);
+    const auto protocol = make_send_half_singularity(layout);
+    const IntMatrix m = random_entries(n, k, rng);
+    EXPECT_EQ(execute(protocol, layout.encode(m), pi).bits,
+              k * n * n / 2 + 1)
+        << n << "," << k;
+  }
+}
+
+}  // namespace

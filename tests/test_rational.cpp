@@ -1,0 +1,93 @@
+// Rational: normalization invariants and field axioms.
+#include <gtest/gtest.h>
+
+#include "bigint/rational.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using ccmx::num::BigInt;
+using ccmx::num::Rational;
+using ccmx::util::Xoshiro256;
+
+TEST(RationalBasics, NormalizationCanonicalizes) {
+  const Rational r(BigInt(4), BigInt(-6));
+  EXPECT_EQ(r.num(), BigInt(-2));
+  EXPECT_EQ(r.den(), BigInt(3));
+  EXPECT_EQ(Rational(BigInt(0), BigInt(-7)), Rational(0));
+  EXPECT_EQ(Rational(BigInt(0), BigInt(-7)).den(), BigInt(1));
+}
+
+TEST(RationalBasics, ZeroDenominatorThrows) {
+  EXPECT_THROW((void)Rational(BigInt(1), BigInt(0)),
+               ccmx::util::contract_error);
+}
+
+TEST(RationalBasics, EqualityAfterReduction) {
+  EXPECT_EQ(Rational(BigInt(2), BigInt(4)), Rational(BigInt(1), BigInt(2)));
+  EXPECT_EQ(Rational(BigInt(-3), BigInt(-9)), Rational(BigInt(1), BigInt(3)));
+  EXPECT_NE(Rational(BigInt(1), BigInt(2)), Rational(BigInt(1), BigInt(3)));
+}
+
+TEST(RationalBasics, Arithmetic) {
+  const Rational half(BigInt(1), BigInt(2));
+  const Rational third(BigInt(1), BigInt(3));
+  EXPECT_EQ(half + third, Rational(BigInt(5), BigInt(6)));
+  EXPECT_EQ(half - third, Rational(BigInt(1), BigInt(6)));
+  EXPECT_EQ(half * third, Rational(BigInt(1), BigInt(6)));
+  EXPECT_EQ(half / third, Rational(BigInt(3), BigInt(2)));
+  EXPECT_EQ(-half, Rational(BigInt(-1), BigInt(2)));
+  EXPECT_EQ(half.reciprocal(), Rational(2));
+}
+
+TEST(RationalBasics, ReciprocalOfNegative) {
+  const Rational r(BigInt(-2), BigInt(3));
+  const Rational inv = r.reciprocal();
+  EXPECT_EQ(inv, Rational(BigInt(-3), BigInt(2)));
+  EXPECT_EQ(inv.den().signum(), 1);
+  EXPECT_THROW((void)Rational(0).reciprocal(), ccmx::util::contract_error);
+}
+
+TEST(RationalBasics, Ordering) {
+  EXPECT_LT(Rational(BigInt(1), BigInt(3)), Rational(BigInt(1), BigInt(2)));
+  EXPECT_LT(Rational(BigInt(-1), BigInt(2)), Rational(BigInt(1), BigInt(5)));
+  EXPECT_GT(Rational(2), Rational(BigInt(7), BigInt(4)));
+}
+
+TEST(RationalBasics, ToString) {
+  EXPECT_EQ(Rational(BigInt(3), BigInt(4)).to_string(), "3/4");
+  EXPECT_EQ(Rational(5).to_string(), "5");
+  EXPECT_EQ(Rational(BigInt(-1), BigInt(8)).to_string(), "-1/8");
+}
+
+class RationalFieldAxioms : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RationalFieldAxioms, RandomizedAxioms) {
+  Xoshiro256 rng(GetParam());
+  const auto random_rational = [&rng]() {
+    const std::int64_t num = rng.range(-50, 50);
+    const std::int64_t den = rng.range(1, 30);
+    return Rational(BigInt(num), BigInt(den));
+  };
+  for (int trial = 0; trial < 100; ++trial) {
+    const Rational a = random_rational();
+    const Rational b = random_rational();
+    const Rational c = random_rational();
+    EXPECT_EQ(a + b, b + a);
+    EXPECT_EQ(a * b, b * a);
+    EXPECT_EQ((a + b) + c, a + (b + c));
+    EXPECT_EQ(a * (b + c), a * b + a * c);
+    EXPECT_EQ(a + Rational(0), a);
+    EXPECT_EQ(a * Rational(1), a);
+    EXPECT_EQ(a - a, Rational(0));
+    if (!a.is_zero()) {
+      EXPECT_EQ(a * a.reciprocal(), Rational(1));
+      EXPECT_EQ(b / a * a, b);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RationalFieldAxioms,
+                         ::testing::Values(11u, 22u, 33u, 44u));
+
+}  // namespace

@@ -1,0 +1,161 @@
+// Corollaries 1.2 / 1.3, the Lin-Wu rank reduction, padding, and the
+// vector-space span problem.
+#include <gtest/gtest.h>
+
+#include "core/construction.hpp"
+#include "core/reductions.hpp"
+#include "linalg/det.hpp"
+#include "linalg/rref.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace ccmx::core;
+using ccmx::la::IntMatrix;
+using ccmx::num::BigInt;
+using ccmx::util::Xoshiro256;
+
+IntMatrix random_matrix(std::size_t n, Xoshiro256& rng, std::int64_t lo = -5,
+                        std::int64_t hi = 5) {
+  return IntMatrix::generate(n, n, [&](std::size_t, std::size_t) {
+    return BigInt(rng.range(lo, hi));
+  });
+}
+
+TEST(Corollary12, AllFiveOraclesAgree) {
+  Xoshiro256 rng(1);
+  int singular_seen = 0, nonsingular_seen = 0;
+  for (int trial = 0; trial < 40; ++trial) {
+    IntMatrix m = random_matrix(2 + rng.below(4), rng);
+    if (trial % 2 == 0 && m.rows() >= 2) {
+      for (std::size_t i = 0; i < m.rows(); ++i) m(i, 1) = m(i, 0) * BigInt(2);
+    }
+    const bool by_det = singular_via_determinant(m);
+    EXPECT_EQ(singular_via_rank(m), by_det) << m.to_string();
+    EXPECT_EQ(singular_via_qr(m), by_det) << m.to_string();
+    EXPECT_EQ(singular_via_svd(m), by_det) << m.to_string();
+    EXPECT_EQ(singular_via_lup(m), by_det) << m.to_string();
+    if (m.cols() % 2 == 0) {
+      EXPECT_EQ(singular_via_span_problem(m), by_det) << "span oracle";
+    }
+    (by_det ? singular_seen : nonsingular_seen)++;
+  }
+  EXPECT_GT(singular_seen, 0);
+  EXPECT_GT(nonsingular_seen, 0);
+}
+
+TEST(Corollary13, EquivalenceOnRestrictedFamily) {
+  // On the paper's family: M singular <=> M' x = b solvable (M' = M with
+  // column 0 zeroed, b = column 0).  The proof needs the last 2n-1 columns
+  // independent, which build_a guarantees.
+  const ConstructionParams p(7, 2);
+  Xoshiro256 rng(2);
+  int singular_seen = 0;
+  for (int trial = 0; trial < 20; ++trial) {
+    FreeParts parts = FreeParts::random(p, rng);
+    if (trial % 2 == 0) {
+      if (const auto done = lemma35_complete(p, parts.c, parts.e)) {
+        parts = *done;
+      }
+    }
+    const IntMatrix m = build_m(p, parts);
+    const SolvabilityInstance instance = corollary13_instance(m);
+    const bool m_singular = ccmx::la::is_singular(m);
+    EXPECT_EQ(ccmx::core::solvable(instance.m_prime, instance.b), m_singular);
+    if (m_singular) ++singular_seen;
+  }
+  EXPECT_GT(singular_seen, 0);
+}
+
+TEST(Corollary13, InstanceShape) {
+  Xoshiro256 rng(3);
+  const IntMatrix m = random_matrix(5, rng);
+  const SolvabilityInstance instance = corollary13_instance(m);
+  EXPECT_EQ(instance.b.size(), 5u);
+  for (std::size_t i = 0; i < 5; ++i) {
+    EXPECT_EQ(instance.b[i], m(i, 0));
+    EXPECT_EQ(instance.m_prime(i, 0), BigInt(0));
+    for (std::size_t j = 1; j < 5; ++j) {
+      EXPECT_EQ(instance.m_prime(i, j), m(i, j));
+    }
+  }
+}
+
+TEST(Solvable, MatchesRankCriterion) {
+  Xoshiro256 rng(4);
+  for (int trial = 0; trial < 30; ++trial) {
+    const std::size_t n = 2 + rng.below(4);
+    const IntMatrix a = random_matrix(n, rng, -3, 3);
+    std::vector<BigInt> b;
+    for (std::size_t i = 0; i < n; ++i) b.push_back(BigInt(rng.range(-3, 3)));
+    IntMatrix augmented(n, n + 1);
+    augmented.set_block(0, 0, a);
+    for (std::size_t i = 0; i < n; ++i) augmented(i, n) = b[i];
+    EXPECT_EQ(ccmx::core::solvable(a, b),
+              ccmx::la::rank(a) == ccmx::la::rank(augmented));
+  }
+}
+
+TEST(LinWu, RankIdentityHolds) {
+  Xoshiro256 rng(5);
+  for (int trial = 0; trial < 25; ++trial) {
+    const std::size_t n = 2 + rng.below(3);
+    const IntMatrix a = random_matrix(n, rng);
+    const IntMatrix b = random_matrix(n, rng);
+    IntMatrix c = a * b;
+    // rank([[I,B],[A,C]]) == n + rank(C - AB).
+    EXPECT_EQ(ccmx::la::rank(linwu_matrix(a, b, c)), n);
+    EXPECT_TRUE(product_equals_via_rank(a, b, c));
+    // Perturb C.
+    c(rng.below(n), rng.below(n)) += BigInt(1);
+    const IntMatrix diff = c - a * b;
+    EXPECT_EQ(ccmx::la::rank(linwu_matrix(a, b, c)),
+              n + ccmx::la::rank(diff));
+    EXPECT_FALSE(product_equals_via_rank(a, b, c));
+  }
+}
+
+TEST(Padding, PreservesSingularityAllResidues) {
+  Xoshiro256 rng(6);
+  for (std::size_t m_dim = 2; m_dim <= 9; ++m_dim) {
+    for (int trial = 0; trial < 6; ++trial) {
+      IntMatrix m = random_matrix(m_dim, rng);
+      if (trial % 2 == 0 && m_dim >= 2) {
+        for (std::size_t i = 0; i < m_dim; ++i) m(i, m_dim - 1) = m(i, 0);
+      }
+      const IntMatrix padded = pad_to_odd_2n(m);
+      const std::size_t n = padded_half_dimension(m_dim);
+      EXPECT_EQ(n % 2, 1u);
+      EXPECT_GE(2 * n, m_dim);
+      EXPECT_EQ(padded.rows(), 2 * n);
+      EXPECT_EQ(ccmx::la::is_singular(padded), ccmx::la::is_singular(m));
+      EXPECT_EQ(ccmx::la::det_bareiss(padded), ccmx::la::det_bareiss(m));
+    }
+  }
+}
+
+TEST(SpanProblem, UnionSpansIffNonsingular) {
+  Xoshiro256 rng(7);
+  for (int trial = 0; trial < 25; ++trial) {
+    IntMatrix m = random_matrix(6, rng);
+    if (trial % 2 == 0) {
+      for (std::size_t i = 0; i < 6; ++i) m(i, 5) = m(i, 0) + m(i, 1);
+    }
+    const IntMatrix left = m.block(0, 0, 6, 3);
+    const IntMatrix right = m.block(0, 3, 6, 3);
+    EXPECT_EQ(union_spans_space(left, right), !ccmx::la::is_singular(m));
+    EXPECT_EQ(singular_via_span_problem(m), ccmx::la::is_singular(m));
+  }
+}
+
+TEST(SpanProblem, DetectsProperSubspace) {
+  // Two copies of the same plane never span Q^3.
+  const IntMatrix plane{{BigInt(1), BigInt(0)},
+                        {BigInt(0), BigInt(1)},
+                        {BigInt(0), BigInt(0)}};
+  EXPECT_FALSE(union_spans_space(plane, plane));
+  const IntMatrix zaxis{{BigInt(0)}, {BigInt(0)}, {BigInt(1)}};
+  EXPECT_TRUE(union_spans_space(plane, zaxis.augment(zaxis)));
+}
+
+}  // namespace

@@ -1,0 +1,109 @@
+// Truth-matrix sampling: exact tiny matrices against brute-force
+// determinants, and sampled restricted matrices against the scalar oracle.
+#include <gtest/gtest.h>
+
+#include "core/truth_sampling.hpp"
+#include "linalg/det.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace ccmx::core;
+using ccmx::la::IntMatrix;
+using ccmx::num::BigInt;
+using ccmx::util::Xoshiro256;
+
+TEST(TinyTruth, M1K1MatchesBruteForce) {
+  // 2x2 matrices of 1-bit entries.
+  const auto tm = singularity_truth_matrix(1, 1);
+  ASSERT_EQ(tm.rows(), 4u);
+  ASSERT_EQ(tm.cols(), 4u);
+  for (std::size_t r = 0; r < 4; ++r) {
+    for (std::size_t c = 0; c < 4; ++c) {
+      IntMatrix m(2, 2);
+      m(0, 0) = BigInt(static_cast<std::int64_t>(r & 1));
+      m(1, 0) = BigInt(static_cast<std::int64_t>((r >> 1) & 1));
+      m(0, 1) = BigInt(static_cast<std::int64_t>(c & 1));
+      m(1, 1) = BigInt(static_cast<std::int64_t>((c >> 1) & 1));
+      EXPECT_EQ(tm.get(r, c), ccmx::la::is_singular(m)) << r << "," << c;
+    }
+  }
+  // Singular count of 2x2 0/1 matrices is 10 (16 - 6 nonsingular).
+  EXPECT_EQ(tm.ones(), 10u);
+}
+
+TEST(TinyTruth, M1K2SpotChecks) {
+  const auto tm = singularity_truth_matrix(1, 2);
+  EXPECT_EQ(tm.rows(), 16u);
+  // Column (y0, y1) = (0, 0): every matrix with a zero column is singular.
+  for (std::size_t r = 0; r < 16; ++r) EXPECT_TRUE(tm.get(r, 0));
+  // Identity is nonsingular: x = (1, 0) -> r = 1, y = (0, 1) -> c = 4.
+  EXPECT_FALSE(tm.get(1, 4));
+}
+
+TEST(TinyTruth, M2K1MatchesBruteForceSample) {
+  const auto tm = singularity_truth_matrix(2, 1);
+  ASSERT_EQ(tm.rows(), 256u);
+  Xoshiro256 rng(1);
+  for (int trial = 0; trial < 200; ++trial) {
+    const std::size_t r = rng.below(256);
+    const std::size_t c = rng.below(256);
+    IntMatrix m(4, 4);
+    for (std::size_t i = 0; i < 4; ++i) {
+      for (std::size_t j = 0; j < 2; ++j) {
+        m(i, j) = BigInt(static_cast<std::int64_t>((r >> (i * 2 + j)) & 1));
+        m(i, 2 + j) =
+            BigInt(static_cast<std::int64_t>((c >> (i * 2 + j)) & 1));
+      }
+    }
+    EXPECT_EQ(tm.get(r, c), ccmx::la::is_singular(m));
+  }
+}
+
+TEST(TinyTruth, RejectsOversizedRequests) {
+  EXPECT_THROW((void)singularity_truth_matrix(2, 2),
+               ccmx::util::contract_error);
+  EXPECT_THROW((void)singularity_truth_matrix(3, 1),
+               ccmx::util::contract_error);
+  EXPECT_THROW((void)singularity_truth_matrix(1, 7),
+               ccmx::util::contract_error);
+}
+
+TEST(SampledRestricted, CellsMatchScalarOracle) {
+  const ConstructionParams p(7, 2);
+  Xoshiro256 rng(2);
+  const auto tm = sampled_restricted_truth_matrix(p, 8, 16, true, rng);
+  EXPECT_EQ(tm.rows(), 8u);
+  EXPECT_EQ(tm.cols(), 16u);
+  // Enriched columns guarantee ones in row 0.
+  std::size_t row0_ones = 0;
+  for (std::size_t c = 0; c < 16; ++c) {
+    if (tm.get(0, c)) ++row0_ones;
+  }
+  EXPECT_GT(row0_ones, 0u);
+}
+
+TEST(SampledRestricted, EnrichmentPlantsOnes) {
+  const ConstructionParams p(9, 2);
+  Xoshiro256 rng(3);
+  const auto enriched = sampled_restricted_truth_matrix(p, 4, 32, true, rng);
+  Xoshiro256 rng2(3);
+  const auto plain = sampled_restricted_truth_matrix(p, 4, 32, false, rng2);
+  EXPECT_GE(enriched.ones(), plain.ones());
+  // Random (D,E,y) columns are almost never singular: plain stays sparse.
+  EXPECT_LE(plain.ones(), 4u);
+}
+
+TEST(SampledRestricted, DeterministicUnderSeed) {
+  const ConstructionParams p(7, 2);
+  Xoshiro256 a(7), b(7);
+  const auto ta = sampled_restricted_truth_matrix(p, 6, 6, true, a);
+  const auto tb = sampled_restricted_truth_matrix(p, 6, 6, true, b);
+  for (std::size_t r = 0; r < 6; ++r) {
+    for (std::size_t c = 0; c < 6; ++c) {
+      EXPECT_EQ(ta.get(r, c), tb.get(r, c));
+    }
+  }
+}
+
+}  // namespace

@@ -1,0 +1,125 @@
+// util: rng determinism/statistics, parallel loops, narrowing, tables.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <set>
+#include <sstream>
+
+#include "util/narrow.hpp"
+#include "util/parallel.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace ccmx::util;
+
+TEST(Rng, DeterministicBySeed) {
+  Xoshiro256 a(42), b(42), c(43);
+  bool all_equal = true;
+  bool any_diff = false;
+  for (int i = 0; i < 100; ++i) {
+    const auto va = a(), vb = b(), vc = c();
+    all_equal = all_equal && va == vb;
+    any_diff = any_diff || va != vc;
+  }
+  EXPECT_TRUE(all_equal);
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(Rng, BelowIsInRangeAndRoughlyUniform) {
+  Xoshiro256 rng(7);
+  std::vector<int> buckets(10, 0);
+  for (int i = 0; i < 100000; ++i) {
+    const std::uint64_t v = rng.below(10);
+    ASSERT_LT(v, 10u);
+    ++buckets[static_cast<std::size_t>(v)];
+  }
+  for (const int count : buckets) {
+    EXPECT_GT(count, 9000);
+    EXPECT_LT(count, 11000);
+  }
+  EXPECT_THROW((void)rng.below(0), contract_error);
+}
+
+TEST(Rng, RangeEndpointsReachable) {
+  Xoshiro256 rng(8);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.range(-2, 2));
+  EXPECT_EQ(seen, (std::set<std::int64_t>{-2, -1, 0, 1, 2}));
+}
+
+TEST(Rng, SampleWithoutReplacement) {
+  Xoshiro256 rng(9);
+  const auto sample = sample_without_replacement(100, 30, rng);
+  EXPECT_EQ(sample.size(), 30u);
+  EXPECT_TRUE(std::is_sorted(sample.begin(), sample.end()));
+  EXPECT_EQ(std::set<std::size_t>(sample.begin(), sample.end()).size(), 30u);
+  for (const std::size_t v : sample) EXPECT_LT(v, 100u);
+  // Full sample is a permutation of the universe.
+  const auto full = sample_without_replacement(10, 10, rng);
+  EXPECT_EQ(full.size(), 10u);
+  EXPECT_EQ(full.front(), 0u);
+  EXPECT_EQ(full.back(), 9u);
+}
+
+TEST(Rng, RandomPermutationIsPermutation) {
+  Xoshiro256 rng(10);
+  const auto perm = random_permutation(50, rng);
+  std::set<std::size_t> seen(perm.begin(), perm.end());
+  EXPECT_EQ(seen.size(), 50u);
+  EXPECT_EQ(*seen.begin(), 0u);
+  EXPECT_EQ(*seen.rbegin(), 49u);
+}
+
+TEST(Parallel, ForCoversAllIndices) {
+  std::vector<std::atomic<int>> hits(1000);
+  parallel_for(0, 1000, [&](std::size_t i) { hits[i]++; });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(Parallel, EmptyRangeIsNoop) {
+  bool called = false;
+  parallel_for(5, 5, [&](std::size_t) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+TEST(Parallel, PropagatesExceptions) {
+  EXPECT_THROW(parallel_for(0, 100,
+                            [](std::size_t i) {
+                              if (i == 37) throw std::runtime_error("boom");
+                            }),
+               std::runtime_error);
+}
+
+TEST(Parallel, ReduceSumsCorrectly) {
+  const auto total = parallel_reduce<long long>(
+      1, 1001, []() { return 0LL; },
+      [](long long& acc, std::size_t i) { acc += static_cast<long long>(i); },
+      [](long long& into, const long long& from) { into += from; });
+  EXPECT_EQ(total, 500500LL);
+}
+
+TEST(Narrow, AcceptsExactAndRejectsLossy) {
+  EXPECT_EQ(narrow<std::uint8_t>(255), 255u);
+  EXPECT_THROW((void)narrow<std::uint8_t>(256), contract_error);
+  EXPECT_THROW((void)narrow<std::uint32_t>(-1), contract_error);
+  EXPECT_EQ(narrow<int>(std::int64_t{123}), 123);
+}
+
+TEST(Table, RendersAlignedMarkdown) {
+  TextTable table({"name", "value"});
+  table.row("alpha", 12);
+  table.row("b", 3.5);
+  std::ostringstream os;
+  table.print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("| alpha |"), std::string::npos);
+  EXPECT_NE(out.find("3.500"), std::string::npos);
+  EXPECT_EQ(table.rows(), 2u);
+  TextTable strict({"a"});
+  EXPECT_THROW(strict.add_row({"1", "2"}), contract_error);
+}
+
+}  // namespace

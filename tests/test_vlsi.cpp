@@ -1,0 +1,176 @@
+// VLSI substrate: the mesh simulator computes the right answer and its
+// meters behave; the tradeoff auditors encode the Section 1 inequalities.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "linalg/det.hpp"
+#include "linalg/fp.hpp"
+#include "vlsi/mesh.hpp"
+#include "vlsi/tradeoffs.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace ccmx::vlsi;
+using ccmx::la::IntMatrix;
+using ccmx::num::BigInt;
+using ccmx::util::Xoshiro256;
+
+IntMatrix random_matrix(std::size_t n, unsigned k, Xoshiro256& rng) {
+  return IntMatrix::generate(n, n, [&](std::size_t, std::size_t) {
+    return BigInt(static_cast<std::int64_t>(rng.below(std::uint64_t{1} << k)));
+  });
+}
+
+TEST(Mesh, DeterminantMatchesReference) {
+  Xoshiro256 rng(1);
+  MeshConfig config;
+  config.p = 1000003;
+  config.word_bits = 20;
+  for (int trial = 0; trial < 20; ++trial) {
+    const std::size_t n = 2 + rng.below(6);
+    const IntMatrix m = random_matrix(n, 6, rng);
+    const MeshResult result = simulate_mesh(m, config);
+    const auto reduced = ccmx::la::reduce_mod(m, config.p);
+    EXPECT_EQ(result.det_mod_p, ccmx::la::det_mod_p(reduced, config.p));
+    EXPECT_EQ(result.singular, ccmx::la::det_mod_p(reduced, config.p) == 0);
+  }
+}
+
+TEST(Mesh, DetectsExactlySingularMatrices) {
+  Xoshiro256 rng(2);
+  MeshConfig config;
+  config.p = 1000003;
+  for (int trial = 0; trial < 10; ++trial) {
+    IntMatrix m = random_matrix(5, 6, rng);
+    for (std::size_t i = 0; i < 5; ++i) m(i, 4) = m(i, 0);
+    EXPECT_TRUE(simulate_mesh(m, config).singular);
+  }
+}
+
+TEST(Mesh, MetersArePositiveAndMonotoneInN) {
+  Xoshiro256 rng(3);
+  MeshConfig config;
+  std::size_t prev_cycles = 0, prev_bisection = 0;
+  for (const std::size_t n : {4u, 8u, 12u, 16u}) {
+    const MeshResult result = simulate_mesh(random_matrix(n, 8, rng), config);
+    EXPECT_GT(result.cycles, prev_cycles);
+    EXPECT_GT(result.bisection_bits, prev_bisection);
+    EXPECT_GE(result.wire_bits, result.bisection_bits);
+    EXPECT_EQ(result.area_units, n * n * config.word_bits);
+    prev_cycles = result.cycles;
+    prev_bisection = result.bisection_bits;
+  }
+}
+
+TEST(Mesh, InputStreamingDominatesBisectionScaling) {
+  // With input streaming on, bisection bits >= k * n * n/2 (every entry
+  // destined right of the cut crosses it).
+  Xoshiro256 rng(4);
+  MeshConfig config;
+  config.input_bits = 8;
+  for (const std::size_t n : {4u, 8u, 12u}) {
+    const MeshResult result = simulate_mesh(random_matrix(n, 8, rng), config);
+    EXPECT_GE(result.bisection_bits,
+              static_cast<std::size_t>(config.input_bits) * n * (n / 2));
+  }
+}
+
+TEST(Mesh, NoStreamingShrinksTraffic) {
+  Xoshiro256 rng(5);
+  const IntMatrix m = random_matrix(8, 8, rng);
+  MeshConfig with;
+  MeshConfig without;
+  without.stream_inputs = false;
+  const MeshResult a = simulate_mesh(m, with);
+  const MeshResult b = simulate_mesh(m, without);
+  EXPECT_GT(a.bisection_bits, b.bisection_bits);
+  EXPECT_GT(a.cycles, b.cycles);
+  EXPECT_EQ(a.det_mod_p, b.det_mod_p);
+}
+
+TEST(MeshPipelined, SameAnswerSameTrafficFewerCycles) {
+  Xoshiro256 rng(6);
+  MeshConfig config;
+  for (const std::size_t n : {6u, 12u, 20u}) {
+    const IntMatrix m = random_matrix(n, 8, rng);
+    const MeshResult seq = simulate_mesh(m, config);
+    const MeshResult pipe = simulate_mesh_pipelined(m, config);
+    EXPECT_EQ(pipe.det_mod_p, seq.det_mod_p);
+    EXPECT_EQ(pipe.singular, seq.singular);
+    EXPECT_EQ(pipe.wire_bits, seq.wire_bits);
+    EXPECT_EQ(pipe.bisection_bits, seq.bisection_bits);
+    EXPECT_LT(pipe.cycles, seq.cycles);
+  }
+}
+
+TEST(MeshPipelined, CyclesScaleLinearly) {
+  Xoshiro256 rng(7);
+  MeshConfig config;
+  config.stream_inputs = false;
+  std::size_t prev = 0;
+  for (const std::size_t n : {8u, 16u, 32u}) {
+    const MeshResult result =
+        simulate_mesh_pipelined(random_matrix(n, 8, rng), config);
+    // T(2n) ~ 2 T(n) for a Theta(n) schedule (vs ~4x for Theta(n^2)).
+    if (prev != 0) {
+      EXPECT_LT(result.cycles, prev * 3);
+      EXPECT_GT(result.cycles, prev * 3 / 2);
+    }
+    prev = result.cycles;
+  }
+}
+
+TEST(Tradeoffs, AuditFlagsUndersizedDesigns) {
+  // A design below the area bound must show ratio < 1 on the A row.
+  const auto rows = audit_design(16, 8, /*area=*/100.0, /*time=*/10.0);
+  bool saw_violation = false;
+  for (const auto& row : rows) {
+    if (row.name == "A") {
+      EXPECT_LT(row.ratio, 1.0);
+      saw_violation = true;
+    }
+  }
+  EXPECT_TRUE(saw_violation);
+}
+
+TEST(Tradeoffs, GenerousDesignPassesEverything) {
+  const std::size_t n = 16;
+  const unsigned k = 8;
+  const double c = comm_complexity(n, k);
+  const auto rows = audit_design(n, k, /*area=*/c * 10, /*time=*/c);
+  for (const auto& row : rows) {
+    EXPECT_GE(row.ratio, 1.0) << row.name;
+  }
+}
+
+TEST(Tradeoffs, ComparisonSharpensChazelleMonier) {
+  for (const auto& [n, k] :
+       std::vector<std::pair<std::size_t, unsigned>>{{8, 4}, {32, 16}}) {
+    const ComparisonRow row = bound_comparison(n, k);
+    EXPECT_GT(row.at_ours, row.at_cm);   // k^{3/2} n^3 > n^2
+    EXPECT_GT(row.t_ours, row.t_cm);     // k^{1/2} n > n for k > 1
+    EXPECT_DOUBLE_EQ(row.t_cm, static_cast<double>(n));
+  }
+}
+
+TEST(Tradeoffs, MinAreaTimeDuality) {
+  const std::size_t n = 16;
+  const unsigned k = 4;
+  const double c = comm_complexity(n, k);
+  // At T = sqrt(C), min area is C (both constraints coincide).
+  EXPECT_DOUBLE_EQ(min_area_for_time(n, k, std::sqrt(c)), c);
+  // Faster designs need quadratically more area.
+  EXPECT_DOUBLE_EQ(min_area_for_time(n, k, std::sqrt(c) / 2), 4 * c);
+  // min_time is consistent with min_area.
+  const double t = min_time_for_area(n, k, 4 * c);
+  EXPECT_DOUBLE_EQ(t, c / std::sqrt(4 * c));
+}
+
+TEST(Tradeoffs, CommComplexityFormula) {
+  EXPECT_DOUBLE_EQ(comm_complexity(10, 3), 300.0);
+  EXPECT_DOUBLE_EQ(comm_complexity(1, 1), 1.0);
+}
+
+}  // namespace
