@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_corollary12.dir/bench_corollary12.cpp.o"
+  "CMakeFiles/bench_corollary12.dir/bench_corollary12.cpp.o.d"
+  "bench_corollary12"
+  "bench_corollary12.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_corollary12.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

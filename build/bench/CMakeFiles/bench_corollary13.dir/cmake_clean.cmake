@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_corollary13.dir/bench_corollary13.cpp.o"
+  "CMakeFiles/bench_corollary13.dir/bench_corollary13.cpp.o.d"
+  "bench_corollary13"
+  "bench_corollary13.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_corollary13.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_exact_cc.dir/bench_exact_cc.cpp.o"
+  "CMakeFiles/bench_exact_cc.dir/bench_exact_cc.cpp.o.d"
+  "bench_exact_cc"
+  "bench_exact_cc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_exact_cc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

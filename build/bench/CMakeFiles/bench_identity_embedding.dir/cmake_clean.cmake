@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_identity_embedding.dir/bench_identity_embedding.cpp.o"
+  "CMakeFiles/bench_identity_embedding.dir/bench_identity_embedding.cpp.o.d"
+  "bench_identity_embedding"
+  "bench_identity_embedding.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_identity_embedding.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

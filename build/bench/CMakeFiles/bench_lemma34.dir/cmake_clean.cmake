@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_lemma34.dir/bench_lemma34.cpp.o"
+  "CMakeFiles/bench_lemma34.dir/bench_lemma34.cpp.o.d"
+  "bench_lemma34"
+  "bench_lemma34.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_lemma34.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_lemma35.dir/bench_lemma35.cpp.o"
+  "CMakeFiles/bench_lemma35.dir/bench_lemma35.cpp.o.d"
+  "bench_lemma35"
+  "bench_lemma35.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_lemma35.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_lemma35.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_linwu_rank.dir/bench_linwu_rank.cpp.o"
+  "CMakeFiles/bench_linwu_rank.dir/bench_linwu_rank.cpp.o.d"
+  "bench_linwu_rank"
+  "bench_linwu_rank.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_linwu_rank.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_partitions.dir/bench_partitions.cpp.o"
+  "CMakeFiles/bench_partitions.dir/bench_partitions.cpp.o.d"
+  "bench_partitions"
+  "bench_partitions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_partitions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_probabilistic.dir/bench_probabilistic.cpp.o"
+  "CMakeFiles/bench_probabilistic.dir/bench_probabilistic.cpp.o.d"
+  "bench_probabilistic"
+  "bench_probabilistic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_probabilistic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

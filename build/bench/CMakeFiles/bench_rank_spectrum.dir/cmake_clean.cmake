@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_rank_spectrum.dir/bench_rank_spectrum.cpp.o"
+  "CMakeFiles/bench_rank_spectrum.dir/bench_rank_spectrum.cpp.o.d"
+  "bench_rank_spectrum"
+  "bench_rank_spectrum.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_rank_spectrum.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_rectangles.dir/bench_rectangles.cpp.o"
+  "CMakeFiles/bench_rectangles.dir/bench_rectangles.cpp.o.d"
+  "bench_rectangles"
+  "bench_rectangles.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_rectangles.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_singularity_cc.dir/bench_singularity_cc.cpp.o"
+  "CMakeFiles/bench_singularity_cc.dir/bench_singularity_cc.cpp.o.d"
+  "bench_singularity_cc"
+  "bench_singularity_cc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_singularity_cc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_singularity_cc.
+# This may be replaced when dependencies are built.

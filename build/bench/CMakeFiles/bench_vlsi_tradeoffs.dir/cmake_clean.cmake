@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_vlsi_tradeoffs.dir/bench_vlsi_tradeoffs.cpp.o"
+  "CMakeFiles/bench_vlsi_tradeoffs.dir/bench_vlsi_tradeoffs.cpp.o.d"
+  "bench_vlsi_tradeoffs"
+  "bench_vlsi_tradeoffs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_vlsi_tradeoffs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

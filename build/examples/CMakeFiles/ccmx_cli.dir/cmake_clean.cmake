@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ccmx_cli.dir/ccmx_cli.cpp.o"
+  "CMakeFiles/ccmx_cli.dir/ccmx_cli.cpp.o.d"
+  "ccmx_cli"
+  "ccmx_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ccmx_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hard_instance_tour.dir/hard_instance_tour.cpp.o"
+  "CMakeFiles/hard_instance_tour.dir/hard_instance_tour.cpp.o.d"
+  "hard_instance_tour"
+  "hard_instance_tour.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hard_instance_tour.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

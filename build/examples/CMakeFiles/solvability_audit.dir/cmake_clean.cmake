@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/solvability_audit.dir/solvability_audit.cpp.o"
+  "CMakeFiles/solvability_audit.dir/solvability_audit.cpp.o.d"
+  "solvability_audit"
+  "solvability_audit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/solvability_audit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vlsi_designer.dir/vlsi_designer.cpp.o"
+  "CMakeFiles/vlsi_designer.dir/vlsi_designer.cpp.o.d"
+  "vlsi_designer"
+  "vlsi_designer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vlsi_designer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/bigint/bigint.cpp" "src/bigint/CMakeFiles/ccmx_bigint.dir/bigint.cpp.o" "gcc" "src/bigint/CMakeFiles/ccmx_bigint.dir/bigint.cpp.o.d"
+  "/root/repo/src/bigint/modular.cpp" "src/bigint/CMakeFiles/ccmx_bigint.dir/modular.cpp.o" "gcc" "src/bigint/CMakeFiles/ccmx_bigint.dir/modular.cpp.o.d"
+  "/root/repo/src/bigint/negabase.cpp" "src/bigint/CMakeFiles/ccmx_bigint.dir/negabase.cpp.o" "gcc" "src/bigint/CMakeFiles/ccmx_bigint.dir/negabase.cpp.o.d"
+  "/root/repo/src/bigint/rational.cpp" "src/bigint/CMakeFiles/ccmx_bigint.dir/rational.cpp.o" "gcc" "src/bigint/CMakeFiles/ccmx_bigint.dir/rational.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/ccmx_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

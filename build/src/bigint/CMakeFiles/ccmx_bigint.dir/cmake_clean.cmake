@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ccmx_bigint.dir/bigint.cpp.o"
+  "CMakeFiles/ccmx_bigint.dir/bigint.cpp.o.d"
+  "CMakeFiles/ccmx_bigint.dir/modular.cpp.o"
+  "CMakeFiles/ccmx_bigint.dir/modular.cpp.o.d"
+  "CMakeFiles/ccmx_bigint.dir/negabase.cpp.o"
+  "CMakeFiles/ccmx_bigint.dir/negabase.cpp.o.d"
+  "CMakeFiles/ccmx_bigint.dir/rational.cpp.o"
+  "CMakeFiles/ccmx_bigint.dir/rational.cpp.o.d"
+  "libccmx_bigint.a"
+  "libccmx_bigint.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ccmx_bigint.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

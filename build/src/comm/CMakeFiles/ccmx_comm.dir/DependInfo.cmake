@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/comm/bounds.cpp" "src/comm/CMakeFiles/ccmx_comm.dir/bounds.cpp.o" "gcc" "src/comm/CMakeFiles/ccmx_comm.dir/bounds.cpp.o.d"
+  "/root/repo/src/comm/channel.cpp" "src/comm/CMakeFiles/ccmx_comm.dir/channel.cpp.o" "gcc" "src/comm/CMakeFiles/ccmx_comm.dir/channel.cpp.o.d"
+  "/root/repo/src/comm/cover.cpp" "src/comm/CMakeFiles/ccmx_comm.dir/cover.cpp.o" "gcc" "src/comm/CMakeFiles/ccmx_comm.dir/cover.cpp.o.d"
+  "/root/repo/src/comm/exact_cc.cpp" "src/comm/CMakeFiles/ccmx_comm.dir/exact_cc.cpp.o" "gcc" "src/comm/CMakeFiles/ccmx_comm.dir/exact_cc.cpp.o.d"
+  "/root/repo/src/comm/partition.cpp" "src/comm/CMakeFiles/ccmx_comm.dir/partition.cpp.o" "gcc" "src/comm/CMakeFiles/ccmx_comm.dir/partition.cpp.o.d"
+  "/root/repo/src/comm/rectangles.cpp" "src/comm/CMakeFiles/ccmx_comm.dir/rectangles.cpp.o" "gcc" "src/comm/CMakeFiles/ccmx_comm.dir/rectangles.cpp.o.d"
+  "/root/repo/src/comm/truth_matrix.cpp" "src/comm/CMakeFiles/ccmx_comm.dir/truth_matrix.cpp.o" "gcc" "src/comm/CMakeFiles/ccmx_comm.dir/truth_matrix.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/linalg/CMakeFiles/ccmx_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/bigint/CMakeFiles/ccmx_bigint.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ccmx_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

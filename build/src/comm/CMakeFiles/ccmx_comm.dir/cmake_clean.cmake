@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ccmx_comm.dir/bounds.cpp.o"
+  "CMakeFiles/ccmx_comm.dir/bounds.cpp.o.d"
+  "CMakeFiles/ccmx_comm.dir/channel.cpp.o"
+  "CMakeFiles/ccmx_comm.dir/channel.cpp.o.d"
+  "CMakeFiles/ccmx_comm.dir/cover.cpp.o"
+  "CMakeFiles/ccmx_comm.dir/cover.cpp.o.d"
+  "CMakeFiles/ccmx_comm.dir/exact_cc.cpp.o"
+  "CMakeFiles/ccmx_comm.dir/exact_cc.cpp.o.d"
+  "CMakeFiles/ccmx_comm.dir/partition.cpp.o"
+  "CMakeFiles/ccmx_comm.dir/partition.cpp.o.d"
+  "CMakeFiles/ccmx_comm.dir/rectangles.cpp.o"
+  "CMakeFiles/ccmx_comm.dir/rectangles.cpp.o.d"
+  "CMakeFiles/ccmx_comm.dir/truth_matrix.cpp.o"
+  "CMakeFiles/ccmx_comm.dir/truth_matrix.cpp.o.d"
+  "libccmx_comm.a"
+  "libccmx_comm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ccmx_comm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

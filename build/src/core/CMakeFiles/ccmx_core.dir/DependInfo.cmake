@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/census.cpp" "src/core/CMakeFiles/ccmx_core.dir/census.cpp.o" "gcc" "src/core/CMakeFiles/ccmx_core.dir/census.cpp.o.d"
+  "/root/repo/src/core/construction.cpp" "src/core/CMakeFiles/ccmx_core.dir/construction.cpp.o" "gcc" "src/core/CMakeFiles/ccmx_core.dir/construction.cpp.o.d"
+  "/root/repo/src/core/figure_render.cpp" "src/core/CMakeFiles/ccmx_core.dir/figure_render.cpp.o" "gcc" "src/core/CMakeFiles/ccmx_core.dir/figure_render.cpp.o.d"
+  "/root/repo/src/core/proper_partition.cpp" "src/core/CMakeFiles/ccmx_core.dir/proper_partition.cpp.o" "gcc" "src/core/CMakeFiles/ccmx_core.dir/proper_partition.cpp.o.d"
+  "/root/repo/src/core/rank_spectrum.cpp" "src/core/CMakeFiles/ccmx_core.dir/rank_spectrum.cpp.o" "gcc" "src/core/CMakeFiles/ccmx_core.dir/rank_spectrum.cpp.o.d"
+  "/root/repo/src/core/reductions.cpp" "src/core/CMakeFiles/ccmx_core.dir/reductions.cpp.o" "gcc" "src/core/CMakeFiles/ccmx_core.dir/reductions.cpp.o.d"
+  "/root/repo/src/core/truth_sampling.cpp" "src/core/CMakeFiles/ccmx_core.dir/truth_sampling.cpp.o" "gcc" "src/core/CMakeFiles/ccmx_core.dir/truth_sampling.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/comm/CMakeFiles/ccmx_comm.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/ccmx_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/bigint/CMakeFiles/ccmx_bigint.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ccmx_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

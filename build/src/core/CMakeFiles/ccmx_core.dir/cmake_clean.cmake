@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ccmx_core.dir/census.cpp.o"
+  "CMakeFiles/ccmx_core.dir/census.cpp.o.d"
+  "CMakeFiles/ccmx_core.dir/construction.cpp.o"
+  "CMakeFiles/ccmx_core.dir/construction.cpp.o.d"
+  "CMakeFiles/ccmx_core.dir/figure_render.cpp.o"
+  "CMakeFiles/ccmx_core.dir/figure_render.cpp.o.d"
+  "CMakeFiles/ccmx_core.dir/proper_partition.cpp.o"
+  "CMakeFiles/ccmx_core.dir/proper_partition.cpp.o.d"
+  "CMakeFiles/ccmx_core.dir/rank_spectrum.cpp.o"
+  "CMakeFiles/ccmx_core.dir/rank_spectrum.cpp.o.d"
+  "CMakeFiles/ccmx_core.dir/reductions.cpp.o"
+  "CMakeFiles/ccmx_core.dir/reductions.cpp.o.d"
+  "CMakeFiles/ccmx_core.dir/truth_sampling.cpp.o"
+  "CMakeFiles/ccmx_core.dir/truth_sampling.cpp.o.d"
+  "libccmx_core.a"
+  "libccmx_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ccmx_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

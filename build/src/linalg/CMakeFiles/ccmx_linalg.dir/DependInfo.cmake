@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/linalg/charpoly.cpp" "src/linalg/CMakeFiles/ccmx_linalg.dir/charpoly.cpp.o" "gcc" "src/linalg/CMakeFiles/ccmx_linalg.dir/charpoly.cpp.o.d"
+  "/root/repo/src/linalg/det.cpp" "src/linalg/CMakeFiles/ccmx_linalg.dir/det.cpp.o" "gcc" "src/linalg/CMakeFiles/ccmx_linalg.dir/det.cpp.o.d"
+  "/root/repo/src/linalg/det_crt.cpp" "src/linalg/CMakeFiles/ccmx_linalg.dir/det_crt.cpp.o" "gcc" "src/linalg/CMakeFiles/ccmx_linalg.dir/det_crt.cpp.o.d"
+  "/root/repo/src/linalg/fp.cpp" "src/linalg/CMakeFiles/ccmx_linalg.dir/fp.cpp.o" "gcc" "src/linalg/CMakeFiles/ccmx_linalg.dir/fp.cpp.o.d"
+  "/root/repo/src/linalg/hnf.cpp" "src/linalg/CMakeFiles/ccmx_linalg.dir/hnf.cpp.o" "gcc" "src/linalg/CMakeFiles/ccmx_linalg.dir/hnf.cpp.o.d"
+  "/root/repo/src/linalg/lup.cpp" "src/linalg/CMakeFiles/ccmx_linalg.dir/lup.cpp.o" "gcc" "src/linalg/CMakeFiles/ccmx_linalg.dir/lup.cpp.o.d"
+  "/root/repo/src/linalg/poly.cpp" "src/linalg/CMakeFiles/ccmx_linalg.dir/poly.cpp.o" "gcc" "src/linalg/CMakeFiles/ccmx_linalg.dir/poly.cpp.o.d"
+  "/root/repo/src/linalg/qr.cpp" "src/linalg/CMakeFiles/ccmx_linalg.dir/qr.cpp.o" "gcc" "src/linalg/CMakeFiles/ccmx_linalg.dir/qr.cpp.o.d"
+  "/root/repo/src/linalg/rref.cpp" "src/linalg/CMakeFiles/ccmx_linalg.dir/rref.cpp.o" "gcc" "src/linalg/CMakeFiles/ccmx_linalg.dir/rref.cpp.o.d"
+  "/root/repo/src/linalg/solve_crt.cpp" "src/linalg/CMakeFiles/ccmx_linalg.dir/solve_crt.cpp.o" "gcc" "src/linalg/CMakeFiles/ccmx_linalg.dir/solve_crt.cpp.o.d"
+  "/root/repo/src/linalg/svd.cpp" "src/linalg/CMakeFiles/ccmx_linalg.dir/svd.cpp.o" "gcc" "src/linalg/CMakeFiles/ccmx_linalg.dir/svd.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/bigint/CMakeFiles/ccmx_bigint.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ccmx_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

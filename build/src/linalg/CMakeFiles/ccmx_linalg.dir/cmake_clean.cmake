@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ccmx_linalg.dir/charpoly.cpp.o"
+  "CMakeFiles/ccmx_linalg.dir/charpoly.cpp.o.d"
+  "CMakeFiles/ccmx_linalg.dir/det.cpp.o"
+  "CMakeFiles/ccmx_linalg.dir/det.cpp.o.d"
+  "CMakeFiles/ccmx_linalg.dir/det_crt.cpp.o"
+  "CMakeFiles/ccmx_linalg.dir/det_crt.cpp.o.d"
+  "CMakeFiles/ccmx_linalg.dir/fp.cpp.o"
+  "CMakeFiles/ccmx_linalg.dir/fp.cpp.o.d"
+  "CMakeFiles/ccmx_linalg.dir/hnf.cpp.o"
+  "CMakeFiles/ccmx_linalg.dir/hnf.cpp.o.d"
+  "CMakeFiles/ccmx_linalg.dir/lup.cpp.o"
+  "CMakeFiles/ccmx_linalg.dir/lup.cpp.o.d"
+  "CMakeFiles/ccmx_linalg.dir/poly.cpp.o"
+  "CMakeFiles/ccmx_linalg.dir/poly.cpp.o.d"
+  "CMakeFiles/ccmx_linalg.dir/qr.cpp.o"
+  "CMakeFiles/ccmx_linalg.dir/qr.cpp.o.d"
+  "CMakeFiles/ccmx_linalg.dir/rref.cpp.o"
+  "CMakeFiles/ccmx_linalg.dir/rref.cpp.o.d"
+  "CMakeFiles/ccmx_linalg.dir/solve_crt.cpp.o"
+  "CMakeFiles/ccmx_linalg.dir/solve_crt.cpp.o.d"
+  "CMakeFiles/ccmx_linalg.dir/svd.cpp.o"
+  "CMakeFiles/ccmx_linalg.dir/svd.cpp.o.d"
+  "libccmx_linalg.a"
+  "libccmx_linalg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ccmx_linalg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/protocols/equality.cpp" "src/protocols/CMakeFiles/ccmx_protocols.dir/equality.cpp.o" "gcc" "src/protocols/CMakeFiles/ccmx_protocols.dir/equality.cpp.o.d"
+  "/root/repo/src/protocols/fingerprint.cpp" "src/protocols/CMakeFiles/ccmx_protocols.dir/fingerprint.cpp.o" "gcc" "src/protocols/CMakeFiles/ccmx_protocols.dir/fingerprint.cpp.o.d"
+  "/root/repo/src/protocols/freivalds.cpp" "src/protocols/CMakeFiles/ccmx_protocols.dir/freivalds.cpp.o" "gcc" "src/protocols/CMakeFiles/ccmx_protocols.dir/freivalds.cpp.o.d"
+  "/root/repo/src/protocols/private_coin.cpp" "src/protocols/CMakeFiles/ccmx_protocols.dir/private_coin.cpp.o" "gcc" "src/protocols/CMakeFiles/ccmx_protocols.dir/private_coin.cpp.o.d"
+  "/root/repo/src/protocols/send_half.cpp" "src/protocols/CMakeFiles/ccmx_protocols.dir/send_half.cpp.o" "gcc" "src/protocols/CMakeFiles/ccmx_protocols.dir/send_half.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/comm/CMakeFiles/ccmx_comm.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/ccmx_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/bigint/CMakeFiles/ccmx_bigint.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ccmx_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

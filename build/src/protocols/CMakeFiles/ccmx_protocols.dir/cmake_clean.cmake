@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ccmx_protocols.dir/equality.cpp.o"
+  "CMakeFiles/ccmx_protocols.dir/equality.cpp.o.d"
+  "CMakeFiles/ccmx_protocols.dir/fingerprint.cpp.o"
+  "CMakeFiles/ccmx_protocols.dir/fingerprint.cpp.o.d"
+  "CMakeFiles/ccmx_protocols.dir/freivalds.cpp.o"
+  "CMakeFiles/ccmx_protocols.dir/freivalds.cpp.o.d"
+  "CMakeFiles/ccmx_protocols.dir/private_coin.cpp.o"
+  "CMakeFiles/ccmx_protocols.dir/private_coin.cpp.o.d"
+  "CMakeFiles/ccmx_protocols.dir/send_half.cpp.o"
+  "CMakeFiles/ccmx_protocols.dir/send_half.cpp.o.d"
+  "libccmx_protocols.a"
+  "libccmx_protocols.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ccmx_protocols.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

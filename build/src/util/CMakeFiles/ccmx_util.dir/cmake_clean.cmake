@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ccmx_util.dir/parallel.cpp.o"
+  "CMakeFiles/ccmx_util.dir/parallel.cpp.o.d"
+  "CMakeFiles/ccmx_util.dir/rng.cpp.o"
+  "CMakeFiles/ccmx_util.dir/rng.cpp.o.d"
+  "CMakeFiles/ccmx_util.dir/table.cpp.o"
+  "CMakeFiles/ccmx_util.dir/table.cpp.o.d"
+  "libccmx_util.a"
+  "libccmx_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ccmx_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

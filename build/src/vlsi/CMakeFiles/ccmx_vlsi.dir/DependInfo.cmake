@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/vlsi/mesh.cpp" "src/vlsi/CMakeFiles/ccmx_vlsi.dir/mesh.cpp.o" "gcc" "src/vlsi/CMakeFiles/ccmx_vlsi.dir/mesh.cpp.o.d"
+  "/root/repo/src/vlsi/tradeoffs.cpp" "src/vlsi/CMakeFiles/ccmx_vlsi.dir/tradeoffs.cpp.o" "gcc" "src/vlsi/CMakeFiles/ccmx_vlsi.dir/tradeoffs.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/linalg/CMakeFiles/ccmx_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/bigint/CMakeFiles/ccmx_bigint.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ccmx_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ccmx_vlsi.dir/mesh.cpp.o"
+  "CMakeFiles/ccmx_vlsi.dir/mesh.cpp.o.d"
+  "CMakeFiles/ccmx_vlsi.dir/tradeoffs.cpp.o"
+  "CMakeFiles/ccmx_vlsi.dir/tradeoffs.cpp.o.d"
+  "libccmx_vlsi.a"
+  "libccmx_vlsi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ccmx_vlsi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_bigint_torture.dir/test_bigint_torture.cpp.o"
+  "CMakeFiles/test_bigint_torture.dir/test_bigint_torture.cpp.o.d"
+  "test_bigint_torture"
+  "test_bigint_torture.pdb"
+  "test_bigint_torture[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_bigint_torture.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for test_bigint_torture.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_census.dir/test_census.cpp.o"
+  "CMakeFiles/test_census.dir/test_census.cpp.o.d"
+  "test_census"
+  "test_census.pdb"
+  "test_census[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_census.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_construction.dir/test_construction.cpp.o"
+  "CMakeFiles/test_construction.dir/test_construction.cpp.o.d"
+  "test_construction"
+  "test_construction.pdb"
+  "test_construction[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_construction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

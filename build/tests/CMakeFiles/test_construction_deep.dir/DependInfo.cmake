@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_construction_deep.cpp" "tests/CMakeFiles/test_construction_deep.dir/test_construction_deep.cpp.o" "gcc" "tests/CMakeFiles/test_construction_deep.dir/test_construction_deep.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/ccmx_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/vlsi/CMakeFiles/ccmx_vlsi.dir/DependInfo.cmake"
+  "/root/repo/build/src/protocols/CMakeFiles/ccmx_protocols.dir/DependInfo.cmake"
+  "/root/repo/build/src/comm/CMakeFiles/ccmx_comm.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/ccmx_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/bigint/CMakeFiles/ccmx_bigint.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ccmx_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_construction_deep.dir/test_construction_deep.cpp.o"
+  "CMakeFiles/test_construction_deep.dir/test_construction_deep.cpp.o.d"
+  "test_construction_deep"
+  "test_construction_deep.pdb"
+  "test_construction_deep[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_construction_deep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

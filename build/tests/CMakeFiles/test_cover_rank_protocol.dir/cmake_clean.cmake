@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cover_rank_protocol.dir/test_cover_rank_protocol.cpp.o"
+  "CMakeFiles/test_cover_rank_protocol.dir/test_cover_rank_protocol.cpp.o.d"
+  "test_cover_rank_protocol"
+  "test_cover_rank_protocol.pdb"
+  "test_cover_rank_protocol[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cover_rank_protocol.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

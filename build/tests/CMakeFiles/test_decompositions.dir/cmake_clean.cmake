@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_decompositions.dir/test_decompositions.cpp.o"
+  "CMakeFiles/test_decompositions.dir/test_decompositions.cpp.o.d"
+  "test_decompositions"
+  "test_decompositions.pdb"
+  "test_decompositions[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_decompositions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_det_crt.dir/test_det_crt.cpp.o"
+  "CMakeFiles/test_det_crt.dir/test_det_crt.cpp.o.d"
+  "test_det_crt"
+  "test_det_crt.pdb"
+  "test_det_crt[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_det_crt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for test_det_crt.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_det_rank.dir/test_det_rank.cpp.o"
+  "CMakeFiles/test_det_rank.dir/test_det_rank.cpp.o.d"
+  "test_det_rank"
+  "test_det_rank.pdb"
+  "test_det_rank[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_det_rank.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_exact_cc.dir/test_exact_cc.cpp.o"
+  "CMakeFiles/test_exact_cc.dir/test_exact_cc.cpp.o.d"
+  "test_exact_cc"
+  "test_exact_cc.pdb"
+  "test_exact_cc[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_exact_cc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_figure_render.dir/test_figure_render.cpp.o"
+  "CMakeFiles/test_figure_render.dir/test_figure_render.cpp.o.d"
+  "test_figure_render"
+  "test_figure_render.pdb"
+  "test_figure_render[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_figure_render.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fp.dir/test_fp.cpp.o"
+  "CMakeFiles/test_fp.dir/test_fp.cpp.o.d"
+  "test_fp"
+  "test_fp.pdb"
+  "test_fp[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_hnf_snf.dir/test_hnf_snf.cpp.o"
+  "CMakeFiles/test_hnf_snf.dir/test_hnf_snf.cpp.o.d"
+  "test_hnf_snf"
+  "test_hnf_snf.pdb"
+  "test_hnf_snf[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_hnf_snf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

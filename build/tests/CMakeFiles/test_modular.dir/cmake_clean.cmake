@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_modular.dir/test_modular.cpp.o"
+  "CMakeFiles/test_modular.dir/test_modular.cpp.o.d"
+  "test_modular"
+  "test_modular.pdb"
+  "test_modular[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_modular.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_negabase.dir/test_negabase.cpp.o"
+  "CMakeFiles/test_negabase.dir/test_negabase.cpp.o.d"
+  "test_negabase"
+  "test_negabase.pdb"
+  "test_negabase[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_negabase.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for test_negabase.
+# This may be replaced when dependencies are built.

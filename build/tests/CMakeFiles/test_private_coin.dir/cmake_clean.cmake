@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_private_coin.dir/test_private_coin.cpp.o"
+  "CMakeFiles/test_private_coin.dir/test_private_coin.cpp.o.d"
+  "test_private_coin"
+  "test_private_coin.pdb"
+  "test_private_coin[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_private_coin.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

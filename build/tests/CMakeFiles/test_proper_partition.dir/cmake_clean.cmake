@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_proper_partition.dir/test_proper_partition.cpp.o"
+  "CMakeFiles/test_proper_partition.dir/test_proper_partition.cpp.o.d"
+  "test_proper_partition"
+  "test_proper_partition.pdb"
+  "test_proper_partition[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_proper_partition.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_protocol_partitions.dir/test_protocol_partitions.cpp.o"
+  "CMakeFiles/test_protocol_partitions.dir/test_protocol_partitions.cpp.o.d"
+  "test_protocol_partitions"
+  "test_protocol_partitions.pdb"
+  "test_protocol_partitions[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_protocol_partitions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

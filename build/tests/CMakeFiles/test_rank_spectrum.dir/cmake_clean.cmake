@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_rank_spectrum.dir/test_rank_spectrum.cpp.o"
+  "CMakeFiles/test_rank_spectrum.dir/test_rank_spectrum.cpp.o.d"
+  "test_rank_spectrum"
+  "test_rank_spectrum.pdb"
+  "test_rank_spectrum[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_rank_spectrum.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_reductions.dir/test_reductions.cpp.o"
+  "CMakeFiles/test_reductions.dir/test_reductions.cpp.o.d"
+  "test_reductions"
+  "test_reductions.pdb"
+  "test_reductions[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_reductions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_solve_crt.dir/test_solve_crt.cpp.o"
+  "CMakeFiles/test_solve_crt.dir/test_solve_crt.cpp.o.d"
+  "test_solve_crt"
+  "test_solve_crt.pdb"
+  "test_solve_crt[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_solve_crt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

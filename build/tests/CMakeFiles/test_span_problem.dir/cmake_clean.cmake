@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_span_problem.dir/test_span_problem.cpp.o"
+  "CMakeFiles/test_span_problem.dir/test_span_problem.cpp.o.d"
+  "test_span_problem"
+  "test_span_problem.pdb"
+  "test_span_problem[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_span_problem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_truth_matrix.dir/test_truth_matrix.cpp.o"
+  "CMakeFiles/test_truth_matrix.dir/test_truth_matrix.cpp.o.d"
+  "test_truth_matrix"
+  "test_truth_matrix.pdb"
+  "test_truth_matrix[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_truth_matrix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_truth_sampling.dir/test_truth_sampling.cpp.o"
+  "CMakeFiles/test_truth_sampling.dir/test_truth_sampling.cpp.o.d"
+  "test_truth_sampling"
+  "test_truth_sampling.pdb"
+  "test_truth_sampling[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_truth_sampling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

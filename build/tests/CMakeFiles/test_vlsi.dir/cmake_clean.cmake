@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_vlsi.dir/test_vlsi.cpp.o"
+  "CMakeFiles/test_vlsi.dir/test_vlsi.cpp.o.d"
+  "test_vlsi"
+  "test_vlsi.pdb"
+  "test_vlsi[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_vlsi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
