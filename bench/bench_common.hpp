@@ -2,7 +2,10 @@
 //
 // Every bench binary prints its reproduction table(s) first (the rows
 // recorded in EXPERIMENTS.md), then runs its google-benchmark timing
-// section.  All randomness is seeded, so tables reproduce byte-for-byte.
+// section, and finally writes a machine-readable RunReport to
+// bench/out/BENCH_<name>.json (schema ccmx.run_report/1; see
+// docs/OBSERVABILITY.md).  All randomness is seeded, so tables reproduce
+// byte-for-byte; the JSON adds the timing/counter trajectory on top.
 #pragma once
 
 #include <benchmark/benchmark.h>
@@ -10,10 +13,15 @@
 #include <cstdint>
 #include <iostream>
 #include <string>
+#include <string_view>
+#include <vector>
 
 #include "linalg/convert.hpp"
+#include "obs/obs.hpp"
+#include "obs/report.hpp"
 #include "util/rng.hpp"
 #include "util/table.hpp"
+#include "util/timer.hpp"
 
 namespace ccmx::bench {
 
@@ -35,17 +43,68 @@ inline void print_table(const util::TextTable& table) {
   std::cout << std::flush;
 }
 
-/// Boilerplate main: print tables, then timings.
-#define CCMX_BENCH_MAIN(print_tables_fn)                        \
-  int main(int argc, char** argv) {                             \
-    print_tables_fn();                                          \
-    ::benchmark::Initialize(&argc, argv);                       \
-    if (::benchmark::ReportUnrecognizedArguments(argc, argv)) { \
-      return 1;                                                 \
-    }                                                           \
-    ::benchmark::RunSpecifiedBenchmarks();                      \
-    ::benchmark::Shutdown();                                    \
-    return 0;                                                   \
+/// Console reporter that also collects every timing row for the RunReport.
+class CollectingReporter : public benchmark::ConsoleReporter {
+ public:
+  void ReportRuns(const std::vector<Run>& report) override {
+    for (const Run& run : report) {
+      if (run.error_occurred) continue;
+      obs::BenchmarkRun out;
+      out.name = run.benchmark_name();
+      out.iterations = run.iterations;
+      out.real_time = run.GetAdjustedRealTime();
+      out.cpu_time = run.GetAdjustedCPUTime();
+      out.time_unit = benchmark::GetTimeUnitString(run.time_unit);
+      runs_.push_back(std::move(out));
+    }
+    ConsoleReporter::ReportRuns(report);
+  }
+
+  [[nodiscard]] const std::vector<obs::BenchmarkRun>& runs() const noexcept {
+    return runs_;
+  }
+
+ private:
+  std::vector<obs::BenchmarkRun> runs_;
+};
+
+/// "path/to/bench_exact_cc" -> "exact_cc" (report key and file stem).
+inline std::string bench_name_from_argv0(std::string_view argv0) {
+  const std::size_t slash = argv0.find_last_of('/');
+  std::string name(slash == std::string_view::npos
+                       ? argv0
+                       : argv0.substr(slash + 1));
+  if (name.rfind("bench_", 0) == 0) name.erase(0, 6);
+  return name.empty() ? "unknown" : name;
+}
+
+/// Boilerplate main body: tables, timings, then the RunReport.
+inline int bench_main(int argc, char** argv, void (*print_tables)()) {
+  const util::WallTimer timer;
+  print_tables();
+  ::benchmark::Initialize(&argc, argv);
+  if (::benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  CollectingReporter reporter;
+  ::benchmark::RunSpecifiedBenchmarks(&reporter);
+  ::benchmark::Shutdown();
+
+  obs::RunReport report;
+  report.name = bench_name_from_argv0(argv[0]);
+  for (int i = 0; i < argc; ++i) report.argv.emplace_back(argv[i]);
+  report.wall_seconds = timer.seconds();
+  report.cpu_seconds = timer.cpu_seconds();
+  report.benchmarks = reporter.runs();
+  obs::flush_thread();
+  const std::string path =
+      obs::write_run_report(report, obs::default_report_path(report.name));
+  std::cout << "run report: " << path << "\n";
+  return 0;
+}
+
+/// Boilerplate main: print tables, then timings, then the run report.
+#define CCMX_BENCH_MAIN(print_tables_fn)                       \
+  int main(int argc, char** argv) {                            \
+    return ::ccmx::bench::bench_main(argc, argv, print_tables_fn); \
   }
 
 }  // namespace ccmx::bench

@@ -12,6 +12,10 @@
 //                                VLSI bounds
 //
 // Build & run:  ./build/examples/ccmx_cli singularity 8 8
+//
+// Observability: CCMX_TRACE=1 turns the obs counters on;
+// CCMX_REPORT=<path> writes a ccmx.run_report/1 JSON summary at exit
+// (see docs/OBSERVABILITY.md).
 #include <cstdlib>
 #include <iostream>
 #include <string>
@@ -22,10 +26,13 @@
 #include "core/reductions.hpp"
 #include "linalg/det.hpp"
 #include "linalg/rref.hpp"
+#include "obs/obs.hpp"
+#include "obs/report.hpp"
 #include "protocols/fingerprint.hpp"
 #include "protocols/send_half.hpp"
 #include "util/rng.hpp"
 #include "util/table.hpp"
+#include "util/timer.hpp"
 #include "vlsi/mesh.hpp"
 #include "vlsi/tradeoffs.hpp"
 
@@ -165,6 +172,35 @@ void usage() {
                "  mesh        n k\n";
 }
 
+int run_command(const std::string& cmd, std::size_t n, std::size_t arg3,
+                std::uint64_t seed) {
+  if (cmd == "singularity") {
+    return cmd_singularity(n, static_cast<unsigned>(arg3), seed);
+  }
+  if (cmd == "solvable") {
+    return cmd_solvable(n, static_cast<unsigned>(arg3), seed);
+  }
+  if (cmd == "hard") return cmd_hard(n, static_cast<unsigned>(arg3), seed);
+  if (cmd == "rank") return cmd_rank(n, arg3, seed);
+  if (cmd == "mesh") return cmd_mesh(n, static_cast<unsigned>(arg3));
+  usage();
+  return 2;
+}
+
+/// Writes a ccmx.run_report/1 summary when CCMX_REPORT names a path.
+void maybe_write_report(int argc, char** argv, const util::WallTimer& timer) {
+  const char* path = std::getenv("CCMX_REPORT");
+  if (path == nullptr || path[0] == '\0') return;
+  obs::RunReport report;
+  report.name = "ccmx_cli";
+  for (int i = 0; i < argc; ++i) report.argv.emplace_back(argv[i]);
+  report.wall_seconds = timer.seconds();
+  report.cpu_seconds = timer.cpu_seconds();
+  obs::flush_thread();
+  obs::write_run_report(report, path);
+  std::cerr << "run report: " << path << "\n";
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -172,25 +208,20 @@ int main(int argc, char** argv) {
     usage();
     return 2;
   }
+  const util::WallTimer timer;
   const std::string cmd = argv[1];
   const std::size_t n = std::strtoul(argv[2], nullptr, 10);
   const std::size_t arg3 = std::strtoul(argv[3], nullptr, 10);
   const std::uint64_t seed =
       argc > 4 ? std::strtoull(argv[4], nullptr, 10) : 2024;
+  obs::set_attribute("command", cmd);
+  obs::set_attribute("seed", std::to_string(seed));
   try {
-    if (cmd == "singularity") {
-      return cmd_singularity(n, static_cast<unsigned>(arg3), seed);
-    }
-    if (cmd == "solvable") {
-      return cmd_solvable(n, static_cast<unsigned>(arg3), seed);
-    }
-    if (cmd == "hard") return cmd_hard(n, static_cast<unsigned>(arg3), seed);
-    if (cmd == "rank") return cmd_rank(n, arg3, seed);
-    if (cmd == "mesh") return cmd_mesh(n, static_cast<unsigned>(arg3));
+    const int rc = run_command(cmd, n, arg3, seed);
+    maybe_write_report(argc, argv, timer);
+    return rc;
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << "\n";
     return 1;
   }
-  usage();
-  return 2;
 }

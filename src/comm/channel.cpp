@@ -1,6 +1,43 @@
 #include "comm/channel.hpp"
 
+#include <string>
+
+#include "obs/obs.hpp"
+
 namespace ccmx::comm {
+
+namespace {
+
+const obs::Counter g_messages("comm.messages");
+const obs::Counter g_rounds("comm.rounds");
+const obs::Counter g_bits_agent0("comm.bits.agent0");
+const obs::Counter g_bits_agent1("comm.bits.agent1");
+
+}  // namespace
+
+const BitVec& Channel::send(Agent from, BitVec payload) {
+  const std::size_t payload_bits = payload.size();
+  bits_[static_cast<std::size_t>(from)] += payload_bits;
+  const bool new_round =
+      transcript_.empty() || transcript_.back().from != from;
+  if (new_round) ++rounds_;
+  transcript_.push_back(Message{from, std::move(payload)});
+  if (obs::enabled()) {
+    g_messages.add();
+    if (new_round) g_rounds.add();
+    (from == Agent::kZero ? g_bits_agent0 : g_bits_agent1).add(payload_bits);
+    if (obs::event_sink_open()) {
+      obs::emit_event(
+          "{\"ev\":\"send\",\"from\":" +
+          std::to_string(static_cast<unsigned>(from)) +
+          ",\"bits\":" + std::to_string(payload_bits) +
+          ",\"round\":" + std::to_string(rounds_) +
+          ",\"msg\":" + std::to_string(transcript_.size()) +
+          ",\"t_us\":" + std::to_string(obs::now_us()) + "}");
+    }
+  }
+  return transcript_.back().payload;
+}
 
 ProtocolOutcome execute(const Protocol& protocol, const BitVec& input,
                         const Partition& partition) {
@@ -11,6 +48,7 @@ ProtocolOutcome execute(const Protocol& protocol, const BitVec& input,
   outcome.answer = protocol.run(agent0, agent1, channel);
   outcome.bits = channel.bits_sent();
   outcome.rounds = channel.rounds();
+  outcome.messages = channel.messages();
   return outcome;
 }
 

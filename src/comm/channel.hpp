@@ -61,11 +61,9 @@ struct Message {
 class Channel {
  public:
   /// Delivers `payload` from `from` to the other agent and returns it.
-  const BitVec& send(Agent from, BitVec payload) {
-    bits_[static_cast<std::size_t>(from)] += payload.size();
-    transcript_.push_back(Message{from, std::move(payload)});
-    return transcript_.back().payload;
-  }
+  /// When tracing is enabled (obs::enabled), also bumps the comm.*
+  /// counters and streams a per-message JSONL event.
+  const BitVec& send(Agent from, BitVec payload);
 
   /// Single-bit convenience.
   bool send_bit(Agent from, bool bit) {
@@ -80,15 +78,20 @@ class Channel {
   [[nodiscard]] std::size_t bits_sent_by(Agent a) const noexcept {
     return bits_[static_cast<std::size_t>(a)];
   }
-  [[nodiscard]] std::size_t rounds() const noexcept {
+  /// Number of messages on the transcript (one per send call).
+  [[nodiscard]] std::size_t messages() const noexcept {
     return transcript_.size();
   }
+  /// Number of rounds: consecutive sends by the same agent count as one
+  /// round; a round ends when the speaker alternates.
+  [[nodiscard]] std::size_t rounds() const noexcept { return rounds_; }
   [[nodiscard]] const std::vector<Message>& transcript() const noexcept {
     return transcript_;
   }
 
  private:
   std::size_t bits_[2] = {0, 0};
+  std::size_t rounds_ = 0;
   std::vector<Message> transcript_;
 };
 
@@ -111,7 +114,8 @@ class Protocol {
 struct ProtocolOutcome {
   bool answer = false;
   std::size_t bits = 0;
-  std::size_t rounds = 0;
+  std::size_t rounds = 0;    // speaker alternations (Channel::rounds)
+  std::size_t messages = 0;  // send calls (Channel::messages)
 };
 
 /// Harness: splits `input` by `partition` and runs the protocol.

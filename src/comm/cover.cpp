@@ -2,12 +2,23 @@
 
 #include <algorithm>
 
+#include "obs/obs.hpp"
+#include "obs/progress.hpp"
 #include "util/require.hpp"
 
 namespace ccmx::comm {
 
+namespace {
+
+const obs::Counter g_cover_calls("cover.calls");
+const obs::Counter g_cover_rectangles("cover.rectangles");
+const obs::Counter g_cover_cells("cover.cells_covered");
+
+}  // namespace
+
 CoverResult greedy_cover(const TruthMatrix& m, bool value,
                          util::Xoshiro256& rng) {
+  const obs::ScopedSpan span("greedy_cover");
   CoverResult cover;
   // `residual` marks the still-uncovered `value` cells as 1.
   TruthMatrix residual(m.rows(), m.cols());
@@ -20,6 +31,7 @@ CoverResult greedy_cover(const TruthMatrix& m, bool value,
       }
     }
   }
+  obs::ProgressMeter progress("greedy_cover", remaining);
   while (remaining > 0) {
     // A big rectangle of uncovered cells...
     Rectangle seed = max_rectangle(residual, true, rng);
@@ -54,15 +66,23 @@ CoverResult greedy_cover(const TruthMatrix& m, bool value,
       }
     }
     // Retire the covered cells.
+    std::size_t newly_covered = 0;
     for (const std::size_t r : seed.row_set) {
       for (const std::size_t c : seed.col_set) {
         if (residual.get(r, c)) {
           residual.set(r, c, false);
           --remaining;
+          ++newly_covered;
         }
       }
     }
+    progress.tick(newly_covered);
     cover.rectangles.push_back(std::move(seed));
+  }
+  if (obs::enabled()) {
+    g_cover_calls.add();
+    g_cover_rectangles.add(cover.rectangles.size());
+    g_cover_cells.add(progress.done());
   }
   return cover;
 }

@@ -3,16 +3,35 @@
 #include <unordered_map>
 #include <vector>
 
+#include "obs/obs.hpp"
 #include "util/require.hpp"
 
 namespace ccmx::comm {
 
 namespace {
 
+// Sweep observability: totals are accumulated locally in the Solver (the
+// recursion is the hot path) and published once per top-level call.
+const obs::Counter g_calls("exact_cc.calls");
+const obs::Counter g_nodes("exact_cc.nodes");
+const obs::Counter g_memo_hits("exact_cc.memo_hits");
+const obs::Counter g_mono_leaves("exact_cc.monochromatic_leaves");
+
 struct Solver {
   std::vector<std::uint32_t> row_ones;  // ones mask per row
   std::uint32_t full_cols = 0;
   std::unordered_map<std::uint64_t, std::uint8_t> memo;
+  std::uint64_t stat_nodes = 0;
+  std::uint64_t stat_memo_hits = 0;
+  std::uint64_t stat_mono_leaves = 0;
+
+  void publish_stats() const {
+    if (!obs::enabled()) return;
+    g_calls.add();
+    g_nodes.add(stat_nodes);
+    g_memo_hits.add(stat_memo_hits);
+    g_mono_leaves.add(stat_mono_leaves);
+  }
 
   [[nodiscard]] bool monochromatic(std::uint32_t rows,
                                    std::uint32_t cols) const {
@@ -28,10 +47,17 @@ struct Solver {
   }
 
   std::size_t solve(std::uint32_t rows, std::uint32_t cols) {
-    if (monochromatic(rows, cols)) return 0;
+    ++stat_nodes;
+    if (monochromatic(rows, cols)) {
+      ++stat_mono_leaves;
+      return 0;
+    }
     const std::uint64_t key =
         (static_cast<std::uint64_t>(rows) << 32) | cols;
-    if (const auto it = memo.find(key); it != memo.end()) return it->second;
+    if (const auto it = memo.find(key); it != memo.end()) {
+      ++stat_memo_hits;
+      return it->second;
+    }
 
     std::size_t best = 64;  // effectively infinity
     // Agent 0 speaks: split the row set.  Enumerate unordered bipartitions
@@ -140,18 +166,23 @@ std::int32_t build_tree(Solver& solver, std::uint32_t rows,
 }  // namespace
 
 std::size_t exact_cc(const TruthMatrix& m) {
+  const obs::ScopedSpan span("exact_cc");
   Solver solver = make_solver(m);
   const std::uint32_t all_rows = (std::uint32_t{1} << m.rows()) - 1;
-  return solver.solve(all_rows, solver.full_cols);
+  const std::size_t cost = solver.solve(all_rows, solver.full_cols);
+  solver.publish_stats();
+  return cost;
 }
 
 ProtocolTree exact_protocol_tree(const TruthMatrix& m) {
+  const obs::ScopedSpan span("exact_protocol_tree");
   Solver solver = make_solver(m);
   const std::uint32_t all_rows = (std::uint32_t{1} << m.rows()) - 1;
   ProtocolTree tree;
   tree.depth = solver.solve(all_rows, solver.full_cols);
   tree.root = static_cast<std::size_t>(
       build_tree(solver, all_rows, solver.full_cols, tree));
+  solver.publish_stats();
   return tree;
 }
 

@@ -4,6 +4,8 @@
 #include <unordered_set>
 
 #include "bigint/negabase.hpp"
+#include "obs/obs.hpp"
+#include "obs/progress.hpp"
 #include "util/int128.hpp"
 #include "linalg/rref.hpp"
 #include "util/require.hpp"
@@ -75,6 +77,10 @@ i128 div_ceil_i128(i128 a, i128 b) {
   if (a % b != 0 && ((a < 0) == (b < 0))) ++q;
   return q;
 }
+
+const obs::Counter g_census_evaluations("census.evaluations");
+const obs::Counter g_census_exact("census.exact_sweeps");
+const obs::Counter g_census_sampled("census.sampled_sweeps");
 
 }  // namespace
 
@@ -219,8 +225,14 @@ RowCensus row_census(const ConstructionParams& p, const la::IntMatrix& c,
   census.columns = total_columns(p);
   census.log_q_columns = log_base_q(census.columns, q);
 
+  const obs::ScopedSpan span("row_census");
   std::vector<std::uint32_t> digit_vec(digits, 0);
+  std::uint64_t evaluations = 0;
   if (exact) {
+    // q^digits fits std::uint64_t here: exactness requires it <= budget.
+    std::uint64_t space_size = 1;
+    for (std::size_t d = 0; d < digits; ++d) space_size *= q;
+    obs::ProgressMeter progress("row_census[exact]", space_size);
     BigInt ones;
     std::uint64_t fast_acc = 0;
     // Odometer enumeration of all q^digits assignments.
@@ -234,6 +246,8 @@ RowCensus row_census(const ConstructionParams& p, const la::IntMatrix& c,
       } else {
         ones += evaluate(digit_vec);
       }
+      ++evaluations;
+      progress.tick();
       std::size_t pos = 0;
       while (pos < digits) {
         if (++digit_vec[pos] < q) break;
@@ -246,6 +260,7 @@ RowCensus row_census(const ConstructionParams& p, const la::IntMatrix& c,
     census.ones = ones;
     census.exact = true;
   } else {
+    obs::ProgressMeter progress("row_census[sampled]", samples);
     BigInt sum;
     std::uint64_t fast_acc = 0;
     for (std::size_t s = 0; s < samples; ++s) {
@@ -261,12 +276,18 @@ RowCensus row_census(const ConstructionParams& p, const la::IntMatrix& c,
       } else {
         sum += evaluate(digit_vec);
       }
+      ++evaluations;
+      progress.tick();
     }
     sum += BigInt(static_cast<std::int64_t>(fast_acc));
     // ones ~ q^digits * mean(count).
     const BigInt space = BigInt::pow(q_big, static_cast<unsigned>(digits));
     census.ones = (space * sum) / BigInt(static_cast<std::int64_t>(samples));
     census.exact = false;
+  }
+  if (obs::enabled()) {
+    g_census_evaluations.add(evaluations);
+    (census.exact ? g_census_exact : g_census_sampled).add();
   }
   census.log_q_ones = log_base_q(census.ones, q);
   return census;
@@ -286,21 +307,26 @@ SpanCensus lemma34_census(const ConstructionParams& p,
                           util::Xoshiro256& rng) {
   const double log2_total = static_cast<double>(p.free_entries_c()) *
                             std::log2(static_cast<double>(p.q()));
+  const obs::ScopedSpan span("lemma34_census");
   SpanCensus census;
   std::unordered_set<std::string> canonical_forms;
   if (log2_total <= std::log2(static_cast<double>(max_instances))) {
     std::uint64_t total = 1;
     for (std::size_t i = 0; i < p.free_entries_c(); ++i) total *= p.q();
     census.exhaustive = true;
+    obs::ProgressMeter progress("lemma34_census", total);
     for (std::uint64_t index = 0; index < total; ++index) {
       canonical_forms.insert(
           span_canonical(p, c_instance(p, index)).to_string());
+      progress.tick();
     }
     census.tested = total;
   } else {
     std::unordered_set<std::string> seen_c;
+    obs::ProgressMeter progress("lemma34_census", max_instances);
     for (std::uint64_t trial = 0; trial < max_instances; ++trial) {
       const FreeParts parts = FreeParts::random(p, rng);
+      progress.tick();
       if (!seen_c.insert(parts.c.to_string()).second) continue;  // dup C
       canonical_forms.insert(span_canonical(p, parts.c).to_string());
       ++census.tested;

@@ -1,0 +1,316 @@
+#include "obs/obs.hpp"
+
+#ifndef CCMX_OBS_DISABLED
+
+#include <algorithm>
+#include <array>
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <cstdlib>
+#include <fstream>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+
+namespace ccmx::obs {
+
+namespace {
+
+constexpr std::size_t kBuckets = 128;  // frexp exponents -64..63
+
+/// Maps a value to its power-of-two bucket; bucket b covers
+/// [2^(b-65), 2^(b-64)).  Non-positive values land in bucket 0.
+std::size_t bucket_of(double value) noexcept {
+  if (!(value > 0.0)) return 0;
+  int exp = 0;
+  (void)std::frexp(value, &exp);  // value = mantissa * 2^exp, mantissa in [0.5,1)
+  const int b = std::clamp(exp + 64, 0, static_cast<int>(kBuckets) - 1);
+  return static_cast<std::size_t>(b);
+}
+
+/// Geometric midpoint of bucket b (inverse of bucket_of up to factor 2).
+double bucket_mid(std::size_t b) noexcept {
+  return std::ldexp(1.5, static_cast<int>(b) - 65);
+}
+
+struct HistData {
+  std::uint64_t count = 0;
+  double min = 0.0;
+  double max = 0.0;
+  double sum = 0.0;
+  std::array<std::uint64_t, kBuckets> buckets{};
+};
+
+struct Registry;
+Registry& registry();
+
+/// Per-thread counter slots; folds into the registry on thread exit.
+struct ThreadSink {
+  std::vector<std::uint64_t> slots;
+  ThreadSink();
+  ~ThreadSink();
+  void fold(bool unregister);
+};
+
+struct Registry {
+  std::mutex mu;
+  std::unordered_map<std::string, std::uint32_t> counter_ids;
+  std::vector<std::string> counter_names;
+  std::vector<std::uint64_t> folded_counters;
+  std::vector<ThreadSink*> live_sinks;
+  std::unordered_map<std::string, std::uint32_t> hist_ids;
+  std::vector<std::string> hist_names;
+  std::vector<HistData> hists;
+  std::vector<std::pair<std::string, std::string>> attributes;
+
+  std::mutex event_mu;
+  std::unique_ptr<std::ofstream> event_out;
+  bool event_sink_probed = false;
+
+  std::uint32_t intern_counter(std::string_view name) {
+    const std::scoped_lock lock(mu);
+    const auto [it, fresh] =
+        counter_ids.try_emplace(std::string(name),
+                                static_cast<std::uint32_t>(counter_names.size()));
+    if (fresh) {
+      counter_names.emplace_back(name);
+      folded_counters.push_back(0);
+    }
+    return it->second;
+  }
+
+  std::uint32_t intern_hist(std::string_view name) {
+    const std::scoped_lock lock(mu);
+    const auto [it, fresh] = hist_ids.try_emplace(
+        std::string(name), static_cast<std::uint32_t>(hist_names.size()));
+    if (fresh) {
+      hist_names.emplace_back(name);
+      hists.emplace_back();
+    }
+    return it->second;
+  }
+};
+
+Registry& registry() {
+  static Registry reg;
+  return reg;
+}
+
+ThreadSink::ThreadSink() {
+  Registry& reg = registry();
+  const std::scoped_lock lock(reg.mu);
+  reg.live_sinks.push_back(this);
+}
+
+ThreadSink::~ThreadSink() { fold(/*unregister=*/true); }
+
+void ThreadSink::fold(bool unregister) {
+  Registry& reg = registry();
+  const std::scoped_lock lock(reg.mu);
+  if (reg.folded_counters.size() < slots.size()) {
+    reg.folded_counters.resize(slots.size(), 0);
+  }
+  for (std::size_t i = 0; i < slots.size(); ++i) {
+    reg.folded_counters[i] += slots[i];
+    slots[i] = 0;
+  }
+  if (unregister) {
+    reg.live_sinks.erase(
+        std::remove(reg.live_sinks.begin(), reg.live_sinks.end(), this),
+        reg.live_sinks.end());
+  }
+}
+
+ThreadSink& thread_sink() {
+  thread_local ThreadSink sink;
+  return sink;
+}
+
+bool env_truthy(const char* name) noexcept {
+  const char* raw = std::getenv(name);
+  if (raw == nullptr || raw[0] == '\0') return false;
+  const std::string_view v(raw);
+  return v != "0" && v != "false" && v != "off" && v != "no";
+}
+
+std::atomic<bool>& enabled_flag() noexcept {
+  static std::atomic<bool> flag{env_truthy("CCMX_TRACE") ||
+                                std::getenv("CCMX_TRACE_FILE") != nullptr};
+  return flag;
+}
+
+HistSummary summarize(const HistData& h) {
+  HistSummary out;
+  out.count = h.count;
+  out.min = h.min;
+  out.max = h.max;
+  out.sum = h.sum;
+  if (h.count == 0) return out;
+  const auto quantile = [&](double p) {
+    const auto target = static_cast<std::uint64_t>(
+        std::ceil(p * static_cast<double>(h.count)));
+    std::uint64_t cumulative = 0;
+    for (std::size_t b = 0; b < kBuckets; ++b) {
+      cumulative += h.buckets[b];
+      if (cumulative >= target) {
+        return std::clamp(bucket_mid(b), h.min, h.max);
+      }
+    }
+    return h.max;
+  };
+  out.p50 = quantile(0.50);
+  out.p90 = quantile(0.90);
+  out.p99 = quantile(0.99);
+  return out;
+}
+
+}  // namespace
+
+bool enabled() noexcept {
+  return enabled_flag().load(std::memory_order_relaxed);
+}
+
+void set_enabled(bool on) noexcept {
+  enabled_flag().store(on, std::memory_order_relaxed);
+}
+
+std::int64_t now_us() noexcept {
+  using clock = std::chrono::steady_clock;
+  static const clock::time_point origin = clock::now();
+  return std::chrono::duration_cast<std::chrono::microseconds>(clock::now() -
+                                                               origin)
+      .count();
+}
+
+Counter::Counter(std::string_view name)
+    : id_(registry().intern_counter(name)) {}
+
+void Counter::add(std::uint64_t delta) const noexcept {
+  if (!enabled()) return;
+  ThreadSink& sink = thread_sink();
+  if (sink.slots.size() <= id_) sink.slots.resize(id_ + 1, 0);
+  sink.slots[id_] += delta;
+}
+
+std::uint64_t Counter::value() const {
+  Registry& reg = registry();
+  const std::scoped_lock lock(reg.mu);
+  std::uint64_t total =
+      id_ < reg.folded_counters.size() ? reg.folded_counters[id_] : 0;
+  for (const ThreadSink* sink : reg.live_sinks) {
+    if (id_ < sink->slots.size()) total += sink->slots[id_];
+  }
+  return total;
+}
+
+Histogram::Histogram(std::string_view name)
+    : id_(registry().intern_hist(name)) {}
+
+void Histogram::record(double value) const {
+  if (!enabled()) return;
+  Registry& reg = registry();
+  const std::scoped_lock lock(reg.mu);
+  HistData& h = reg.hists[id_];
+  if (h.count == 0 || value < h.min) h.min = value;
+  if (h.count == 0 || value > h.max) h.max = value;
+  h.sum += value;
+  ++h.count;
+  ++h.buckets[bucket_of(value)];
+}
+
+ScopedSpan::ScopedSpan(std::string_view name) {
+  if (!enabled()) return;
+  name_ = std::string(name);
+  start_us_ = now_us();
+  armed_ = true;
+}
+
+ScopedSpan::~ScopedSpan() {
+  if (!armed_) return;
+  const std::int64_t end_us = now_us();
+  const double secs = static_cast<double>(end_us - start_us_) * 1e-6;
+  Histogram("span." + name_).record(secs);
+  if (event_sink_open()) {
+    emit_event("{\"ev\":\"span\",\"name\":\"" + name_ +
+               "\",\"t_us\":" + std::to_string(start_us_) +
+               ",\"dur_us\":" + std::to_string(end_us - start_us_) + "}");
+  }
+}
+
+double ScopedSpan::seconds() const noexcept {
+  if (!armed_) return 0.0;
+  return static_cast<double>(now_us() - start_us_) * 1e-6;
+}
+
+void set_attribute(std::string_view key, std::string_view value) {
+  Registry& reg = registry();
+  const std::scoped_lock lock(reg.mu);
+  for (auto& [k, v] : reg.attributes) {
+    if (k == key) {
+      v = std::string(value);
+      return;
+    }
+  }
+  reg.attributes.emplace_back(std::string(key), std::string(value));
+}
+
+bool event_sink_open() noexcept {
+  Registry& reg = registry();
+  const std::scoped_lock lock(reg.event_mu);
+  if (!reg.event_sink_probed) {
+    reg.event_sink_probed = true;
+    if (const char* path = std::getenv("CCMX_TRACE_FILE")) {
+      auto out = std::make_unique<std::ofstream>(path, std::ios::app);
+      if (out->is_open()) reg.event_out = std::move(out);
+    }
+  }
+  return reg.event_out != nullptr;
+}
+
+void emit_event(std::string_view json_object) {
+  if (!event_sink_open()) return;
+  Registry& reg = registry();
+  const std::scoped_lock lock(reg.event_mu);
+  *reg.event_out << json_object << '\n';
+  reg.event_out->flush();
+}
+
+void flush_thread() { thread_sink().fold(/*unregister=*/false); }
+
+Snapshot snapshot() {
+  Registry& reg = registry();
+  const std::scoped_lock lock(reg.mu);
+  Snapshot snap;
+  snap.counters.reserve(reg.counter_names.size());
+  for (std::size_t i = 0; i < reg.counter_names.size(); ++i) {
+    std::uint64_t total = i < reg.folded_counters.size()
+                              ? reg.folded_counters[i]
+                              : 0;
+    for (const ThreadSink* sink : reg.live_sinks) {
+      if (i < sink->slots.size()) total += sink->slots[i];
+    }
+    snap.counters.emplace_back(reg.counter_names[i], total);
+  }
+  snap.histograms.reserve(reg.hist_names.size());
+  for (std::size_t i = 0; i < reg.hist_names.size(); ++i) {
+    snap.histograms.emplace_back(reg.hist_names[i], summarize(reg.hists[i]));
+  }
+  snap.attributes = reg.attributes;
+  return snap;
+}
+
+void reset_values() {
+  Registry& reg = registry();
+  const std::scoped_lock lock(reg.mu);
+  std::fill(reg.folded_counters.begin(), reg.folded_counters.end(), 0);
+  for (ThreadSink* sink : reg.live_sinks) {
+    std::fill(sink->slots.begin(), sink->slots.end(), 0);
+  }
+  for (HistData& h : reg.hists) h = HistData{};
+  reg.attributes.clear();
+}
+
+}  // namespace ccmx::obs
+
+#endif  // CCMX_OBS_DISABLED

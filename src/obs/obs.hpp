@@ -1,0 +1,170 @@
+// ccmx::obs — lightweight tracing, counters, and histograms.
+//
+// The paper's results are *counts* (bits per round, rectangle sizes,
+// singular-matrix censuses), so the observability layer is count-first: a
+// process-wide registry of named Counters (thread-local slots, folded when
+// worker threads exit, so totals under util::parallel_for are exact),
+// named Histograms (log2-bucketed, mutex-protected — recorded rarely), and
+// RAII ScopedSpans that time a region and feed both the histogram registry
+// and an optional JSONL event stream.
+//
+// Cost model: everything is gated on `enabled()` (one relaxed atomic
+// load).  Tracing is OFF by default; set CCMX_TRACE=1 to enable counters
+// and spans, CCMX_TRACE_FILE=<path> to also stream JSONL events.  Defining
+// CCMX_OBS_DISABLED (CMake option CCMX_OBS=OFF) compiles the whole layer
+// down to empty inline no-ops.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace ccmx::obs {
+
+/// Summary of one histogram: streaming moments plus quantiles estimated
+/// from power-of-two buckets (accurate to a factor of 2).
+struct HistSummary {
+  std::uint64_t count = 0;
+  double min = 0.0;
+  double max = 0.0;
+  double sum = 0.0;
+  double p50 = 0.0;
+  double p90 = 0.0;
+  double p99 = 0.0;
+
+  [[nodiscard]] double mean() const noexcept {
+    return count == 0 ? 0.0 : sum / static_cast<double>(count);
+  }
+};
+
+/// A quiescent-point view of the registry (counters folded across all
+/// finished threads plus the live ones; call only when workers are joined).
+struct Snapshot {
+  std::vector<std::pair<std::string, std::uint64_t>> counters;
+  std::vector<std::pair<std::string, HistSummary>> histograms;
+  std::vector<std::pair<std::string, std::string>> attributes;
+};
+
+#ifndef CCMX_OBS_DISABLED
+
+/// True when tracing is on (CCMX_TRACE=1 / CCMX_TRACE_FILE set, or an
+/// explicit set_enabled(true)).  One relaxed atomic load.
+[[nodiscard]] bool enabled() noexcept;
+
+/// Runtime override of the environment default (used by tests and CLIs).
+void set_enabled(bool on) noexcept;
+
+/// Monotonic microseconds since the first obs call in this process.
+[[nodiscard]] std::int64_t now_us() noexcept;
+
+/// Named monotonic counter.  Construction interns the name (mutex);
+/// add() touches only a thread-local slot, so it is safe and exact under
+/// util::parallel_for — worker slots fold into the global registry when
+/// the worker thread exits.
+class Counter {
+ public:
+  explicit Counter(std::string_view name);
+
+  void add(std::uint64_t delta = 1) const noexcept;
+
+  /// Folded total (call at quiescent points only).
+  [[nodiscard]] std::uint64_t value() const;
+
+ private:
+  std::uint32_t id_;
+};
+
+/// Named histogram of doubles (durations, ratios, sizes).  record() takes
+/// a mutex — meant for per-invocation rates, not per-element ones.
+class Histogram {
+ public:
+  explicit Histogram(std::string_view name);
+
+  void record(double value) const;
+
+ private:
+  std::uint32_t id_;
+};
+
+/// RAII timer: on destruction records wall seconds into histogram
+/// "span.<name>" and, when the event sink is open, emits a JSONL event
+/// {"ev":"span","name":...,"t_us":...,"dur_us":...}.
+class ScopedSpan {
+ public:
+  explicit ScopedSpan(std::string_view name);
+  ~ScopedSpan();
+
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+  /// Wall seconds since construction (0 when tracing was disabled then).
+  [[nodiscard]] double seconds() const noexcept;
+
+ private:
+  std::string name_;
+  std::int64_t start_us_ = 0;
+  bool armed_ = false;
+};
+
+/// Free-form key/value attached to the run (seed, command, params).
+/// Later writes overwrite earlier ones for the same key.
+void set_attribute(std::string_view key, std::string_view value);
+
+/// True when a JSONL event sink is open (CCMX_TRACE_FILE).  Use to skip
+/// building event payloads that would be dropped.
+[[nodiscard]] bool event_sink_open() noexcept;
+
+/// Appends one pre-rendered JSON object as a line to the event sink
+/// (no-op when the sink is closed).  `json_object` must not contain '\n'.
+void emit_event(std::string_view json_object);
+
+/// Folds the calling thread's counter slots into the global registry now
+/// (normally automatic at thread exit).
+void flush_thread();
+
+/// Folded view of every counter/histogram/attribute registered so far.
+[[nodiscard]] Snapshot snapshot();
+
+/// Zeroes all counter/histogram/attribute *values* (names stay interned)
+/// so tests can isolate their deltas.
+void reset_values();
+
+#else  // CCMX_OBS_DISABLED: the whole layer is inline no-ops.
+
+[[nodiscard]] inline bool enabled() noexcept { return false; }
+inline void set_enabled(bool) noexcept {}
+[[nodiscard]] inline std::int64_t now_us() noexcept { return 0; }
+
+class Counter {
+ public:
+  explicit Counter(std::string_view) {}
+  void add(std::uint64_t = 1) const noexcept {}
+  [[nodiscard]] std::uint64_t value() const { return 0; }
+};
+
+class Histogram {
+ public:
+  explicit Histogram(std::string_view) {}
+  void record(double) const {}
+};
+
+class ScopedSpan {
+ public:
+  explicit ScopedSpan(std::string_view) {}
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+  [[nodiscard]] double seconds() const noexcept { return 0.0; }
+};
+
+inline void set_attribute(std::string_view, std::string_view) {}
+[[nodiscard]] inline bool event_sink_open() noexcept { return false; }
+inline void emit_event(std::string_view) {}
+inline void flush_thread() {}
+[[nodiscard]] inline Snapshot snapshot() { return {}; }
+inline void reset_values() {}
+
+#endif  // CCMX_OBS_DISABLED
+
+}  // namespace ccmx::obs

@@ -1,0 +1,53 @@
+// Rate-limited stderr progress line for long enumeration sweeps.
+//
+// A ProgressMeter is constructed with a label and (optionally) a total
+// item count; the sweep calls tick() per item.  Inactive meters (the
+// default) cost one branch per tick.  Active meters (CCMX_PROGRESS=1, or
+// tracing enabled via CCMX_TRACE) redraw a single '\r' stderr line at
+// most every CCMX_PROGRESS_MS milliseconds (default 500) with count,
+// percentage, rate, and an ETA when the total is known.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+namespace ccmx::obs {
+
+class ProgressMeter {
+ public:
+  /// total == 0 means "unknown" (no percentage / ETA).
+  explicit ProgressMeter(std::string label, std::uint64_t total = 0);
+
+  /// Finishes the line (newline) if anything was drawn.
+  ~ProgressMeter();
+
+  ProgressMeter(const ProgressMeter&) = delete;
+  ProgressMeter& operator=(const ProgressMeter&) = delete;
+
+  void tick(std::uint64_t delta = 1) noexcept;
+
+  /// Draws the final state and terminates the line; idempotent.
+  void finish() noexcept;
+
+  [[nodiscard]] std::uint64_t done() const noexcept {
+    return done_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] bool active() const noexcept { return active_; }
+
+ private:
+  void draw(bool final_line) noexcept;
+
+  std::string label_;
+  std::uint64_t total_;
+  bool active_ = false;
+  std::atomic<std::uint64_t> done_{0};
+  std::atomic<std::uint64_t> calls_{0};
+  std::atomic<std::int64_t> next_draw_us_{0};
+  std::int64_t start_us_ = 0;
+  std::int64_t interval_us_ = 500000;
+  std::atomic<bool> drew_{false};
+  std::atomic<bool> finished_{false};
+};
+
+}  // namespace ccmx::obs

@@ -1,0 +1,207 @@
+#include "obs/report.hpp"
+
+#include <cstdlib>
+#include <ctime>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <thread>
+
+#include "obs/obs.hpp"
+#include "util/require.hpp"
+
+#ifndef CCMX_GIT_SHA
+#define CCMX_GIT_SHA "unknown"
+#endif
+#ifndef CCMX_BUILD_TYPE
+#define CCMX_BUILD_TYPE "unknown"
+#endif
+
+namespace ccmx::obs {
+
+std::string build_git_sha() {
+  if (const char* env = std::getenv("CCMX_GIT_SHA")) {
+    if (env[0] != '\0') return env;
+  }
+  const char* baked = CCMX_GIT_SHA;
+  return baked[0] == '\0' ? "unknown" : baked;
+}
+
+std::string render_run_report(const RunReport& report) {
+  const Snapshot snap = snapshot();
+  std::ostringstream os;
+  json::Writer w(os);
+  w.begin_object();
+  w.key("schema").value(kRunReportSchema);
+  w.key("name").value(report.name);
+  w.key("git_sha").value(build_git_sha());
+  w.key("build_type").value(CCMX_BUILD_TYPE);
+  w.key("unix_time").value(static_cast<std::int64_t>(std::time(nullptr)));
+  // Same fallback rule as util::hardware_parallelism (not linked here to
+  // keep ccmx_obs free of dependencies on the libraries it instruments).
+  const unsigned hardware = std::thread::hardware_concurrency();
+  w.key("hardware_parallelism")
+      .value(static_cast<std::uint64_t>(hardware == 0 ? 1 : hardware));
+  w.key("trace_enabled").value(enabled());
+  w.key("wall_seconds").value(report.wall_seconds);
+  w.key("cpu_seconds").value(report.cpu_seconds);
+  w.key("argv").begin_array();
+  for (const std::string& arg : report.argv) w.value(arg);
+  w.end_array();
+  w.key("attributes").begin_object();
+  for (const auto& [key, value] : snap.attributes) w.key(key).value(value);
+  w.end_object();
+  w.key("counters").begin_object();
+  for (const auto& [name, value] : snap.counters) w.key(name).value(value);
+  w.end_object();
+  w.key("histograms").begin_object();
+  for (const auto& [name, h] : snap.histograms) {
+    w.key(name).begin_object();
+    w.key("count").value(h.count);
+    w.key("min").value(h.min);
+    w.key("max").value(h.max);
+    w.key("mean").value(h.mean());
+    w.key("p50").value(h.p50);
+    w.key("p90").value(h.p90);
+    w.key("p99").value(h.p99);
+    w.end_object();
+  }
+  w.end_object();
+  w.key("benchmarks").begin_array();
+  for (const BenchmarkRun& run : report.benchmarks) {
+    w.begin_object();
+    w.key("name").value(run.name);
+    w.key("iterations").value(run.iterations);
+    w.key("real_time").value(run.real_time);
+    w.key("cpu_time").value(run.cpu_time);
+    w.key("time_unit").value(run.time_unit);
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  os << '\n';
+  return os.str();
+}
+
+std::string default_report_path(std::string_view name) {
+  std::string dir = "bench/out";
+  if (const char* env = std::getenv("CCMX_BENCH_OUT")) {
+    if (env[0] != '\0') dir = env;
+  }
+  return dir + "/BENCH_" + std::string(name) + ".json";
+}
+
+std::string write_run_report(const RunReport& report, const std::string& path) {
+  const std::filesystem::path p(path);
+  if (p.has_parent_path()) {
+    std::filesystem::create_directories(p.parent_path());
+  }
+  std::ofstream out(path, std::ios::trunc);
+  CCMX_REQUIRE(out.is_open(), "cannot open run report path: " + path);
+  out << render_run_report(report);
+  return path;
+}
+
+namespace {
+
+void check_member(const json::Value& doc, std::string_view key,
+                  json::Value::Kind kind, std::vector<std::string>& problems) {
+  const json::Value* v = doc.find(key);
+  if (v == nullptr) {
+    problems.push_back("missing required member \"" + std::string(key) + '"');
+    return;
+  }
+  if (v->kind != kind) {
+    problems.push_back("member \"" + std::string(key) + "\" has wrong type");
+  }
+}
+
+}  // namespace
+
+std::vector<std::string> validate_run_report(const json::Value& doc) {
+  std::vector<std::string> problems;
+  if (!doc.is_object()) {
+    problems.emplace_back("document is not an object");
+    return problems;
+  }
+  using Kind = json::Value::Kind;
+  check_member(doc, "schema", Kind::kString, problems);
+  if (const json::Value* schema = doc.find("schema");
+      schema != nullptr && schema->is_string() &&
+      schema->string != kRunReportSchema) {
+    problems.push_back("unrecognized schema \"" + schema->string + '"');
+  }
+  check_member(doc, "name", Kind::kString, problems);
+  if (const json::Value* name = doc.find("name");
+      name != nullptr && name->is_string() && name->string.empty()) {
+    problems.emplace_back("\"name\" must be non-empty");
+  }
+  check_member(doc, "git_sha", Kind::kString, problems);
+  check_member(doc, "build_type", Kind::kString, problems);
+  check_member(doc, "unix_time", Kind::kNumber, problems);
+  check_member(doc, "hardware_parallelism", Kind::kNumber, problems);
+  if (const json::Value* hw = doc.find("hardware_parallelism");
+      hw != nullptr && hw->is_number() && hw->number < 1.0) {
+    problems.emplace_back("\"hardware_parallelism\" must be >= 1");
+  }
+  check_member(doc, "trace_enabled", Kind::kBool, problems);
+  check_member(doc, "wall_seconds", Kind::kNumber, problems);
+  check_member(doc, "cpu_seconds", Kind::kNumber, problems);
+  check_member(doc, "argv", Kind::kArray, problems);
+  check_member(doc, "attributes", Kind::kObject, problems);
+  if (const json::Value* attrs = doc.find("attributes");
+      attrs != nullptr && attrs->is_object()) {
+    for (const auto& [key, value] : attrs->object) {
+      if (!value.is_string()) {
+        problems.push_back("attribute \"" + key + "\" is not a string");
+      }
+    }
+  }
+  check_member(doc, "counters", Kind::kObject, problems);
+  if (const json::Value* counters = doc.find("counters");
+      counters != nullptr && counters->is_object()) {
+    for (const auto& [key, value] : counters->object) {
+      if (!value.is_number()) {
+        problems.push_back("counter \"" + key + "\" is not a number");
+      }
+    }
+  }
+  check_member(doc, "histograms", Kind::kObject, problems);
+  if (const json::Value* hists = doc.find("histograms");
+      hists != nullptr && hists->is_object()) {
+    for (const auto& [key, value] : hists->object) {
+      if (!value.is_object()) {
+        problems.push_back("histogram \"" + key + "\" is not an object");
+        continue;
+      }
+      for (const char* field :
+           {"count", "min", "max", "mean", "p50", "p90", "p99"}) {
+        const json::Value* f = value.find(field);
+        if (f == nullptr || !f->is_number()) {
+          problems.push_back("histogram \"" + key + "\" missing numeric \"" +
+                             field + '"');
+        }
+      }
+    }
+  }
+  check_member(doc, "benchmarks", Kind::kArray, problems);
+  if (const json::Value* benches = doc.find("benchmarks");
+      benches != nullptr && benches->is_array()) {
+    for (std::size_t i = 0; i < benches->array.size(); ++i) {
+      const json::Value& run = benches->array[i];
+      const std::string where = "benchmarks[" + std::to_string(i) + ']';
+      if (!run.is_object()) {
+        problems.push_back(where + " is not an object");
+        continue;
+      }
+      check_member(run, "name", Kind::kString, problems);
+      check_member(run, "iterations", Kind::kNumber, problems);
+      check_member(run, "real_time", Kind::kNumber, problems);
+      check_member(run, "cpu_time", Kind::kNumber, problems);
+      check_member(run, "time_unit", Kind::kString, problems);
+    }
+  }
+  return problems;
+}
+
+}  // namespace ccmx::obs

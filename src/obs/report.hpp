@@ -1,0 +1,61 @@
+// Machine-readable run reports (schema "ccmx.run_report/1").
+//
+// A RunReport is the JSON summary every bench binary (and, via
+// CCMX_REPORT, the CLI) writes at exit: identity (name, git SHA, build
+// type, hardware parallelism), wall/CPU seconds, the google-benchmark
+// timing rows, and whatever the obs registry accumulated (counters,
+// histogram summaries, attributes).  Reports land in bench/out/
+// (override with CCMX_BENCH_OUT) as BENCH_<name>.json and form the
+// repo's perf trajectory; validate_run_report() is the schema check the
+// tests and CI run against them.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/json.hpp"
+
+namespace ccmx::obs {
+
+inline constexpr std::string_view kRunReportSchema = "ccmx.run_report/1";
+
+/// One google-benchmark timing row (times in the reported unit).
+struct BenchmarkRun {
+  std::string name;
+  std::int64_t iterations = 0;
+  double real_time = 0.0;
+  double cpu_time = 0.0;
+  std::string time_unit = "ns";
+};
+
+struct RunReport {
+  std::string name;                 // e.g. "exact_cc" -> BENCH_exact_cc.json
+  std::vector<std::string> argv;
+  double wall_seconds = 0.0;
+  double cpu_seconds = 0.0;
+  std::vector<BenchmarkRun> benchmarks;
+};
+
+/// Git SHA baked in at configure time (CCMX_GIT_SHA compile definition);
+/// the CCMX_GIT_SHA environment variable overrides it, "unknown" otherwise.
+[[nodiscard]] std::string build_git_sha();
+
+/// Renders the report plus the current obs snapshot as a JSON document.
+[[nodiscard]] std::string render_run_report(const RunReport& report);
+
+/// bench/out/BENCH_<name>.json, with the directory overridable via the
+/// CCMX_BENCH_OUT environment variable.
+[[nodiscard]] std::string default_report_path(std::string_view name);
+
+/// Renders and writes the report, creating parent directories as needed.
+/// Returns the path written.
+std::string write_run_report(const RunReport& report, const std::string& path);
+
+/// Schema check for a parsed report; returns human-readable problems
+/// (empty means valid).
+[[nodiscard]] std::vector<std::string> validate_run_report(
+    const json::Value& doc);
+
+}  // namespace ccmx::obs

@@ -5,6 +5,9 @@
 #include <mutex>
 #include <thread>
 
+#include "obs/obs.hpp"
+#include "util/timer.hpp"
+
 namespace ccmx::util {
 
 std::size_t hardware_parallelism() noexcept {
@@ -14,18 +17,56 @@ std::size_t hardware_parallelism() noexcept {
 
 namespace detail {
 
+namespace {
+
+// Shard instrumentation: per-shard wall seconds plus the imbalance ratio
+// max/mean — 1.0 means perfectly even shards, 2x means the slowest shard
+// dominated.  Recorded once per parallel_shards call, so the histogram
+// mutex is cold.
+const obs::Counter g_invocations("parallel.invocations");
+const obs::Counter g_items("parallel.items");
+const obs::Histogram g_shard_seconds("parallel.shard_seconds");
+const obs::Histogram g_imbalance("parallel.imbalance");
+
+void record_shards(const std::vector<double>& shard_secs, std::size_t count) {
+  g_invocations.add();
+  g_items.add(count);
+  double max_secs = 0.0;
+  double sum_secs = 0.0;
+  for (const double secs : shard_secs) {
+    g_shard_seconds.record(secs);
+    max_secs = std::max(max_secs, secs);
+    sum_secs += secs;
+  }
+  if (!shard_secs.empty() && sum_secs > 0.0) {
+    const double mean = sum_secs / static_cast<double>(shard_secs.size());
+    g_imbalance.record(max_secs / mean);
+  }
+}
+
+}  // namespace
+
 void parallel_shards(std::size_t begin, std::size_t end,
                      const std::function<void(std::size_t, std::size_t,
                                               std::size_t)>& shard_body) {
   if (begin >= end) return;
   const std::size_t count = end - begin;
   const std::size_t workers = std::min(hardware_parallelism(), count);
+  const bool traced = obs::enabled();
   if (workers <= 1) {
-    shard_body(0, begin, end);
+    if (traced) {
+      WallTimer timer;
+      shard_body(0, begin, end);
+      record_shards({timer.seconds()}, count);
+    } else {
+      shard_body(0, begin, end);
+    }
     return;
   }
   std::exception_ptr first_error;
   std::mutex error_mutex;
+  std::vector<double> shard_secs(traced ? workers : 0, 0.0);
+  std::size_t spawned = 0;
   {
     std::vector<std::jthread> pool;
     pool.reserve(workers);
@@ -34,16 +75,27 @@ void parallel_shards(std::size_t begin, std::size_t end,
       const std::size_t lo = begin + w * chunk;
       const std::size_t hi = std::min(end, lo + chunk);
       if (lo >= hi) break;
+      ++spawned;
       pool.emplace_back([&, w, lo, hi] {
         try {
-          shard_body(w, lo, hi);
+          if (traced) {
+            WallTimer timer;
+            shard_body(w, lo, hi);
+            shard_secs[w] = timer.seconds();
+          } else {
+            shard_body(w, lo, hi);
+          }
         } catch (...) {
           const std::scoped_lock lock(error_mutex);
           if (!first_error) first_error = std::current_exception();
         }
       });
     }
-  }  // jthreads join here
+  }  // jthreads join here (worker counter sinks fold on thread exit)
+  if (traced) {
+    shard_secs.resize(spawned);
+    record_shards(shard_secs, count);
+  }
   if (first_error) std::rethrow_exception(first_error);
 }
 

@@ -120,7 +120,23 @@ TEST(Channel, CountsBitsAndRounds) {
   EXPECT_EQ(ch.bits_sent_by(Agent::kZero), 3u);
   EXPECT_EQ(ch.bits_sent_by(Agent::kOne), 1u);
   EXPECT_EQ(ch.rounds(), 2u);
+  EXPECT_EQ(ch.messages(), 2u);
   EXPECT_EQ(ch.transcript()[0].payload.read_uint(0, 3), 0b101u);
+}
+
+TEST(Channel, ConsecutiveSendsBySameAgentAreOneRound) {
+  Channel ch;
+  EXPECT_EQ(ch.rounds(), 0u);
+  ch.send_bit(Agent::kZero, true);
+  ch.send_bit(Agent::kZero, false);  // same speaker: still round 1
+  EXPECT_EQ(ch.rounds(), 1u);
+  EXPECT_EQ(ch.messages(), 2u);
+  ch.send_bit(Agent::kOne, true);  // alternation opens round 2
+  ch.send_bit(Agent::kOne, true);
+  ch.send_bit(Agent::kZero, false);  // round 3
+  EXPECT_EQ(ch.rounds(), 3u);
+  EXPECT_EQ(ch.messages(), 5u);
+  EXPECT_EQ(ch.bits_sent(), 5u);
 }
 
 TEST(Bounds, TrivialUpperBound) {

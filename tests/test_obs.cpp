@@ -1,0 +1,281 @@
+// obs: counters under parallelism, histograms, spans, JSON, run reports.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "comm/channel.hpp"
+#include "obs/json.hpp"
+#include "obs/obs.hpp"
+#include "obs/progress.hpp"
+#include "obs/report.hpp"
+#include "util/parallel.hpp"
+#include "util/require.hpp"
+
+namespace {
+
+using namespace ccmx;
+using ccmx::obs::json::Value;
+
+/// Turns tracing on for one test and restores the prior state after.
+class TracingOn {
+ public:
+  TracingOn() : was_(obs::enabled()) {
+    obs::set_enabled(true);
+    obs::reset_values();
+  }
+  ~TracingOn() {
+    obs::reset_values();
+    obs::set_enabled(was_);
+  }
+
+ private:
+  bool was_;
+};
+
+#ifndef CCMX_OBS_DISABLED
+
+TEST(ObsCounter, SumsExactlyUnderParallelFor) {
+  const TracingOn guard;
+  const obs::Counter counter("test.parallel_sum");
+  constexpr std::size_t kItems = 100000;
+  util::parallel_for(0, kItems, [&](std::size_t i) {
+    counter.add(i % 3 == 0 ? 2 : 1);  // non-uniform deltas
+  });
+  std::uint64_t expected = 0;
+  for (std::size_t i = 0; i < kItems; ++i) expected += i % 3 == 0 ? 2 : 1;
+  // Worker sinks folded when the jthreads joined inside parallel_for.
+  EXPECT_EQ(counter.value(), expected);
+}
+
+TEST(ObsCounter, RepeatedParallelRunsKeepAccumulating) {
+  const TracingOn guard;
+  const obs::Counter counter("test.repeat_sum");
+  for (int run = 0; run < 4; ++run) {
+    util::parallel_for(0, 1000, [&](std::size_t) { counter.add(); });
+  }
+  EXPECT_EQ(counter.value(), 4000u);
+}
+
+TEST(ObsCounter, DisabledAddsAreDropped) {
+  const TracingOn guard;
+  const obs::Counter counter("test.disabled");
+  obs::set_enabled(false);
+  counter.add(100);
+  obs::set_enabled(true);
+  counter.add(1);
+  EXPECT_EQ(counter.value(), 1u);
+}
+
+TEST(ObsCounter, AppearsInSnapshotByName) {
+  const TracingOn guard;
+  const obs::Counter counter("test.snapshot_me");
+  counter.add(7);
+  const obs::Snapshot snap = obs::snapshot();
+  bool found = false;
+  for (const auto& [name, value] : snap.counters) {
+    if (name == "test.snapshot_me") {
+      EXPECT_EQ(value, 7u);
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(ObsHistogram, SummarizesMomentsAndQuantiles) {
+  const TracingOn guard;
+  const obs::Histogram hist("test.hist");
+  for (int i = 1; i <= 100; ++i) hist.record(static_cast<double>(i));
+  const obs::Snapshot snap = obs::snapshot();
+  const obs::HistSummary* summary = nullptr;
+  for (const auto& [name, h] : snap.histograms) {
+    if (name == "test.hist") summary = &h;
+  }
+  ASSERT_NE(summary, nullptr);
+  EXPECT_EQ(summary->count, 100u);
+  EXPECT_DOUBLE_EQ(summary->min, 1.0);
+  EXPECT_DOUBLE_EQ(summary->max, 100.0);
+  EXPECT_DOUBLE_EQ(summary->mean(), 50.5);
+  // Quantiles come from power-of-two buckets: factor-2 accuracy.
+  EXPECT_GE(summary->p50, 25.0);
+  EXPECT_LE(summary->p50, 100.0);
+  EXPECT_GE(summary->p99, summary->p50);
+}
+
+TEST(ObsSpan, RecordsIntoSpanHistogram) {
+  const TracingOn guard;
+  {
+    const obs::ScopedSpan span("test_region");
+    EXPECT_GE(span.seconds(), 0.0);
+  }
+  const obs::Snapshot snap = obs::snapshot();
+  bool found = false;
+  for (const auto& [name, h] : snap.histograms) {
+    if (name == "span.test_region") {
+      EXPECT_EQ(h.count, 1u);
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(ObsAttributes, LastWriteWins) {
+  const TracingOn guard;
+  obs::set_attribute("seed", "1");
+  obs::set_attribute("seed", "2");
+  const obs::Snapshot snap = obs::snapshot();
+  ASSERT_EQ(snap.attributes.size(), 1u);
+  EXPECT_EQ(snap.attributes[0].first, "seed");
+  EXPECT_EQ(snap.attributes[0].second, "2");
+}
+
+TEST(ObsChannel, CountsTrafficWhenEnabled) {
+  const TracingOn guard;
+  const obs::Counter messages("comm.messages");
+  const obs::Counter rounds("comm.rounds");
+  const std::uint64_t messages_before = messages.value();
+  comm::Channel ch;
+  ch.send_bit(comm::Agent::kZero, true);
+  ch.send_bit(comm::Agent::kZero, false);
+  ch.send_bit(comm::Agent::kOne, true);
+  EXPECT_EQ(messages.value() - messages_before, 3u);
+  EXPECT_EQ(rounds.value(), 2u);
+}
+
+#endif  // CCMX_OBS_DISABLED
+
+TEST(ObsProgress, InactiveMeterStillCountsNothing) {
+  // Without CCMX_PROGRESS/CCMX_TRACE the meter must be a no-op.
+  obs::set_enabled(false);
+  obs::ProgressMeter meter("test", 100);
+  if (!meter.active()) {
+    meter.tick(10);
+    EXPECT_EQ(meter.done(), 0u);
+  }
+}
+
+TEST(Json, WriterRendersNestedDocument) {
+  std::ostringstream os;
+  obs::json::Writer w(os);
+  w.begin_object();
+  w.key("a").value(std::int64_t{1});
+  w.key("b").begin_array().value("x").value(true).null().end_array();
+  w.key("c").begin_object().key("d").value(2.5).end_object();
+  w.end_object();
+  EXPECT_EQ(os.str(), R"({"a":1,"b":["x",true,null],"c":{"d":2.5}})");
+}
+
+TEST(Json, EscapeRoundTripsThroughParser) {
+  const std::string nasty = "quote\" backslash\\ newline\n tab\t ctrl\x01 ok";
+  std::ostringstream os;
+  obs::json::Writer w(os);
+  w.begin_object();
+  w.key("s").value(nasty);
+  w.end_object();
+  const Value doc = obs::json::parse(os.str());
+  ASSERT_TRUE(doc.is_object());
+  const Value* s = doc.find("s");
+  ASSERT_NE(s, nullptr);
+  EXPECT_EQ(s->string, nasty);
+}
+
+TEST(Json, ParsesScalarsArraysObjects) {
+  const Value doc = obs::json::parse(
+      R"({"n": -1.5e2, "t": true, "f": false, "z": null,
+          "arr": [1, 2, 3], "obj": {"k": "v"}, "u": "é€"})");
+  EXPECT_DOUBLE_EQ(doc.find("n")->number, -150.0);
+  EXPECT_TRUE(doc.find("t")->boolean);
+  EXPECT_FALSE(doc.find("f")->boolean);
+  EXPECT_TRUE(doc.find("z")->is_null());
+  ASSERT_EQ(doc.find("arr")->array.size(), 3u);
+  EXPECT_DOUBLE_EQ(doc.find("arr")->array[2].number, 3.0);
+  EXPECT_EQ(doc.find("obj")->find("k")->string, "v");
+  EXPECT_EQ(doc.find("u")->string, "\xC3\xA9\xE2\x82\xAC");  // é€ in UTF-8
+}
+
+TEST(Json, RejectsMalformedDocuments) {
+  EXPECT_THROW((void)obs::json::parse("{"), util::contract_error);
+  EXPECT_THROW((void)obs::json::parse("[1,]"), util::contract_error);
+  EXPECT_THROW((void)obs::json::parse("{} trailing"), util::contract_error);
+  EXPECT_THROW((void)obs::json::parse("\"unterminated"), util::contract_error);
+  EXPECT_THROW((void)obs::json::parse("nul"), util::contract_error);
+}
+
+TEST(RunReport, RendersValidSchema) {
+  obs::RunReport report;
+  report.name = "test_report";
+  report.argv = {"bench_test", "--flag"};
+  report.wall_seconds = 1.25;
+  report.cpu_seconds = 2.5;
+  obs::BenchmarkRun run;
+  run.name = "BM_Something/3";
+  run.iterations = 1000;
+  run.real_time = 42.0;
+  run.cpu_time = 41.0;
+  report.benchmarks.push_back(run);
+  const std::string text = obs::render_run_report(report);
+  const Value doc = obs::json::parse(text);
+  const std::vector<std::string> problems = obs::validate_run_report(doc);
+  EXPECT_TRUE(problems.empty())
+      << "schema problems: "
+      << (problems.empty() ? "" : problems.front());
+  EXPECT_EQ(doc.find("schema")->string, obs::kRunReportSchema);
+  EXPECT_EQ(doc.find("name")->string, "test_report");
+  EXPECT_DOUBLE_EQ(doc.find("wall_seconds")->number, 1.25);
+  EXPECT_GE(doc.find("hardware_parallelism")->number, 1.0);
+  ASSERT_EQ(doc.find("benchmarks")->array.size(), 1u);
+  EXPECT_EQ(doc.find("benchmarks")->array[0].find("name")->string,
+            "BM_Something/3");
+  EXPECT_FALSE(doc.find("git_sha")->string.empty());
+}
+
+TEST(RunReport, ValidatorCatchesCorruption) {
+  obs::RunReport report;
+  report.name = "bad";
+  Value doc = obs::json::parse(obs::render_run_report(report));
+  // Remove a required member.
+  std::erase_if(doc.object,
+                [](const auto& member) { return member.first == "name"; });
+  EXPECT_FALSE(obs::validate_run_report(doc).empty());
+
+  // Wrong member type.
+  Value doc2 = obs::json::parse(obs::render_run_report(report));
+  for (auto& [key, value] : doc2.object) {
+    if (key == "counters") value = Value{};  // null, not object
+  }
+  EXPECT_FALSE(obs::validate_run_report(doc2).empty());
+
+  // Not an object at all.
+  EXPECT_FALSE(obs::validate_run_report(obs::json::parse("[]")).empty());
+}
+
+TEST(RunReport, WritesFileAndCreatesDirectories) {
+  namespace fs = std::filesystem;
+  const fs::path dir =
+      fs::temp_directory_path() / "ccmx_obs_test" / "nested";
+  const fs::path path = dir / "BENCH_test.json";
+  fs::remove_all(dir.parent_path());
+  obs::RunReport report;
+  report.name = "write_test";
+  const std::string written = obs::write_run_report(report, path.string());
+  EXPECT_EQ(written, path.string());
+  std::ifstream in(path);
+  ASSERT_TRUE(in.is_open());
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  EXPECT_TRUE(obs::validate_run_report(obs::json::parse(buffer.str())).empty());
+  fs::remove_all(dir.parent_path());
+}
+
+TEST(RunReport, DefaultPathUsesBenchOut) {
+  // Do not disturb the environment; just check the default shape.
+  if (std::getenv("CCMX_BENCH_OUT") == nullptr) {
+    EXPECT_EQ(obs::default_report_path("exact_cc"),
+              "bench/out/BENCH_exact_cc.json");
+  }
+  EXPECT_FALSE(obs::build_git_sha().empty());
+}
+
+}  // namespace

@@ -121,7 +121,10 @@ TEST(ChannelAccounting, TranscriptBitsSumToTotal) {
     total += message.payload.size();
   }
   EXPECT_EQ(total, channel.bits_sent());
-  EXPECT_EQ(channel.rounds(), 6u);  // 3 repetitions x (payload + answer)
+  // 3 repetitions x (payload + answer); the speakers strictly alternate,
+  // so the message and round counts agree here.
+  EXPECT_EQ(channel.messages(), 6u);
+  EXPECT_EQ(channel.rounds(), 6u);
   EXPECT_EQ(channel.bits_sent_by(Agent::kZero) +
                 channel.bits_sent_by(Agent::kOne),
             channel.bits_sent());

@@ -10,6 +10,7 @@
 #include "util/parallel.hpp"
 #include "util/rng.hpp"
 #include "util/table.hpp"
+#include "util/timer.hpp"
 
 namespace {
 
@@ -93,12 +94,61 @@ TEST(Parallel, PropagatesExceptions) {
                std::runtime_error);
 }
 
+TEST(Parallel, ForPropagatesFirstExceptionOnly) {
+  // Several shards may throw; exactly one exception must surface and the
+  // call must still join every worker (no crash, no deadlock).
+  EXPECT_THROW(parallel_for(0, 10000,
+                            [](std::size_t i) {
+                              if (i % 1000 == 0) {
+                                throw std::runtime_error("shard boom");
+                              }
+                            }),
+               std::runtime_error);
+}
+
+TEST(Parallel, ReducePropagatesBodyException) {
+  EXPECT_THROW(
+      (void)parallel_reduce<int>(
+          0, 1000, []() { return 0; },
+          [](int&, std::size_t i) {
+            if (i == 500) throw std::logic_error("reduce boom");
+          },
+          [](int& into, const int& from) { into += from; }),
+      std::logic_error);
+}
+
 TEST(Parallel, ReduceSumsCorrectly) {
   const auto total = parallel_reduce<long long>(
       1, 1001, []() { return 0LL; },
       [](long long& acc, std::size_t i) { acc += static_cast<long long>(i); },
       [](long long& into, const long long& from) { into += from; });
   EXPECT_EQ(total, 500500LL);
+}
+
+TEST(Timer, CpuSecondsAdvancesUnderWork) {
+  WallTimer timer;
+  // Burn a little CPU; volatile stops the loop from being optimized out.
+  volatile std::uint64_t sink = 0;
+  for (std::uint64_t i = 0; i < 20000000; ++i) sink = sink + i;
+  EXPECT_GT(timer.cpu_seconds(), 0.0);
+  EXPECT_GT(timer.seconds(), 0.0);
+  timer.reset();
+  // After reset both clocks restart near zero (well under the burn time).
+  EXPECT_LT(timer.cpu_seconds(), 0.5);
+}
+
+TEST(Timer, CpuSecondsSumsAcrossThreads) {
+  WallTimer timer;
+  std::atomic<std::uint64_t> total{0};
+  parallel_for(0, 4, [&](std::size_t) {
+    volatile std::uint64_t sink = 0;
+    for (std::uint64_t i = 0; i < 10000000; ++i) sink = sink + i;
+    total += sink;
+  });
+  // Process CPU time accumulates over all workers, so it is at least
+  // positive; on multicore hosts it typically exceeds wall time.
+  EXPECT_GT(timer.cpu_seconds(), 0.0);
+  EXPECT_GT(total.load(), 0u);
 }
 
 TEST(Narrow, AcceptsExactAndRejectsLossy) {
