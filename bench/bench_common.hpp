@@ -44,17 +44,25 @@ inline void print_table(const util::TextTable& table) {
 }
 
 /// Console reporter that also collects every timing row for the RunReport.
+/// Errored runs are kept (name + error flag, zero timings) so a benchmark
+/// that failed to run shows up in the report — and in bench_main's exit
+/// status — instead of silently disappearing.
 class CollectingReporter : public benchmark::ConsoleReporter {
  public:
   void ReportRuns(const std::vector<Run>& report) override {
     for (const Run& run : report) {
-      if (run.error_occurred) continue;
       obs::BenchmarkRun out;
       out.name = run.benchmark_name();
-      out.iterations = run.iterations;
-      out.real_time = run.GetAdjustedRealTime();
-      out.cpu_time = run.GetAdjustedCPUTime();
-      out.time_unit = benchmark::GetTimeUnitString(run.time_unit);
+      if (run.error_occurred) {
+        out.error = true;
+        out.error_message = run.error_message;
+        ++errors_;
+      } else {
+        out.iterations = run.iterations;
+        out.real_time = run.GetAdjustedRealTime();
+        out.cpu_time = run.GetAdjustedCPUTime();
+        out.time_unit = benchmark::GetTimeUnitString(run.time_unit);
+      }
       runs_.push_back(std::move(out));
     }
     ConsoleReporter::ReportRuns(report);
@@ -63,9 +71,11 @@ class CollectingReporter : public benchmark::ConsoleReporter {
   [[nodiscard]] const std::vector<obs::BenchmarkRun>& runs() const noexcept {
     return runs_;
   }
+  [[nodiscard]] std::size_t errors() const noexcept { return errors_; }
 
  private:
   std::vector<obs::BenchmarkRun> runs_;
+  std::size_t errors_ = 0;
 };
 
 /// "path/to/bench_exact_cc" -> "exact_cc" (report key and file stem).
@@ -98,6 +108,11 @@ inline int bench_main(int argc, char** argv, void (*print_tables)()) {
   const std::string path =
       obs::write_run_report(report, obs::default_report_path(report.name));
   std::cout << "run report: " << path << "\n";
+  if (reporter.errors() != 0) {
+    std::cerr << reporter.errors()
+              << " benchmark(s) errored; see the run report\n";
+    return 1;
+  }
   return 0;
 }
 

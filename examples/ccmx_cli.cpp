@@ -216,6 +216,10 @@ int main(int argc, char** argv) {
       argc > 4 ? std::strtoull(argv[4], nullptr, 10) : 2024;
   obs::set_attribute("command", cmd);
   obs::set_attribute("seed", std::to_string(seed));
+  obs::set_attribute("n", std::to_string(n));
+  // arg3 is k for singularity/solvable/hard/mesh and r for rank; record
+  // it under both spellings so report diffs can key on either.
+  obs::set_attribute(cmd == "rank" ? "r" : "k", std::to_string(arg3));
   try {
     const int rc = run_command(cmd, n, arg3, seed);
     maybe_write_report(argc, argv, timer);

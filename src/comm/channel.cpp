@@ -1,5 +1,6 @@
 #include "comm/channel.hpp"
 
+#include <atomic>
 #include <string>
 
 #include "obs/obs.hpp"
@@ -12,6 +13,11 @@ const obs::Counter g_messages("comm.messages");
 const obs::Counter g_rounds("comm.rounds");
 const obs::Counter g_bits_agent0("comm.bits.agent0");
 const obs::Counter g_bits_agent1("comm.bits.agent1");
+
+std::uint64_t next_trace_id() {
+  static std::atomic<std::uint64_t> next{1};
+  return next.fetch_add(1, std::memory_order_relaxed);
+}
 
 }  // namespace
 
@@ -27,9 +33,10 @@ const BitVec& Channel::send(Agent from, BitVec payload) {
     if (new_round) g_rounds.add();
     (from == Agent::kZero ? g_bits_agent0 : g_bits_agent1).add(payload_bits);
     if (obs::event_sink_open()) {
+      if (trace_id_ == 0) trace_id_ = next_trace_id();
       obs::emit_event(
-          "{\"ev\":\"send\",\"from\":" +
-          std::to_string(static_cast<unsigned>(from)) +
+          "{\"ev\":\"send\",\"ch\":" + std::to_string(trace_id_) +
+          ",\"from\":" + std::to_string(static_cast<unsigned>(from)) +
           ",\"bits\":" + std::to_string(payload_bits) +
           ",\"round\":" + std::to_string(rounds_) +
           ",\"msg\":" + std::to_string(transcript_.size()) +

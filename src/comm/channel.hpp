@@ -93,6 +93,10 @@ class Channel {
   std::size_t bits_[2] = {0, 0};
   std::size_t rounds_ = 0;
   std::vector<Message> transcript_;
+  // Process-unique id stamped into JSONL trace events ("ch") so a trace
+  // holding several protocol executions can be demultiplexed; assigned
+  // lazily on the first traced send (0 = never traced).
+  mutable std::uint64_t trace_id_ = 0;
 };
 
 /// A two-party decision protocol.  `run` must derive its answer only from

@@ -7,6 +7,11 @@
 #include <sstream>
 #include <thread>
 
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/resource.h>
+#include <unistd.h>
+#endif
+
 #include "obs/obs.hpp"
 #include "util/require.hpp"
 
@@ -27,6 +32,20 @@ std::string build_git_sha() {
   return baked[0] == '\0' ? "unknown" : baked;
 }
 
+std::int64_t current_max_rss_bytes() noexcept {
+#if defined(__unix__) || defined(__APPLE__)
+  struct rusage usage{};
+  if (getrusage(RUSAGE_SELF, &usage) != 0) return 0;
+#if defined(__APPLE__)
+  return static_cast<std::int64_t>(usage.ru_maxrss);  // already bytes
+#else
+  return static_cast<std::int64_t>(usage.ru_maxrss) * 1024;  // KiB -> bytes
+#endif
+#else
+  return 0;
+#endif
+}
+
 std::string render_run_report(const RunReport& report) {
   const Snapshot snap = snapshot();
   std::ostringstream os;
@@ -45,6 +64,9 @@ std::string render_run_report(const RunReport& report) {
   w.key("trace_enabled").value(enabled());
   w.key("wall_seconds").value(report.wall_seconds);
   w.key("cpu_seconds").value(report.cpu_seconds);
+  w.key("max_rss_bytes")
+      .value(report.max_rss_bytes > 0 ? report.max_rss_bytes
+                                      : current_max_rss_bytes());
   w.key("argv").begin_array();
   for (const std::string& arg : report.argv) w.value(arg);
   w.end_array();
@@ -75,6 +97,10 @@ std::string render_run_report(const RunReport& report) {
     w.key("real_time").value(run.real_time);
     w.key("cpu_time").value(run.cpu_time);
     w.key("time_unit").value(run.time_unit);
+    if (run.error) {
+      w.key("error").value(true);
+      w.key("error_message").value(run.error_message);
+    }
     w.end_object();
   }
   w.end_array();
@@ -96,9 +122,30 @@ std::string write_run_report(const RunReport& report, const std::string& path) {
   if (p.has_parent_path()) {
     std::filesystem::create_directories(p.parent_path());
   }
-  std::ofstream out(path, std::ios::trunc);
-  CCMX_REQUIRE(out.is_open(), "cannot open run report path: " + path);
-  out << render_run_report(report);
+  // Atomic publish: render into a sibling temp file (same filesystem, so
+  // rename cannot cross a device boundary), then rename over the target.
+  // A killed process leaves only a stray .tmp, never a truncated report.
+#if defined(__unix__) || defined(__APPLE__)
+  const std::string suffix = ".tmp." + std::to_string(::getpid());
+#else
+  const std::string suffix = ".tmp";
+#endif
+  const std::filesystem::path tmp(path + suffix);
+  {
+    std::ofstream out(tmp, std::ios::trunc | std::ios::binary);
+    CCMX_REQUIRE(out.is_open(),
+                 "cannot open run report temp path: " + tmp.string());
+    out << render_run_report(report);
+    out.flush();
+    CCMX_REQUIRE(out.good(), "short write on run report: " + tmp.string());
+  }
+  std::error_code ec;
+  std::filesystem::rename(tmp, p, ec);
+  if (ec) {
+    std::filesystem::remove(tmp);
+    CCMX_REQUIRE(false, "cannot rename run report into place: " + path +
+                            " (" + ec.message() + ')');
+  }
   return path;
 }
 
@@ -147,6 +194,15 @@ std::vector<std::string> validate_run_report(const json::Value& doc) {
   check_member(doc, "trace_enabled", Kind::kBool, problems);
   check_member(doc, "wall_seconds", Kind::kNumber, problems);
   check_member(doc, "cpu_seconds", Kind::kNumber, problems);
+  // Optional (reports written before the field existed stay valid), but
+  // typed and non-negative when present.
+  if (const json::Value* rss = doc.find("max_rss_bytes"); rss != nullptr) {
+    if (!rss->is_number()) {
+      problems.emplace_back("member \"max_rss_bytes\" has wrong type");
+    } else if (rss->number < 0.0) {
+      problems.emplace_back("\"max_rss_bytes\" must be >= 0");
+    }
+  }
   check_member(doc, "argv", Kind::kArray, problems);
   check_member(doc, "attributes", Kind::kObject, problems);
   if (const json::Value* attrs = doc.find("attributes");
@@ -199,6 +255,13 @@ std::vector<std::string> validate_run_report(const json::Value& doc) {
       check_member(run, "real_time", Kind::kNumber, problems);
       check_member(run, "cpu_time", Kind::kNumber, problems);
       check_member(run, "time_unit", Kind::kString, problems);
+      if (const json::Value* err = run.find("error"); err != nullptr) {
+        if (!err->is_bool()) {
+          problems.push_back(where + " member \"error\" has wrong type");
+        } else if (err->boolean) {
+          check_member(run, "error_message", Kind::kString, problems);
+        }
+      }
     }
   }
   return problems;

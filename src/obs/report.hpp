@@ -21,13 +21,18 @@ namespace ccmx::obs {
 
 inline constexpr std::string_view kRunReportSchema = "ccmx.run_report/1";
 
-/// One google-benchmark timing row (times in the reported unit).
+/// One google-benchmark timing row (times in the reported unit).  Rows
+/// whose run errored are kept (name + error flag, zero timings) so a
+/// benchmark that failed to run is visible in the report instead of
+/// silently missing.
 struct BenchmarkRun {
   std::string name;
   std::int64_t iterations = 0;
   double real_time = 0.0;
   double cpu_time = 0.0;
   std::string time_unit = "ns";
+  bool error = false;
+  std::string error_message;
 };
 
 struct RunReport {
@@ -35,12 +40,19 @@ struct RunReport {
   std::vector<std::string> argv;
   double wall_seconds = 0.0;
   double cpu_seconds = 0.0;
+  /// Peak resident set size; <= 0 means "capture via getrusage at render
+  /// time" (the report is written at process exit, so that is the peak).
+  std::int64_t max_rss_bytes = 0;
   std::vector<BenchmarkRun> benchmarks;
 };
 
 /// Git SHA baked in at configure time (CCMX_GIT_SHA compile definition);
 /// the CCMX_GIT_SHA environment variable overrides it, "unknown" otherwise.
 [[nodiscard]] std::string build_git_sha();
+
+/// Peak resident set size of this process in bytes (getrusage), 0 when
+/// the platform cannot report it.
+[[nodiscard]] std::int64_t current_max_rss_bytes() noexcept;
 
 /// Renders the report plus the current obs snapshot as a JSON document.
 [[nodiscard]] std::string render_run_report(const RunReport& report);
@@ -50,7 +62,10 @@ struct RunReport {
 [[nodiscard]] std::string default_report_path(std::string_view name);
 
 /// Renders and writes the report, creating parent directories as needed.
-/// Returns the path written.
+/// The write is atomic: the JSON lands in a temp file in the target
+/// directory first and is then renamed over `path`, so a killed process
+/// or two racing bench binaries can never leave a truncated report that
+/// later fails a strict parse.  Returns the path written.
 std::string write_run_report(const RunReport& report, const std::string& path);
 
 /// Schema check for a parsed report; returns human-readable problems

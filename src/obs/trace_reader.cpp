@@ -1,0 +1,208 @@
+#include "obs/trace_reader.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+#include <map>
+#include <sstream>
+
+#include "util/require.hpp"
+
+namespace ccmx::obs {
+
+namespace {
+
+[[noreturn]] void fail(std::size_t line_no, const std::string& why) {
+  throw util::contract_error("trace line " + std::to_string(line_no) + ": " +
+                             why);
+}
+
+std::uint64_t uint_field(const json::Value& obj, std::string_view key,
+                         std::size_t line_no) {
+  const json::Value* v = obj.find(key);
+  if (v == nullptr || !v->is_number()) {
+    fail(line_no, "send event missing numeric \"" + std::string(key) + '"');
+  }
+  if (v->number < 0.0 || v->number != std::floor(v->number)) {
+    fail(line_no, "field \"" + std::string(key) +
+                      "\" is not a non-negative integer");
+  }
+  return static_cast<std::uint64_t>(v->number);
+}
+
+}  // namespace
+
+std::uint64_t ChannelTrace::total_rounds() const noexcept {
+  std::uint64_t total = 0;
+  for (const ChannelStats& ch : channels) total += ch.rounds.size();
+  return total;
+}
+
+ChannelTrace parse_channel_trace(std::string_view text) {
+  ChannelTrace trace;
+  std::map<std::uint64_t, std::size_t> channel_index;  // id -> channels[i]
+
+  std::size_t line_no = 0;
+  std::size_t pos = 0;
+  while (pos < text.size()) {
+    const std::size_t eol = text.find('\n', pos);
+    ++line_no;
+    if (eol == std::string_view::npos) {
+      fail(line_no, "truncated trace: final line is not newline-terminated");
+    }
+    const std::string_view line = text.substr(pos, eol - pos);
+    pos = eol + 1;
+    if (line.empty()) continue;
+
+    json::Value obj;
+    try {
+      obj = json::parse(line);
+    } catch (const util::contract_error& e) {
+      fail(line_no, std::string("malformed JSON: ") + e.what());
+    }
+    if (!obj.is_object()) fail(line_no, "event is not a JSON object");
+    const json::Value* ev = obj.find("ev");
+    if (ev == nullptr || !ev->is_string()) {
+      fail(line_no, "event missing string \"ev\"");
+    }
+    if (ev->string != "send") {
+      // Spans and future event kinds are valid JSONL but not channel
+      // traffic; count and move on.
+      ++trace.other_events;
+      continue;
+    }
+
+    SendEvent send;
+    // "ch" was added after PR 1; traces written before it carry no
+    // channel id and all fold into channel 0.
+    if (obj.find("ch") != nullptr) {
+      send.channel = uint_field(obj, "ch", line_no);
+    }
+    const std::uint64_t from = uint_field(obj, "from", line_no);
+    if (from > 1) fail(line_no, "agent out of range (must be 0 or 1)");
+    send.from = static_cast<unsigned>(from);
+    send.bits = uint_field(obj, "bits", line_no);
+    send.round = uint_field(obj, "round", line_no);
+    send.msg = uint_field(obj, "msg", line_no);
+    const json::Value* t = obj.find("t_us");
+    if (t == nullptr || !t->is_number()) {
+      fail(line_no, "send event missing numeric \"t_us\"");
+    }
+    send.t_us = static_cast<std::int64_t>(t->number);
+
+    const auto [it, fresh] =
+        channel_index.try_emplace(send.channel, trace.channels.size());
+    if (fresh) {
+      trace.channels.emplace_back();
+      trace.channels.back().id = send.channel;
+    }
+    ChannelStats& ch = trace.channels[it->second];
+
+    // Per-channel message numbers are assigned 1, 2, 3, ... by the
+    // writer; a gap means lines were lost.
+    if (send.msg != ch.sends.size() + 1) {
+      fail(line_no, "message sequence gap on channel " +
+                        std::to_string(send.channel) + ": expected msg " +
+                        std::to_string(ch.sends.size() + 1) + ", got " +
+                        std::to_string(send.msg));
+    }
+    // Reconstruct the round from speaker alternation and cross-check the
+    // writer's own round number.
+    const bool new_round =
+        ch.rounds.empty() || ch.rounds.back().speaker != send.from;
+    const std::uint64_t expect_round =
+        ch.rounds.size() + (new_round ? 1 : 0);
+    if (send.round != expect_round) {
+      fail(line_no, "round number mismatch on channel " +
+                        std::to_string(send.channel) + ": recorded " +
+                        std::to_string(send.round) + ", reconstructed " +
+                        std::to_string(expect_round));
+    }
+    if (new_round) {
+      RoundStats round;
+      round.round = expect_round;
+      round.speaker = send.from;
+      ch.rounds.push_back(round);
+    }
+    ch.rounds.back().bits += send.bits;
+    ch.rounds.back().messages += 1;
+    ch.agents[send.from].bits += send.bits;
+    ch.agents[send.from].messages += 1;
+    trace.agents[send.from].bits += send.bits;
+    trace.agents[send.from].messages += 1;
+    ++trace.send_events;
+    ch.sends.push_back(send);
+  }
+  return trace;
+}
+
+ChannelTrace read_channel_trace_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  CCMX_REQUIRE(in.is_open(), "cannot open trace file: " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return parse_channel_trace(buffer.str());
+}
+
+std::vector<std::string> check_trace_against_report(
+    const ChannelTrace& trace, const json::Value& report_doc) {
+  std::vector<std::string> mismatches;
+  const json::Value* counters = report_doc.find("counters");
+  if (counters == nullptr || !counters->is_object()) {
+    mismatches.emplace_back("report has no counters object");
+    return mismatches;
+  }
+  const auto counter = [&](std::string_view name) -> double {
+    const json::Value* v = counters->find(name);
+    return v != nullptr && v->is_number() ? v->number : -1.0;
+  };
+  const auto check = [&](std::string_view name, std::uint64_t reconstructed) {
+    const double reported = counter(name);
+    if (reported < 0.0) {
+      mismatches.push_back("report lacks counter \"" + std::string(name) +
+                           "\" (untraced run?)");
+      return;
+    }
+    if (reported != static_cast<double>(reconstructed)) {
+      std::ostringstream os;
+      os << name << ": report says " << reported << ", trace reconstructs "
+         << reconstructed;
+      mismatches.push_back(os.str());
+    }
+  };
+  check("comm.bits.agent0", trace.agents[0].bits);
+  check("comm.bits.agent1", trace.agents[1].bits);
+  check("comm.messages", trace.agents[0].messages + trace.agents[1].messages);
+  check("comm.rounds", trace.total_rounds());
+  return mismatches;
+}
+
+PowerLawFit fit_power_law(const std::vector<std::pair<double, double>>& xy) {
+  CCMX_REQUIRE(xy.size() >= 2, "power-law fit needs at least two points");
+  double sx = 0, sy = 0, sxx = 0, sxy = 0, syy = 0;
+  for (const auto& [x, y] : xy) {
+    CCMX_REQUIRE(x > 0.0 && y > 0.0,
+                 "power-law fit needs strictly positive samples");
+    const double lx = std::log2(x);
+    const double ly = std::log2(y);
+    sx += lx;
+    sy += ly;
+    sxx += lx * lx;
+    sxy += lx * ly;
+    syy += ly * ly;
+  }
+  const double n = static_cast<double>(xy.size());
+  const double var_x = sxx - sx * sx / n;
+  CCMX_REQUIRE(var_x > 1e-12, "power-law fit needs at least two distinct x");
+  const double cov = sxy - sx * sy / n;
+  const double var_y = syy - sy * sy / n;
+
+  PowerLawFit fit;
+  fit.points = xy.size();
+  fit.slope = cov / var_x;
+  fit.log2_intercept = (sy - fit.slope * sx) / n;
+  fit.r2 = var_y <= 1e-12 ? 1.0 : (cov * cov) / (var_x * var_y);
+  return fit;
+}
+
+}  // namespace ccmx::obs

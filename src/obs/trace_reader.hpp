@@ -1,0 +1,115 @@
+// Strict reader for the JSONL channel traces that comm::Channel streams
+// when CCMX_TRACE_FILE is set.
+//
+// Li–Sun–Wang–Woodruff-style analyses treat the per-round, per-agent
+// traffic as the primary quantity, so this module reconstructs exactly
+// that from the raw event stream: sends are grouped by channel id, rounds
+// are rebuilt from speaker alternation and cross-checked against the
+// recorded round numbers, and the totals are conserved against the
+// comm.bits.agent0/1 counters of a matching run report.  The parser is
+// deliberately strict — a malformed line, a gap in the per-channel
+// message sequence, or a truncated final line (no trailing newline, the
+// signature of a killed writer) all throw util::contract_error with the
+// offending line number, so a corrupt trace can never silently produce a
+// wrong table.
+//
+// fit_power_law() is the shared least-squares half of the E1/E2/E11
+// analyses: log2-log2 regression of measured bits against the paper's
+// predictors (k·n² for the send-half bound, n²·max{log n, log k} for
+// fingerprinting).
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "obs/json.hpp"
+
+namespace ccmx::obs {
+
+/// One {"ev":"send",...} line.
+struct SendEvent {
+  std::uint64_t channel = 0;  // "ch"; 0 for traces predating the field
+  unsigned from = 0;          // sending agent, 0 or 1
+  std::uint64_t bits = 0;     // payload size of this message
+  std::uint64_t round = 0;    // 1-based round number recorded by the writer
+  std::uint64_t msg = 0;      // 1-based message number within the channel
+  std::int64_t t_us = 0;
+};
+
+/// One reconstructed round: consecutive sends by the same speaker.
+struct RoundStats {
+  std::uint64_t round = 0;
+  unsigned speaker = 0;
+  std::uint64_t bits = 0;
+  std::uint64_t messages = 0;
+};
+
+struct AgentStats {
+  std::uint64_t bits = 0;
+  std::uint64_t messages = 0;
+};
+
+/// All traffic of one Channel object (one protocol execution).
+struct ChannelStats {
+  std::uint64_t id = 0;
+  std::vector<SendEvent> sends;
+  std::vector<RoundStats> rounds;
+  AgentStats agents[2];
+
+  [[nodiscard]] std::uint64_t total_bits() const noexcept {
+    return agents[0].bits + agents[1].bits;
+  }
+};
+
+/// A fully parsed trace: per-channel traffic plus process-wide totals.
+struct ChannelTrace {
+  std::vector<ChannelStats> channels;  // ordered by first appearance
+  AgentStats agents[2];                // summed over all channels
+  std::uint64_t send_events = 0;
+  std::uint64_t other_events = 0;  // spans etc.; parsed but not modeled
+
+  [[nodiscard]] std::uint64_t total_bits() const noexcept {
+    return agents[0].bits + agents[1].bits;
+  }
+  [[nodiscard]] std::uint64_t total_rounds() const noexcept;
+};
+
+/// Parses a complete JSONL trace.  Throws util::contract_error (with a
+/// 1-based line number) on: a line that is not a JSON object, a missing
+/// or non-string "ev", a "send" event with missing/ill-typed fields or an
+/// out-of-range agent, a per-channel message-sequence gap, a recorded
+/// round number that contradicts the speaker-alternation reconstruction,
+/// or input whose final line is not newline-terminated (truncation).
+[[nodiscard]] ChannelTrace parse_channel_trace(std::string_view text);
+
+/// Reads and parses a trace file; throws on unreadable paths too.
+[[nodiscard]] ChannelTrace read_channel_trace_file(const std::string& path);
+
+/// Conservation check of a trace against the counters of a
+/// ccmx.run_report/1 document from the same process: comm.bits.agent0/1,
+/// comm.messages, and comm.rounds must all match the reconstruction
+/// exactly.  Returns human-readable mismatches (empty = conserved).
+/// Reports with no comm.* counters (untraced run) fail the check — that
+/// trace and report cannot be from the same instrumented run.
+[[nodiscard]] std::vector<std::string> check_trace_against_report(
+    const ChannelTrace& trace, const json::Value& report_doc);
+
+/// Least-squares fit of log2(y) = slope * log2(x) + intercept over
+/// strictly positive samples.
+struct PowerLawFit {
+  double slope = 0.0;
+  double log2_intercept = 0.0;
+  double r2 = 0.0;  // coefficient of determination in log-log space
+  std::size_t points = 0;
+};
+
+/// Fits (x, y) pairs; pairs with x <= 0 or y <= 0 are rejected
+/// (util::contract_error), as is a sample with fewer than two distinct x.
+[[nodiscard]] PowerLawFit fit_power_law(
+    const std::vector<std::pair<double, double>>& xy);
+
+}  // namespace ccmx::obs

@@ -229,6 +229,56 @@ TEST(RunReport, RendersValidSchema) {
   EXPECT_EQ(doc.find("benchmarks")->array[0].find("name")->string,
             "BM_Something/3");
   EXPECT_FALSE(doc.find("git_sha")->string.empty());
+  // Peak RSS is captured at render time when the report leaves it unset.
+  ASSERT_NE(doc.find("max_rss_bytes"), nullptr);
+  EXPECT_GE(doc.find("max_rss_bytes")->number, 0.0);
+}
+
+TEST(RunReport, ExplicitMaxRssIsPreserved) {
+  obs::RunReport report;
+  report.name = "rss_test";
+  report.max_rss_bytes = 123456789;
+  const Value doc = obs::json::parse(obs::render_run_report(report));
+  EXPECT_DOUBLE_EQ(doc.find("max_rss_bytes")->number, 123456789.0);
+#if defined(__unix__) || defined(__APPLE__)
+  EXPECT_GT(obs::current_max_rss_bytes(), 0);
+#endif
+}
+
+TEST(RunReport, ErroredBenchmarksRenderAndValidate) {
+  obs::RunReport report;
+  report.name = "errored";
+  obs::BenchmarkRun ok;
+  ok.name = "BM_Ok/1";
+  ok.iterations = 10;
+  ok.real_time = 1.0;
+  ok.cpu_time = 1.0;
+  report.benchmarks.push_back(ok);
+  obs::BenchmarkRun bad;
+  bad.name = "BM_Throws/2";
+  bad.error = true;
+  bad.error_message = "contract violated: n > 0";
+  report.benchmarks.push_back(bad);
+
+  const Value doc = obs::json::parse(obs::render_run_report(report));
+  EXPECT_TRUE(obs::validate_run_report(doc).empty());
+  ASSERT_EQ(doc.find("benchmarks")->array.size(), 2u);
+  const Value& row = doc.find("benchmarks")->array[1];
+  ASSERT_NE(row.find("error"), nullptr);
+  EXPECT_TRUE(row.find("error")->boolean);
+  EXPECT_EQ(row.find("error_message")->string, "contract violated: n > 0");
+  // The healthy row carries no error members at all.
+  EXPECT_EQ(doc.find("benchmarks")->array[0].find("error"), nullptr);
+
+  // error:true without a message is a schema violation.
+  const Value corrupt = obs::json::parse(R"({"benchmarks":[
+      {"name":"x","iterations":1,"real_time":1,"cpu_time":1,
+       "time_unit":"ns","error":true}]})");
+  bool found = false;
+  for (const std::string& p : obs::validate_run_report(corrupt)) {
+    if (p.find("error_message") != std::string::npos) found = true;
+  }
+  EXPECT_TRUE(found);
 }
 
 TEST(RunReport, ValidatorCatchesCorruption) {
@@ -266,6 +316,13 @@ TEST(RunReport, WritesFileAndCreatesDirectories) {
   std::stringstream buffer;
   buffer << in.rdbuf();
   EXPECT_TRUE(obs::validate_run_report(obs::json::parse(buffer.str())).empty());
+  // The write is publish-by-rename: no temp sibling may be left behind.
+  std::size_t entries = 0;
+  for (const auto& entry : fs::directory_iterator(dir)) {
+    ++entries;
+    EXPECT_EQ(entry.path().filename().string(), "BENCH_test.json");
+  }
+  EXPECT_EQ(entries, 1u);
   fs::remove_all(dir.parent_path());
 }
 

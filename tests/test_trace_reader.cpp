@@ -1,0 +1,313 @@
+// Trace reader: JSONL round-trip from a real instrumented Channel run,
+// strict rejection of malformed/truncated traces, conservation against
+// run-report counters, and the E1 power-law fit.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <unistd.h>
+#endif
+
+#include "comm/channel.hpp"
+#include "comm/partition.hpp"
+#include "obs/json.hpp"
+#include "obs/obs.hpp"
+#include "obs/report.hpp"
+#include "obs/trace_reader.hpp"
+#include "protocols/send_half.hpp"
+#include "util/require.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace ccmx;
+
+la::IntMatrix random_entries(std::size_t n, unsigned k,
+                             util::Xoshiro256& rng) {
+  return la::IntMatrix::generate(n, n, [&](std::size_t, std::size_t) {
+    return num::BigInt(
+        static_cast<std::int64_t>(rng.below(std::uint64_t{1} << k)));
+  });
+}
+
+#ifndef CCMX_OBS_DISABLED
+
+// The JSONL event sink opens lazily on the first emit and reads
+// CCMX_TRACE_FILE exactly once, so the path must be armed before any
+// test emits an event: done here at static-initialization time.
+const std::string g_trace_path = [] {
+  std::string path = (std::filesystem::temp_directory_path() /
+                      ("ccmx_test_trace_" +
+#if defined(__unix__) || defined(__APPLE__)
+                       std::to_string(::getpid()) +
+#endif
+                       std::string(".jsonl")))
+                         .string();
+  std::filesystem::remove(path);
+#if defined(__unix__) || defined(__APPLE__)
+  ::setenv("CCMX_TRACE_FILE", path.c_str(), /*overwrite=*/1);
+#endif
+  return path;
+}();
+
+class TracingOn {
+ public:
+  TracingOn() : was_(obs::enabled()) {
+    obs::set_enabled(true);
+    obs::reset_values();
+  }
+  ~TracingOn() {
+    obs::reset_values();
+    obs::set_enabled(was_);
+  }
+
+ private:
+  bool was_;
+};
+
+TEST(TraceReader, RoundTripsARealInstrumentedRun) {
+  const TracingOn guard;
+  ASSERT_TRUE(obs::event_sink_open())
+      << "CCMX_TRACE_FILE was not armed before the first emit";
+
+  util::Xoshiro256 rng(11);
+  const std::size_t n = 4;
+  const unsigned k = 2;
+  const comm::MatrixBitLayout layout(n, n, k);
+  const comm::Partition pi = comm::Partition::pi0(layout);
+  const comm::BitVec input = layout.encode(random_entries(n, k, rng));
+  const comm::ProtocolOutcome outcome = comm::execute(
+      proto::make_send_half_singularity(layout), input, pi);
+
+  const obs::ChannelTrace trace =
+      obs::read_channel_trace_file(g_trace_path);
+  ASSERT_FALSE(trace.channels.empty());
+  // Our run is the most recent channel on the (append-mode) file.
+  const obs::ChannelStats& ch = trace.channels.back();
+  EXPECT_EQ(ch.total_bits(), outcome.bits);
+  EXPECT_EQ(ch.rounds.size(), outcome.rounds);
+  EXPECT_EQ(ch.agents[0].messages + ch.agents[1].messages, outcome.messages);
+  // Send-half under pi0: agent 0 ships its whole share, agent 1 echoes
+  // the answer bit.
+  EXPECT_EQ(ch.agents[0].bits, outcome.bits - 1);
+  EXPECT_EQ(ch.agents[1].bits, 1u);
+  // Per-round reconstruction: round 1 is agent 0's shipment, round 2 the
+  // answer.
+  ASSERT_EQ(ch.rounds.size(), 2u);
+  EXPECT_EQ(ch.rounds[0].speaker, 0u);
+  EXPECT_EQ(ch.rounds[0].bits, outcome.bits - 1);
+  EXPECT_EQ(ch.rounds[1].speaker, 1u);
+  EXPECT_EQ(ch.rounds[1].bits, 1u);
+}
+
+TEST(TraceReader, ConservesAgainstRunReportCounters) {
+  const TracingOn guard;
+  ASSERT_TRUE(obs::event_sink_open());
+  // Fresh counter values (reset in the guard) + a fresh slice of the
+  // trace: remember how many channels existed before this test's run.
+  const std::size_t channels_before =
+      obs::read_channel_trace_file(g_trace_path).channels.size();
+
+  util::Xoshiro256 rng(23);
+  const comm::MatrixBitLayout layout(4, 4, 3);
+  const comm::Partition pi = comm::Partition::pi0(layout);
+  for (int run = 0; run < 3; ++run) {
+    const comm::BitVec input = layout.encode(random_entries(4, 3, rng));
+    (void)comm::execute(proto::make_send_half_singularity(layout), input, pi);
+  }
+  obs::flush_thread();
+
+  obs::RunReport report;
+  report.name = "trace_conservation";
+  const obs::json::Value doc =
+      obs::json::parse(obs::render_run_report(report));
+
+  obs::ChannelTrace trace = obs::read_channel_trace_file(g_trace_path);
+  // Drop traffic that predates the counter reset so both sides cover the
+  // same window.
+  obs::ChannelTrace fresh;
+  for (std::size_t i = channels_before; i < trace.channels.size(); ++i) {
+    const obs::ChannelStats& ch = trace.channels[i];
+    fresh.channels.push_back(ch);
+    for (int a = 0; a < 2; ++a) {
+      fresh.agents[a].bits += ch.agents[a].bits;
+      fresh.agents[a].messages += ch.agents[a].messages;
+    }
+  }
+  const std::vector<std::string> mismatches =
+      obs::check_trace_against_report(fresh, doc);
+  EXPECT_TRUE(mismatches.empty())
+      << (mismatches.empty() ? "" : mismatches.front());
+}
+
+TEST(TraceReader, ConservationFailsAgainstForeignReport) {
+  const TracingOn guard;
+  ASSERT_TRUE(obs::event_sink_open());
+  util::Xoshiro256 rng(5);
+  const comm::MatrixBitLayout layout(2, 2, 1);
+  const comm::Partition pi = comm::Partition::pi0(layout);
+  const comm::BitVec input = layout.encode(random_entries(2, 1, rng));
+  (void)comm::execute(proto::make_send_half_singularity(layout), input, pi);
+
+  const obs::ChannelTrace trace =
+      obs::read_channel_trace_file(g_trace_path);
+  // An untraced report has no comm.* counters at all.
+  const obs::json::Value doc = obs::json::parse(
+      R"({"counters": {"exact_cc.nodes": 5}})");
+  EXPECT_FALSE(obs::check_trace_against_report(trace, doc).empty());
+}
+
+#endif  // CCMX_OBS_DISABLED
+
+TEST(TraceReader, ParsesHandwrittenTrace) {
+  const std::string text =
+      "{\"ev\":\"send\",\"ch\":7,\"from\":0,\"bits\":10,\"round\":1,"
+      "\"msg\":1,\"t_us\":5}\n"
+      "{\"ev\":\"span\",\"name\":\"x\",\"t_us\":1,\"dur_us\":2}\n"
+      "{\"ev\":\"send\",\"ch\":7,\"from\":0,\"bits\":4,\"round\":1,"
+      "\"msg\":2,\"t_us\":9}\n"
+      "{\"ev\":\"send\",\"ch\":7,\"from\":1,\"bits\":1,\"round\":2,"
+      "\"msg\":3,\"t_us\":12}\n";
+  const obs::ChannelTrace trace = obs::parse_channel_trace(text);
+  EXPECT_EQ(trace.send_events, 3u);
+  EXPECT_EQ(trace.other_events, 1u);
+  ASSERT_EQ(trace.channels.size(), 1u);
+  const obs::ChannelStats& ch = trace.channels[0];
+  EXPECT_EQ(ch.id, 7u);
+  ASSERT_EQ(ch.rounds.size(), 2u);
+  EXPECT_EQ(ch.rounds[0].bits, 14u);      // two same-speaker messages
+  EXPECT_EQ(ch.rounds[0].messages, 2u);
+  EXPECT_EQ(ch.rounds[1].bits, 1u);
+  EXPECT_EQ(ch.agents[0].bits, 14u);
+  EXPECT_EQ(ch.agents[1].bits, 1u);
+  EXPECT_EQ(trace.total_bits(), 15u);
+}
+
+TEST(TraceReader, DemultiplexesInterleavedChannels) {
+  const std::string text =
+      "{\"ev\":\"send\",\"ch\":1,\"from\":0,\"bits\":8,\"round\":1,"
+      "\"msg\":1,\"t_us\":1}\n"
+      "{\"ev\":\"send\",\"ch\":2,\"from\":1,\"bits\":2,\"round\":1,"
+      "\"msg\":1,\"t_us\":2}\n"
+      "{\"ev\":\"send\",\"ch\":1,\"from\":1,\"bits\":1,\"round\":2,"
+      "\"msg\":2,\"t_us\":3}\n";
+  const obs::ChannelTrace trace = obs::parse_channel_trace(text);
+  ASSERT_EQ(trace.channels.size(), 2u);
+  EXPECT_EQ(trace.channels[0].id, 1u);
+  EXPECT_EQ(trace.channels[0].total_bits(), 9u);
+  EXPECT_EQ(trace.channels[1].id, 2u);
+  EXPECT_EQ(trace.channels[1].total_bits(), 2u);
+  EXPECT_EQ(trace.total_rounds(), 3u);
+}
+
+TEST(TraceReader, RejectsMalformedLine) {
+  EXPECT_THROW((void)obs::parse_channel_trace("{not json}\n"),
+               util::contract_error);
+  EXPECT_THROW((void)obs::parse_channel_trace("[1,2]\n"),
+               util::contract_error);
+  EXPECT_THROW((void)obs::parse_channel_trace("{\"no_ev\":1}\n"),
+               util::contract_error);
+  // Missing a required send field.
+  EXPECT_THROW((void)obs::parse_channel_trace(
+                   "{\"ev\":\"send\",\"from\":0,\"bits\":1,\"msg\":1,"
+                   "\"t_us\":0}\n"),
+               util::contract_error);
+  // Agent out of range.
+  EXPECT_THROW((void)obs::parse_channel_trace(
+                   "{\"ev\":\"send\",\"from\":2,\"bits\":1,\"round\":1,"
+                   "\"msg\":1,\"t_us\":0}\n"),
+               util::contract_error);
+}
+
+TEST(TraceReader, RejectsTruncatedFinalLine) {
+  const std::string good =
+      "{\"ev\":\"send\",\"ch\":1,\"from\":0,\"bits\":1,\"round\":1,"
+      "\"msg\":1,\"t_us\":0}\n";
+  EXPECT_NO_THROW((void)obs::parse_channel_trace(good));
+  // The same content without the final newline is what a killed writer
+  // leaves behind — even though the JSON happens to be complete.
+  const std::string truncated = good.substr(0, good.size() - 1);
+  EXPECT_THROW((void)obs::parse_channel_trace(truncated),
+               util::contract_error);
+  // Truncation mid-object is also caught (as malformed JSON or missing
+  // newline, either way it throws).
+  EXPECT_THROW((void)obs::parse_channel_trace(good.substr(0, 30)),
+               util::contract_error);
+}
+
+TEST(TraceReader, RejectsMessageSequenceGap) {
+  const std::string text =
+      "{\"ev\":\"send\",\"ch\":1,\"from\":0,\"bits\":1,\"round\":1,"
+      "\"msg\":1,\"t_us\":0}\n"
+      "{\"ev\":\"send\",\"ch\":1,\"from\":0,\"bits\":1,\"round\":1,"
+      "\"msg\":3,\"t_us\":1}\n";
+  EXPECT_THROW((void)obs::parse_channel_trace(text), util::contract_error);
+}
+
+TEST(TraceReader, RejectsRoundNumberContradiction) {
+  // Speaker alternated but the writer claims the same round.
+  const std::string text =
+      "{\"ev\":\"send\",\"ch\":1,\"from\":0,\"bits\":1,\"round\":1,"
+      "\"msg\":1,\"t_us\":0}\n"
+      "{\"ev\":\"send\",\"ch\":1,\"from\":1,\"bits\":1,\"round\":1,"
+      "\"msg\":2,\"t_us\":1}\n";
+  EXPECT_THROW((void)obs::parse_channel_trace(text), util::contract_error);
+}
+
+TEST(TraceReader, EmptyTraceIsValid) {
+  const obs::ChannelTrace trace = obs::parse_channel_trace("");
+  EXPECT_EQ(trace.send_events, 0u);
+  EXPECT_TRUE(trace.channels.empty());
+}
+
+TEST(PowerLawFit, RecoversAnExactLaw) {
+  std::vector<std::pair<double, double>> xy;
+  for (double x : {1.0, 2.0, 4.0, 8.0, 32.0}) {
+    xy.emplace_back(x, 3.0 * x * x);  // y = 3 x^2
+  }
+  const obs::PowerLawFit fit = obs::fit_power_law(xy);
+  EXPECT_NEAR(fit.slope, 2.0, 1e-9);
+  EXPECT_NEAR(fit.log2_intercept, std::log2(3.0), 1e-9);
+  EXPECT_NEAR(fit.r2, 1.0, 1e-9);
+}
+
+TEST(PowerLawFit, RejectsDegenerateSamples) {
+  EXPECT_THROW((void)obs::fit_power_law({{1.0, 2.0}}), util::contract_error);
+  EXPECT_THROW((void)obs::fit_power_law({{1.0, 2.0}, {1.0, 3.0}}),
+               util::contract_error);
+  EXPECT_THROW((void)obs::fit_power_law({{0.0, 2.0}, {2.0, 3.0}}),
+               util::contract_error);
+  EXPECT_THROW((void)obs::fit_power_law({{1.0, -2.0}, {2.0, 3.0}}),
+               util::contract_error);
+}
+
+// The acceptance check behind `ccmx_insight fit --law send-half`: measured
+// send-half bits over the E1 grid fit bits ~ (k n^2)^slope with slope
+// within 10% of the paper's linear law.
+TEST(PowerLawFit, SendHalfBitsTrackKNSquaredWithinTenPercent) {
+  util::Xoshiro256 rng(7);
+  std::vector<std::pair<double, double>> xy;
+  for (const std::size_t n : {2u, 4u, 6u, 8u}) {
+    for (const unsigned k : {1u, 2u, 4u, 8u}) {
+      const comm::MatrixBitLayout layout(n, n, k);
+      const comm::Partition pi = comm::Partition::pi0(layout);
+      const comm::BitVec input = layout.encode(random_entries(n, k, rng));
+      const comm::ProtocolOutcome outcome = comm::execute(
+          proto::make_send_half_singularity(layout), input, pi);
+      xy.emplace_back(static_cast<double>(k * n * n),
+                      static_cast<double>(outcome.bits));
+    }
+  }
+  const obs::PowerLawFit fit = obs::fit_power_law(xy);
+  EXPECT_NEAR(fit.slope, 1.0, 0.10);
+  EXPECT_GT(fit.r2, 0.99);
+}
+
+}  // namespace

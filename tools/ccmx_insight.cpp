@@ -1,0 +1,459 @@
+// ccmx_insight — the analysis CLI over ccmx's observability artifacts.
+//
+// Subcommands:
+//   diff --baseline DIR --candidate DIR [options]
+//       Compare two directories of BENCH_*.json run reports benchmark-
+//       by-benchmark and counter-by-counter with noise-aware thresholds.
+//       Prints a markdown summary, optionally writes ccmx.bench_diff/1
+//       JSON (--json) and markdown (--md).  Exit 1 when any cpu_time
+//       regression survives the thresholds — the CI perf gate.
+//   trajectory --reports DIR [--out FILE]
+//       Append one ccmx.trajectory/1 JSONL line per report to the
+//       repo's perf trajectory (idempotent per name+git_sha+unix_time).
+//   trace FILE [--report BENCH.json]
+//       Parse a JSONL channel trace, print per-channel / per-round /
+//       per-agent traffic, and (with --report) cross-check conservation
+//       against the report's comm.* counters.  Exit 1 on mismatch.
+//   fit --law send-half|fingerprint [--seed N] [--max-dev F]
+//       Run instrumented protocol sweeps, read the measured bits back
+//       out of the JSONL trace they emitted, and fit the paper's laws:
+//       send-half bits vs k·n² (Theorem 1.1's upper bound, slope 1) and
+//       fingerprint bits vs n²·max{log n, log k} (the probabilistic
+//       bound).  Exit 1 when --max-dev is set (default 0.1 for
+//       send-half) and |slope - 1| exceeds it.
+//
+// See docs/OBSERVABILITY.md ("Analyzing reports") for the schemas.
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <unistd.h>
+#endif
+
+#include "comm/channel.hpp"
+#include "comm/partition.hpp"
+#include "linalg/convert.hpp"
+#include "obs/analysis.hpp"
+#include "obs/obs.hpp"
+#include "obs/trace_reader.hpp"
+#include "protocols/fingerprint.hpp"
+#include "protocols/send_half.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace ccmx;
+
+int usage() {
+  std::cerr <<
+      "usage: ccmx_insight <diff|trajectory|trace|fit> ...\n"
+      "  diff --baseline DIR --candidate DIR [--json PATH] [--md PATH]\n"
+      "       [--cpu-tol F=0.20] [--counter-tol F=0.25] [--rss-tol F=0.30]\n"
+      "       [--min-iters N=3] [--allow-missing-baseline]\n"
+      "  trajectory --reports DIR [--out FILE=bench/out/trajectory.jsonl]\n"
+      "  trace FILE [--report BENCH.json]\n"
+      "  fit --law send-half|fingerprint [--seed N=7] [--max-dev F]\n";
+  return 2;
+}
+
+/// "--key value" argument scraper; returns nullopt when absent.
+class Args {
+ public:
+  Args(int argc, char** argv, int first) {
+    for (int i = first; i < argc; ++i) args_.emplace_back(argv[i]);
+  }
+
+  std::optional<std::string> option(const std::string& key) {
+    for (std::size_t i = 0; i + 1 < args_.size(); ++i) {
+      if (args_[i] == key) {
+        consumed_.push_back(i);
+        consumed_.push_back(i + 1);
+        return args_[i + 1];
+      }
+    }
+    return std::nullopt;
+  }
+
+  bool flag(const std::string& key) {
+    for (std::size_t i = 0; i < args_.size(); ++i) {
+      if (args_[i] == key) {
+        consumed_.push_back(i);
+        return true;
+      }
+    }
+    return false;
+  }
+
+  /// First argument that is not an option (for `trace FILE`).
+  std::optional<std::string> positional() {
+    for (std::size_t i = 0; i < args_.size(); ++i) {
+      if (args_[i].rfind("--", 0) == 0) {
+        ++i;  // skip the option's value too
+        continue;
+      }
+      return args_[i];
+    }
+    return std::nullopt;
+  }
+
+ private:
+  std::vector<std::string> args_;
+  std::vector<std::size_t> consumed_;
+};
+
+double parse_double(const std::string& s, double fallback) {
+  char* end = nullptr;
+  const double v = std::strtod(s.c_str(), &end);
+  return end != s.c_str() ? v : fallback;
+}
+
+bool write_text_file(const std::string& path, const std::string& text) {
+  const std::filesystem::path p(path);
+  if (p.has_parent_path()) {
+    std::error_code ec;
+    std::filesystem::create_directories(p.parent_path(), ec);
+  }
+  std::ofstream out(path, std::ios::trunc | std::ios::binary);
+  if (!out.is_open()) return false;
+  out << text;
+  out.flush();
+  return out.good();
+}
+
+// ---------------------------------------------------------------- diff
+
+int cmd_diff(Args& args) {
+  const auto baseline_dir = args.option("--baseline");
+  const auto candidate_dir = args.option("--candidate");
+  if (!baseline_dir || !candidate_dir) return usage();
+
+  obs::DiffThresholds thresholds;
+  if (const auto v = args.option("--cpu-tol")) {
+    thresholds.cpu_rel_tol = parse_double(*v, thresholds.cpu_rel_tol);
+  }
+  if (const auto v = args.option("--counter-tol")) {
+    thresholds.counter_rel_tol = parse_double(*v, thresholds.counter_rel_tol);
+  }
+  if (const auto v = args.option("--rss-tol")) {
+    thresholds.rss_rel_tol = parse_double(*v, thresholds.rss_rel_tol);
+  }
+  if (const auto v = args.option("--min-iters")) {
+    thresholds.min_iterations = std::strtol(v->c_str(), nullptr, 10);
+  }
+
+  const obs::LoadResult baseline = obs::load_report_dir(*baseline_dir);
+  const obs::LoadResult candidate = obs::load_report_dir(*candidate_dir);
+  if (baseline.reports.empty()) {
+    if (args.flag("--allow-missing-baseline")) {
+      std::cout << "warning: no baseline reports in " << *baseline_dir
+                << "; skipping the regression gate\n";
+      return 0;
+    }
+    std::cerr << "error: no valid baseline reports in " << *baseline_dir
+              << '\n';
+    for (const std::string& p : baseline.problems) {
+      std::cerr << "  " << p << '\n';
+    }
+    return 2;
+  }
+  if (candidate.reports.empty()) {
+    std::cerr << "error: no valid candidate reports in " << *candidate_dir
+              << '\n';
+    for (const std::string& p : candidate.problems) {
+      std::cerr << "  " << p << '\n';
+    }
+    return 2;
+  }
+
+  obs::BenchDiff diff = obs::diff_reports(baseline, candidate, thresholds);
+  diff.baseline_dir = *baseline_dir;
+  diff.candidate_dir = *candidate_dir;
+
+  const std::string markdown = obs::render_bench_diff_markdown(diff);
+  std::cout << markdown;
+  if (const auto path = args.option("--json")) {
+    if (!write_text_file(*path, obs::render_bench_diff_json(diff))) {
+      std::cerr << "error: cannot write " << *path << '\n';
+      return 2;
+    }
+    std::cout << "bench diff json: " << *path << '\n';
+  }
+  if (const auto path = args.option("--md")) {
+    if (!write_text_file(*path, markdown)) {
+      std::cerr << "error: cannot write " << *path << '\n';
+      return 2;
+    }
+  }
+  return diff.has_cpu_regression() ? 1 : 0;
+}
+
+// ---------------------------------------------------------- trajectory
+
+int cmd_trajectory(Args& args) {
+  const auto reports_dir = args.option("--reports");
+  if (!reports_dir) return usage();
+  const std::string out =
+      args.option("--out").value_or("bench/out/trajectory.jsonl");
+  const obs::LoadResult reports = obs::load_report_dir(*reports_dir);
+  for (const std::string& p : reports.problems) {
+    std::cerr << "warning: " << p << '\n';
+  }
+  if (reports.reports.empty()) {
+    std::cerr << "error: no valid reports in " << *reports_dir << '\n';
+    return 2;
+  }
+  const obs::TrajectoryAppend result = obs::append_trajectory(reports, out);
+  std::cout << "trajectory: " << out << " (+" << result.appended
+            << " appended, " << result.skipped << " already present)\n";
+  return 0;
+}
+
+// --------------------------------------------------------------- trace
+
+int cmd_trace(Args& args) {
+  const auto report_path = args.option("--report");
+  const auto trace_path = args.positional();
+  if (!trace_path) return usage();
+
+  obs::ChannelTrace trace;
+  try {
+    trace = obs::read_channel_trace_file(*trace_path);
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << '\n';
+    return 2;
+  }
+
+  std::cout << "trace: " << *trace_path << " — " << trace.send_events
+            << " sends across " << trace.channels.size() << " channel(s), "
+            << trace.other_events << " other event(s)\n\n";
+  util::TextTable channels(
+      {"channel", "rounds", "messages", "agent0 bits", "agent1 bits",
+       "total bits"});
+  for (const obs::ChannelStats& ch : trace.channels) {
+    channels.row(ch.id, ch.rounds.size(),
+                 ch.agents[0].messages + ch.agents[1].messages,
+                 ch.agents[0].bits, ch.agents[1].bits, ch.total_bits());
+  }
+  channels.print(std::cout);
+
+  // Per-round structure of the largest channel (the interesting one for
+  // round-communication analyses).
+  const auto widest = std::max_element(
+      trace.channels.begin(), trace.channels.end(),
+      [](const obs::ChannelStats& a, const obs::ChannelStats& b) {
+        return a.total_bits() < b.total_bits();
+      });
+  if (widest != trace.channels.end() && !widest->rounds.empty()) {
+    std::cout << "\nper-round traffic of channel " << widest->id << ":\n";
+    util::TextTable rounds({"round", "speaker", "messages", "bits"});
+    for (const obs::RoundStats& r : widest->rounds) {
+      rounds.row(r.round, r.speaker, r.messages, r.bits);
+    }
+    rounds.print(std::cout);
+  }
+
+  if (report_path) {
+    std::ifstream in(*report_path, std::ios::binary);
+    if (!in.is_open()) {
+      std::cerr << "error: cannot open report " << *report_path << '\n';
+      return 2;
+    }
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    obs::json::Value doc;
+    try {
+      doc = obs::json::parse(buffer.str());
+    } catch (const std::exception& e) {
+      std::cerr << "error: report " << *report_path << ": " << e.what()
+                << '\n';
+      return 2;
+    }
+    const std::vector<std::string> mismatches =
+        obs::check_trace_against_report(trace, doc);
+    if (mismatches.empty()) {
+      std::cout << "\nconservation vs " << *report_path
+                << ": OK (bits, messages, rounds all match comm.* "
+                   "counters)\n";
+    } else {
+      std::cout << "\nconservation vs " << *report_path << ": FAILED\n";
+      for (const std::string& m : mismatches) std::cout << "  " << m << '\n';
+      return 1;
+    }
+  }
+  return 0;
+}
+
+// ----------------------------------------------------------------- fit
+
+la::IntMatrix random_entries(std::size_t n, unsigned k,
+                             util::Xoshiro256& rng) {
+  return la::IntMatrix::generate(n, n, [&](std::size_t, std::size_t) {
+    return num::BigInt(
+        static_cast<std::int64_t>(rng.below(std::uint64_t{1} << k)));
+  });
+}
+
+struct FitPoint {
+  std::size_t n = 0;
+  unsigned k = 0;
+  double x = 0.0;              // the law's predictor
+  std::size_t outcome_bits = 0;  // as reported by comm::execute
+};
+
+/// Routes the process's JSONL event stream to a private temp file so the
+/// sweep's sends can be read back through the trace reader.  Must run
+/// before the first obs::emit_event in the process (the sink path is
+/// probed lazily, once).
+std::string arm_private_trace_file() {
+  const std::filesystem::path path =
+      std::filesystem::temp_directory_path() /
+      ("ccmx_insight_fit_" + std::to_string(::getpid()) + ".jsonl");
+  std::filesystem::remove(path);
+  ::setenv("CCMX_TRACE_FILE", path.string().c_str(), /*overwrite=*/1);
+  obs::set_enabled(true);
+  return path.string();
+}
+
+int fit_report(const std::string& law, const std::vector<FitPoint>& points,
+               const std::string& trace_path, const std::string& x_label,
+               double max_dev) {
+  // Read the measured bits back out of the JSONL trace: one channel per
+  // protocol execution, in run order.
+  const obs::ChannelTrace trace = obs::read_channel_trace_file(trace_path);
+  if (trace.channels.size() != points.size()) {
+    std::cerr << "error: trace holds " << trace.channels.size()
+              << " channels for " << points.size() << " runs\n";
+    return 2;
+  }
+
+  util::TextTable table({"n", "k", x_label, "trace bits", "rounds"});
+  std::vector<std::pair<double, double>> xy;
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    const obs::ChannelStats& ch = trace.channels[i];
+    if (ch.total_bits() != points[i].outcome_bits) {
+      std::cerr << "error: run " << i << " trace bits " << ch.total_bits()
+                << " != protocol outcome " << points[i].outcome_bits << '\n';
+      return 2;
+    }
+    table.row(points[i].n, points[i].k, points[i].x, ch.total_bits(),
+              ch.rounds.size());
+    xy.emplace_back(points[i].x, static_cast<double>(ch.total_bits()));
+  }
+  table.print(std::cout);
+
+  const obs::PowerLawFit fit = obs::fit_power_law(xy);
+  std::cout << "\nlog2(bits) vs log2(" << x_label << "): slope "
+            << util::fmt_double(fit.slope, 4) << ", intercept 2^"
+            << util::fmt_double(fit.log2_intercept, 3) << ", R^2 "
+            << util::fmt_double(fit.r2, 4) << " over " << fit.points
+            << " points\n";
+  std::cout << "paper's law predicts slope 1 (" << law << " is linear in "
+            << x_label << "); deviation "
+            << util::fmt_double(std::abs(fit.slope - 1.0), 4) << "\n";
+  if (max_dev > 0.0 && std::abs(fit.slope - 1.0) > max_dev) {
+    std::cerr << "FAIL: slope deviates from 1 by more than "
+              << util::fmt_double(max_dev, 3) << '\n';
+    return 1;
+  }
+  return 0;
+}
+
+int cmd_fit(Args& args) {
+  const std::string law = args.option("--law").value_or("send-half");
+  const std::uint64_t seed =
+      args.option("--seed")
+          ? std::strtoull(args.option("--seed")->c_str(), nullptr, 10)
+          : 7;
+  util::Xoshiro256 rng(seed);
+
+  if (law == "send-half") {
+    const double max_dev = args.option("--max-dev")
+                               ? parse_double(*args.option("--max-dev"), 0.1)
+                               : 0.1;
+    const std::string trace_path = arm_private_trace_file();
+    // E1's regime: even partitions of 2m x 2m matrices with k-bit
+    // entries; the send-half upper bound is k*n^2/2 + 1 bits, linear in
+    // k*n^2.
+    std::vector<FitPoint> points;
+    for (const std::size_t n : {2u, 4u, 6u, 8u}) {
+      for (const unsigned k : {1u, 2u, 4u, 8u}) {
+        const comm::MatrixBitLayout layout(n, n, k);
+        const comm::Partition pi = comm::Partition::pi0(layout);
+        const comm::BitVec input = layout.encode(random_entries(n, k, rng));
+        const auto outcome = comm::execute(
+            proto::make_send_half_singularity(layout), input, pi);
+        FitPoint p;
+        p.n = n;
+        p.k = k;
+        p.x = static_cast<double>(k) * static_cast<double>(n * n);
+        p.outcome_bits = outcome.bits;
+        points.push_back(p);
+      }
+    }
+    return fit_report(law, points, trace_path, "k*n^2", max_dev);
+  }
+
+  if (law == "fingerprint") {
+    const double max_dev = args.option("--max-dev")
+                               ? parse_double(*args.option("--max-dev"), 0.0)
+                               : 0.0;  // advisory by default; see E2
+    const std::string trace_path = arm_private_trace_file();
+    // E2/E11's regime: fingerprint bits grow with n^2 * max{log n, log k}
+    // (the prime length tracks the max); measured, not exact.
+    std::vector<FitPoint> points;
+    for (const std::size_t n : {4u, 8u, 16u}) {
+      for (const unsigned k : {2u, 8u, 32u}) {
+        const comm::MatrixBitLayout layout(n, n, k);
+        const comm::Partition pi = comm::Partition::pi0(layout);
+        const comm::BitVec input = layout.encode(random_entries(n, k, rng));
+        const unsigned pb = proto::recommend_prime_bits(n, k, 0.01);
+        const proto::FingerprintProtocol fp(
+            layout, proto::FingerprintTask::kSingularity, pb, 1, seed);
+        const auto outcome = comm::execute(fp, input, pi);
+        FitPoint p;
+        p.n = n;
+        p.k = k;
+        const double logs = std::max(
+            std::log2(static_cast<double>(n)),
+            std::log2(static_cast<double>(k)));
+        p.x = static_cast<double>(n * n) * logs;
+        p.outcome_bits = outcome.bits;
+        points.push_back(p);
+      }
+    }
+    return fit_report(law, points, trace_path, "n^2*max(log n, log k)",
+                      max_dev);
+  }
+
+  std::cerr << "error: unknown law \"" << law
+            << "\" (expected send-half or fingerprint)\n";
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string cmd = argv[1];
+  Args args(argc, argv, 2);
+  try {
+    if (cmd == "diff") return cmd_diff(args);
+    if (cmd == "trajectory") return cmd_trajectory(args);
+    if (cmd == "trace") return cmd_trace(args);
+    if (cmd == "fit") return cmd_fit(args);
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << '\n';
+    return 2;
+  }
+  return usage();
+}
