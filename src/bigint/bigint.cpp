@@ -7,6 +7,7 @@
 #include <ostream>
 
 #include "util/int128.hpp"
+#include "util/narrow.hpp"
 #include "util/require.hpp"
 
 namespace ccmx::num {
@@ -114,7 +115,7 @@ std::string BigInt::to_string() const {
     }
     while (!mag.empty() && mag.back() == 0) mag.pop_back();
     for (int d = 0; d < 9; ++d) {
-      digits.push_back(static_cast<char>('0' + rem % 10));
+      digits.push_back(util::narrow_cast<char>('0' + rem % 10));
       rem /= 10;
     }
   }

@@ -1,5 +1,6 @@
 #include "bigint/negabase.hpp"
 
+#include "util/narrow.hpp"
 #include "util/require.hpp"
 
 namespace ccmx::num {
@@ -17,7 +18,7 @@ std::optional<std::vector<std::uint32_t>> to_negabase(const BigInt& value,
     // digit = rest mod q, canonical in [0, q).
     BigInt digit = BigInt::mod_floor(rest, base);
     const std::uint64_t d = static_cast<std::uint64_t>(digit.to_int64());
-    digits.push_back(static_cast<std::uint32_t>(d));
+    digits.push_back(util::narrow_cast<std::uint32_t>(d));
     // rest = (rest - d) / (-q)  ==  -(rest - d) / q, exact.
     rest = (digit - rest).divide_exact(base);
   }

@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "obs/obs.hpp"
+#include "util/narrow.hpp"
 #include "util/require.hpp"
 
 namespace ccmx::comm {
@@ -89,7 +90,7 @@ struct Solver {
         if (best == 1) break;
       }
     }
-    memo.emplace(key, static_cast<std::uint8_t>(best));
+    memo.emplace(key, util::narrow_cast<std::uint8_t>(best));
     return best;
   }
 };
@@ -126,7 +127,7 @@ std::int32_t build_tree(Solver& solver, std::uint32_t rows,
     const auto c = static_cast<std::size_t>(__builtin_ctz(cols));
     node.answer = ((solver.row_ones[r] >> c) & 1u) != 0;
     tree.nodes.push_back(node);
-    return static_cast<std::int32_t>(tree.nodes.size() - 1);
+    return util::narrow_cast<std::int32_t>(tree.nodes.size() - 1);
   }
   // Find any split achieving the optimum (the solver's order revisited).
   const auto try_split = [&](bool row_side) -> std::int32_t {
@@ -153,7 +154,7 @@ std::int32_t build_tree(Solver& solver, std::uint32_t rows,
       node.child0 = child0;
       node.child1 = child1;
       tree.nodes.push_back(node);
-      return static_cast<std::int32_t>(tree.nodes.size() - 1);
+      return util::narrow_cast<std::int32_t>(tree.nodes.size() - 1);
     }
     return -1;
   };

@@ -8,6 +8,7 @@
 #include "obs/progress.hpp"
 #include "util/int128.hpp"
 #include "linalg/rref.hpp"
+#include "util/narrow.hpp"
 #include "util/require.hpp"
 
 namespace ccmx::core {
@@ -24,7 +25,7 @@ double approx_log2(const BigInt& value) {
   if (bits <= 62) {
     return std::log2(static_cast<double>(value.to_int64()));
   }
-  const BigInt top = value >> static_cast<unsigned>(bits - 53);
+  const BigInt top = value >> util::narrow_cast<unsigned>(bits - 53);
   return std::log2(static_cast<double>(top.to_int64())) +
          static_cast<double>(bits - 53);
 }
@@ -86,12 +87,12 @@ const obs::Counter g_census_sampled("census.sampled_sweeps");
 
 BigInt total_rows(const ConstructionParams& p) {
   return BigInt::pow(BigInt(static_cast<std::int64_t>(p.q())),
-                     static_cast<unsigned>(p.free_entries_c()));
+                     util::narrow_cast<unsigned>(p.free_entries_c()));
 }
 
 BigInt total_columns(const ConstructionParams& p) {
   return BigInt::pow(BigInt(static_cast<std::int64_t>(p.q())),
-                     static_cast<unsigned>(p.free_entries_dey()));
+                     util::narrow_cast<unsigned>(p.free_entries_dey()));
 }
 
 RowCensus row_census(const ConstructionParams& p, const la::IntMatrix& c,
@@ -106,7 +107,7 @@ RowCensus row_census(const ConstructionParams& p, const la::IntMatrix& c,
   const std::vector<BigInt> w = p.w_vector();
   const std::vector<BigInt> u = p.u_vector();
   const BigInt neg_q_l = BigInt::pow(BigInt(-static_cast<std::int64_t>(q)),
-                                     static_cast<unsigned>(l));
+                                     util::narrow_cast<unsigned>(l));
   const num::NegabaseRange r_g = num::negabase_range(q, g);
   const num::NegabaseRange r_y = num::negabase_range(q, p.n() - 1);
 
@@ -163,7 +164,8 @@ RowCensus row_census(const ConstructionParams& p, const la::IntMatrix& c,
       const BigInt mag = v.abs();
       for (std::size_t bit = mag.bit_length(); bit-- > 0;) {
         out <<= 1;
-        if (((mag >> static_cast<unsigned>(bit)) % BigInt(2)) == BigInt(1)) {
+        if (((mag >> util::narrow_cast<unsigned>(bit)) % BigInt(2)) ==
+            BigInt(1)) {
           out |= 1;
         }
       }
@@ -265,7 +267,7 @@ RowCensus row_census(const ConstructionParams& p, const la::IntMatrix& c,
     std::uint64_t fast_acc = 0;
     for (std::size_t s = 0; s < samples; ++s) {
       for (auto& digit : digit_vec) {
-        digit = static_cast<std::uint32_t>(rng.below(q));
+        digit = util::narrow_cast<std::uint32_t>(rng.below(q));
       }
       if (fast) {
         fast_acc += evaluate_fast(digit_vec);
@@ -281,7 +283,8 @@ RowCensus row_census(const ConstructionParams& p, const la::IntMatrix& c,
     }
     sum += BigInt(static_cast<std::int64_t>(fast_acc));
     // ones ~ q^digits * mean(count).
-    const BigInt space = BigInt::pow(q_big, static_cast<unsigned>(digits));
+    const BigInt space =
+        BigInt::pow(q_big, util::narrow_cast<unsigned>(digits));
     census.ones = (space * sum) / BigInt(static_cast<std::int64_t>(samples));
     census.exact = false;
   }

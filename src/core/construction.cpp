@@ -4,6 +4,7 @@
 
 #include "bigint/negabase.hpp"
 #include "linalg/rref.hpp"
+#include "util/narrow.hpp"
 #include "util/require.hpp"
 
 namespace ccmx::core {
@@ -35,7 +36,7 @@ ConstructionParams::ConstructionParams(std::size_t n, unsigned k)
   log_q_n_ = ceil_log(q_, n_);
   if (valid()) {
     m_ = BigInt::pow(BigInt(static_cast<std::int64_t>(q_)),
-                     static_cast<unsigned>(l()));
+                     util::narrow_cast<unsigned>(l()));
   }
 }
 
@@ -219,7 +220,7 @@ std::optional<FreeParts> lemma35_complete(const ConstructionParams& p,
   // (-q)^L: u_D values are m' . (-q)^{G-1-j} with m' = (-q)^L.
   const BigInt neg_q_l =
       BigInt::pow(BigInt(-static_cast<std::int64_t>(p.q())),
-                  static_cast<unsigned>(p.l()));
+                  util::narrow_cast<unsigned>(p.l()));
 
   // Two attempts: canonical residues in [0, m), then balanced residues in
   // (-m/2, m/2] — the latter only needed if a digit budget overflows.

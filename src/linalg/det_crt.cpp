@@ -5,6 +5,7 @@
 #include "bigint/modular.hpp"
 #include "linalg/det.hpp"
 #include "linalg/fp.hpp"
+#include "util/narrow.hpp"
 #include "util/parallel.hpp"
 #include "util/require.hpp"
 
@@ -43,7 +44,7 @@ std::vector<std::uint64_t> prime_ladder(std::size_t count) {
 std::size_t det_crt_prime_count(const IntMatrix& m) {
   CCMX_REQUIRE(m.is_square(), "determinant of a non-square matrix");
   if (m.rows() == 0) return 1;
-  const auto k = static_cast<unsigned>(std::min<std::size_t>(
+  const auto k = util::narrow_cast<unsigned>(std::min<std::size_t>(
       62, max_entry_bits(m) + 1));
   // Need prod p_i > 2 * |det| ; each prime contributes > 61 bits.
   const std::size_t det_bits = hadamard_det_bits(m.rows(), k) + 2;

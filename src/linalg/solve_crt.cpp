@@ -6,6 +6,7 @@
 #include "linalg/det.hpp"
 #include "linalg/fp.hpp"
 #include "linalg/rref.hpp"
+#include "util/narrow.hpp"
 #include "util/parallel.hpp"
 #include "util/require.hpp"
 
@@ -71,7 +72,7 @@ std::optional<std::vector<Rational>> solve_crt(const IntMatrix& a,
 
   // Cramer bound: numerators and denominator are determinants of matrices
   // with entries of `k` bits, so both are below 2^H with H = Hadamard bits.
-  const auto k = static_cast<unsigned>(
+  const auto k = util::narrow_cast<unsigned>(
       std::min<std::size_t>(62, max_entry_bits(a, b) + 1));
   const std::size_t h_bits = hadamard_det_bits(n, k) + 1;
   // Reconstruction needs 2 * bound^2 < modulus: ~2H + 2 bits of primes.
@@ -106,7 +107,7 @@ std::optional<std::vector<Rational>> solve_crt(const IntMatrix& a,
   }
 
   // CRT-combine each coordinate (coordinates are independent: shard them).
-  const BigInt bound = BigInt::pow2(static_cast<unsigned>(h_bits));
+  const BigInt bound = BigInt::pow2(util::narrow_cast<unsigned>(h_bits));
   std::vector<std::optional<Rational>> recovered(n);
   util::parallel_for(0, n, [&](std::size_t j) {
     BigInt value(static_cast<std::int64_t>(solutions[0][j]));

@@ -1,0 +1,681 @@
+#include "lint/lint.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cctype>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <regex>
+#include <set>
+#include <sstream>
+
+#include "obs/schemas.hpp"
+#include "util/require.hpp"
+
+namespace ccmx::lint {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+// ------------------------------------------------------------- lexing
+
+/// One physical source line split into the three streams the rules care
+/// about: code (string contents blanked, comments removed), comment text,
+/// and the contents of string literals that start on this line.
+struct ScannedLine {
+  std::string code;
+  std::string comment;
+  std::vector<std::string> strings;
+};
+
+bool is_blank(std::string_view s) {
+  return std::all_of(s.begin(), s.end(),
+                     [](unsigned char c) { return std::isspace(c) != 0; });
+}
+
+std::string trim(std::string_view s) {
+  std::size_t b = 0;
+  std::size_t e = s.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(s[b])) != 0) ++b;
+  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1])) != 0) --e;
+  return std::string(s.substr(b, e - b));
+}
+
+/// Collapses runs of whitespace to single spaces (fingerprint
+/// normalization, so re-indentation does not invalidate a baseline).
+std::string squash(std::string_view s) {
+  std::string out;
+  bool pending_space = false;
+  for (const char c : trim(s)) {
+    if (std::isspace(static_cast<unsigned char>(c)) != 0) {
+      pending_space = true;
+      continue;
+    }
+    if (pending_space && !out.empty()) out.push_back(' ');
+    pending_space = false;
+    out.push_back(c);
+  }
+  return out;
+}
+
+/// Lexes C++ text into per-line code/comment/string streams.  Handles
+/// //, /* */, "..." with escapes, '...' char literals, and R"tag(...)tag"
+/// raw strings (content attributed to the line the literal starts on).
+std::vector<ScannedLine> scan(std::string_view text) {
+  std::vector<ScannedLine> lines(1);
+  enum class State {
+    kCode,
+    kLineComment,
+    kBlockComment,
+    kString,
+    kChar,
+    kRawString
+  };
+  State state = State::kCode;
+  std::string raw_tag;          // for kRawString: the )tag" terminator
+  std::string* literal = nullptr;  // current string literal sink
+
+  const auto newline = [&] { lines.emplace_back(); };
+
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    const char c = text[i];
+    const char next = i + 1 < text.size() ? text[i + 1] : '\0';
+    ScannedLine& line = lines.back();
+    switch (state) {
+      case State::kCode:
+        if (c == '\n') {
+          newline();
+        } else if (c == '/' && next == '/') {
+          state = State::kLineComment;
+          ++i;
+        } else if (c == '/' && next == '*') {
+          state = State::kBlockComment;
+          ++i;
+        } else if (c == 'R' && next == '"' &&
+                   (line.code.empty() ||
+                    (std::isalnum(static_cast<unsigned char>(
+                         line.code.back())) == 0 &&
+                     line.code.back() != '_'))) {
+          // R"tag( ... )tag"
+          std::size_t open = text.find('(', i + 2);
+          if (open == std::string_view::npos) {
+            line.code.push_back(c);
+            break;
+          }
+          raw_tag = ")" + std::string(text.substr(i + 2, open - (i + 2))) +
+                    "\"";
+          line.code += "\"\"";
+          line.strings.emplace_back();
+          literal = &line.strings.back();
+          state = State::kRawString;
+          i = open;  // consume through the opening parenthesis
+        } else if (c == '"') {
+          line.code += "\"\"";
+          line.strings.emplace_back();
+          literal = &line.strings.back();
+          state = State::kString;
+        } else if (c == '\'') {
+          line.code += "''";
+          state = State::kChar;
+        } else {
+          line.code.push_back(c);
+        }
+        break;
+      case State::kLineComment:
+        if (c == '\n') {
+          newline();
+          state = State::kCode;
+        } else {
+          line.comment.push_back(c);
+        }
+        break;
+      case State::kBlockComment:
+        if (c == '*' && next == '/') {
+          state = State::kCode;
+          ++i;
+        } else if (c == '\n') {
+          newline();
+        } else {
+          line.comment.push_back(c);
+        }
+        break;
+      case State::kString:
+        if (c == '\\' && next != '\0') {
+          literal->push_back(c);
+          literal->push_back(next);
+          ++i;
+        } else if (c == '"') {
+          state = State::kCode;
+          literal = nullptr;
+        } else if (c == '\n') {  // unterminated; recover per line
+          newline();
+          state = State::kCode;
+          literal = nullptr;
+        } else {
+          literal->push_back(c);
+        }
+        break;
+      case State::kChar:
+        if (c == '\\' && next != '\0') {
+          ++i;
+        } else if (c == '\'') {
+          state = State::kCode;
+        } else if (c == '\n') {
+          newline();
+          state = State::kCode;
+        }
+        break;
+      case State::kRawString:
+        if (c == '\n') {
+          newline();
+          // keep accumulating into the literal of the starting line
+        } else if (text.compare(i, raw_tag.size(), raw_tag) == 0) {
+          i += raw_tag.size() - 1;
+          state = State::kCode;
+          literal = nullptr;
+        } else {
+          literal->push_back(c);
+        }
+        break;
+    }
+  }
+  return lines;
+}
+
+// ------------------------------------------------------- rule registry
+
+const std::vector<RuleInfo>& all_rules() {
+  static const std::vector<RuleInfo> kRules = {
+      {"narrow", "r1",
+       "no raw narrowing static_cast between integer types in src/ — use "
+       "util/narrow.hpp"},
+      {"require", "r2",
+       "documented preconditions on inline header functions must be "
+       "enforced with CCMX_REQUIRE"},
+      {"schema", "r3",
+       "ccmx.<name>/<version> schema strings must come from "
+       "src/obs/schemas.hpp"},
+      {"bench-main", "r4",
+       "bench binaries register through CCMX_BENCH_MAIN only"},
+      {"rng", "r5",
+       "no rand()/std::mt19937/random_device outside util/rng — use seeded "
+       "util::Xoshiro256"},
+      {"include-hygiene", "r6", "every header declares #pragma once"},
+  };
+  return kRules;
+}
+
+/// Canonical rule name for an allow() token; empty when unknown.
+std::string canonical_rule(std::string_view token) {
+  std::string t = trim(token);
+  std::transform(t.begin(), t.end(), t.begin(),
+                 [](unsigned char c) { return std::tolower(c); });
+  if (t == "all") return "all";
+  for (const RuleInfo& rule : all_rules()) {
+    if (t == rule.name || t == rule.alias) return std::string(rule.name);
+  }
+  return {};
+}
+
+/// Per-line suppression sets from `ccmx-lint: allow(a, b)` comments.
+std::vector<std::set<std::string>> suppressions(
+    const std::vector<ScannedLine>& lines) {
+  static const std::regex kAllow(R"(ccmx-lint:\s*allow\(([^)]*)\))");
+  std::vector<std::set<std::string>> allow(lines.size());
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    if (lines[i].comment.empty()) continue;
+    std::smatch m;
+    std::string comment = lines[i].comment;
+    while (std::regex_search(comment, m, kAllow)) {
+      std::stringstream list(m[1].str());
+      std::string token;
+      while (std::getline(list, token, ',')) {
+        const std::string rule = canonical_rule(token);
+        if (!rule.empty()) allow[i].insert(rule);
+      }
+      comment = m.suffix();
+    }
+  }
+  return allow;
+}
+
+// --------------------------------------------------------- rule engine
+
+struct FileContext {
+  std::string path;  // repo-relative, forward slashes
+  const std::vector<ScannedLine>& lines;
+  const std::vector<std::set<std::string>>& allow;
+  FileLint& out;
+
+  /// Reports unless an allow(...) on this line or the line above (or a
+  /// file-wide allow on line 1) silences the rule.
+  void report(std::string_view rule, std::size_t line_no,
+              std::string message) {
+    const auto allows = [&](std::size_t idx) {
+      if (idx >= allow.size()) return false;
+      return allow[idx].count(std::string(rule)) != 0 ||
+             allow[idx].count("all") != 0;
+    };
+    const std::size_t idx = line_no - 1;  // line_no is 1-based
+    if (allows(idx) || (idx > 0 && allows(idx - 1))) {
+      ++out.suppressed;
+      return;
+    }
+    Finding f;
+    f.rule = std::string(rule);
+    f.file = path;
+    f.line = line_no;
+    f.message = std::move(message);
+    f.snippet = idx < lines.size() ? trim(lines[idx].code) : std::string();
+    out.findings.push_back(std::move(f));
+  }
+
+  [[nodiscard]] bool in(std::string_view prefix) const {
+    return path.rfind(prefix, 0) == 0;
+  }
+  [[nodiscard]] bool ends_with(std::string_view suffix) const {
+    return path.size() >= suffix.size() &&
+           path.compare(path.size() - suffix.size(), suffix.size(), suffix) ==
+               0;
+  }
+};
+
+// R1: raw static_cast to a narrow integer type.  "Narrow" = any integer
+// type of 32 bits or fewer (casts to 64-bit types cannot drop bits from
+// the sub-128-bit arithmetic this codebase does on its hot paths; casts
+// *down* from them can, and those are the censuses-silently-wrong bugs).
+void rule_narrow(FileContext& ctx) {
+  if (!ctx.in("src/") || ctx.path == "src/util/narrow.hpp") return;
+  // "unsigned char" is deliberately absent: static_cast<unsigned char>(c)
+  // is the blessed <cctype>/byte-inspection idiom (same width as char, and
+  // required before calling std::isspace & friends); numeric byte
+  // narrowing still trips on the std::uint8_t spellings.
+  static const std::set<std::string> kNarrowTargets = {
+      "char",          "signed char",    "wchar_t",       "char8_t",
+      "char16_t",      "char32_t",       "short",         "short int",
+      "unsigned short", "int",           "unsigned",      "unsigned int",
+      "std::int8_t",   "std::int16_t",   "std::int32_t",  "std::uint8_t",
+      "std::uint16_t", "std::uint32_t",  "int8_t",        "int16_t",
+      "int32_t",       "uint8_t",        "uint16_t",      "uint32_t",
+  };
+  static const std::regex kCast(R"(static_cast\s*<\s*([^<>();]+?)\s*>)");
+  for (std::size_t i = 0; i < ctx.lines.size(); ++i) {
+    const std::string& code = ctx.lines[i].code;
+    for (std::sregex_iterator it(code.begin(), code.end(), kCast), end;
+         it != end; ++it) {
+      const std::string type = squash((*it)[1].str());
+      if (kNarrowTargets.count(type) == 0) continue;
+      ctx.report("narrow", i + 1,
+                 "raw static_cast<" + type +
+                     "> may narrow silently; use util::narrow (checked) or "
+                     "util::narrow_cast (checked in debug)");
+    }
+  }
+}
+
+// R2: a doc comment that promises a throwing precondition must be backed
+// by an enforcement in the inline body.  Declarations without a body in
+// the header are skipped (the enforcement lives in the .cpp, which a
+// lexical pass cannot see).
+void rule_require(FileContext& ctx) {
+  if (!ctx.in("src/") || !ctx.ends_with(".hpp")) return;
+  static const std::regex kPrecondition(
+      R"(\b[Tt]hrow(s|ing)\b|\b[Pp]recondition\b)");
+  static const std::regex kEnforce(
+      R"(CCMX_REQUIRE|CCMX_ASSERT|\bthrow\b|contract_failure)");
+  static const std::regex kNonFunction(
+      R"(^\s*(class|struct|enum|namespace|using|typedef|friend|#|public\s*:|private\s*:|protected\s*:))");
+
+  const auto& lines = ctx.lines;
+  std::size_t i = 0;
+  while (i < lines.size()) {
+    // A doc block: consecutive comment-only lines.
+    if (lines[i].comment.empty() || !is_blank(lines[i].code)) {
+      ++i;
+      continue;
+    }
+    std::string doc;
+    while (i < lines.size() && !lines[i].comment.empty() &&
+           is_blank(lines[i].code)) {
+      doc += lines[i].comment;
+      doc += ' ';
+      ++i;
+    }
+    if (!std::regex_search(doc, kPrecondition)) continue;
+    while (i < lines.size() && is_blank(lines[i].code) &&
+           lines[i].comment.empty()) {
+      ++i;
+    }
+    if (i >= lines.size()) break;
+    // Another comment-only line here means a *new* doc block follows (the
+    // previous one was prose, e.g. a file header) — reprocess from it.
+    if (is_blank(lines[i].code)) continue;
+    if (std::regex_search(lines[i].code, kNonFunction)) continue;
+
+    // Walk until we can classify: `;` at paren depth 0 before any body
+    // brace = declaration (skip), `{` at paren depth 0 = inline body.  A
+    // `{` only counts as a body after a parameter list `(` was seen, so
+    // `namespace x {` / `class Y {` openers never read as functions.
+    const std::size_t signature_line = i + 1;
+    int paren = 0;
+    int brace = 0;
+    bool seen_paren = false;
+    bool in_body = false;
+    bool declaration = false;
+    std::string body;
+    std::size_t j = i;
+    for (std::size_t guard = 0; j < lines.size() && guard < 300;
+         ++j, ++guard) {
+      for (const char c : lines[j].code) {
+        if (!in_body) {
+          if (c == '(') {
+            ++paren;
+            seen_paren = true;
+          } else if (c == ')') {
+            --paren;
+          } else if (c == ';' && paren == 0) {
+            declaration = true;
+            break;
+          } else if (c == '{' && paren == 0 && seen_paren) {
+            in_body = true;
+            brace = 1;
+          }
+        } else {
+          if (c == '{') ++brace;
+          if (c == '}' && --brace == 0) break;
+          body.push_back(c);
+        }
+      }
+      if (declaration || (in_body && brace == 0)) break;
+    }
+    i = j + 1;
+    if (declaration || !in_body || brace != 0) continue;
+    if (!std::regex_search(body, kEnforce)) {
+      ctx.report("require", signature_line,
+                 "doc comment documents a precondition but the inline body "
+                 "has no CCMX_REQUIRE/CCMX_ASSERT/throw");
+    }
+  }
+}
+
+// R3: stray schema string literals.
+void rule_schema(FileContext& ctx) {
+  if (!ctx.in("src/") && !ctx.in("tools/") && !ctx.in("bench/")) return;
+  if (ctx.path == "src/obs/schemas.hpp") return;
+  static const std::regex kSchema(R"(ccmx\.[a-z0-9_]+/[0-9]+)");
+  for (std::size_t i = 0; i < ctx.lines.size(); ++i) {
+    for (const std::string& literal : ctx.lines[i].strings) {
+      std::smatch m;
+      if (std::regex_search(literal, m, kSchema)) {
+        ctx.report("schema", i + 1,
+                   "schema string \"" + m.str() +
+                       "\" must be referenced through the "
+                       "src/obs/schemas.hpp registry, not spelled inline");
+      }
+    }
+  }
+}
+
+// R4: bench binaries must use CCMX_BENCH_MAIN (which prints tables, runs
+// timings, and writes the RunReport) — a hand-rolled main silently loses
+// the run report and the error-propagation contract.
+void rule_bench_main(FileContext& ctx) {
+  static const std::regex kIsBench(R"(^bench/bench_[^/]+\.cpp$)");
+  if (!std::regex_match(ctx.path, kIsBench)) return;
+  static const std::regex kMain(R"(\bint\s+main\s*\()");
+  bool has_macro = false;
+  for (std::size_t i = 0; i < ctx.lines.size(); ++i) {
+    if (ctx.lines[i].code.find("CCMX_BENCH_MAIN") != std::string::npos) {
+      has_macro = true;
+    }
+    if (std::regex_search(ctx.lines[i].code, kMain)) {
+      ctx.report("bench-main", i + 1,
+                 "bench binaries must not define main directly; use "
+                 "CCMX_BENCH_MAIN");
+    }
+  }
+  if (!has_macro) {
+    ctx.report("bench-main", 1,
+               "bench binary does not register through CCMX_BENCH_MAIN");
+  }
+}
+
+// R5: unvetted randomness.  Everything stochastic in this repo must be
+// reproducible from an explicit seed (tables are compared byte-for-byte),
+// so the C PRNG and ad-hoc <random> engines are banned outside util/rng.
+void rule_rng(FileContext& ctx) {
+  if (ctx.path == "src/util/rng.hpp" || ctx.path == "src/util/rng.cpp") {
+    return;
+  }
+  static const std::regex kBanned(
+      R"(\bstd\s*::\s*s?rand\b|(^|[^:_\w])s?rand\s*\(|\bmt19937(_64)?\b|\brandom_device\b)");
+  for (std::size_t i = 0; i < ctx.lines.size(); ++i) {
+    if (std::regex_search(ctx.lines[i].code, kBanned)) {
+      ctx.report("rng", i + 1,
+                 "unseeded/unvetted randomness; route through util/rng "
+                 "(util::Xoshiro256 with an explicit seed)");
+    }
+  }
+}
+
+// R6: include hygiene, lexical half (#pragma once).  The build-side half
+// — every header compiling standalone — is the generated per-header TU
+// target ccmx_header_hygiene (see src/CMakeLists.txt).
+void rule_include_hygiene(FileContext& ctx) {
+  if (!ctx.ends_with(".hpp") && !ctx.ends_with(".h")) return;
+  for (const ScannedLine& line : ctx.lines) {
+    if (line.code.find("#pragma once") != std::string::npos) return;
+  }
+  ctx.report("include-hygiene", 1, "header is missing #pragma once");
+}
+
+std::string normalize_path(std::string path) {
+  std::replace(path.begin(), path.end(), '\\', '/');
+  while (path.rfind("./", 0) == 0) path.erase(0, 2);
+  return path;
+}
+
+}  // namespace
+
+const std::vector<RuleInfo>& rules() { return all_rules(); }
+
+FileLint lint_text(std::string_view rel_path, std::string_view text) {
+  FileLint out;
+  const std::vector<ScannedLine> lines = scan(text);
+  const std::vector<std::set<std::string>> allow = suppressions(lines);
+  FileContext ctx{normalize_path(std::string(rel_path)), lines, allow, out};
+  rule_narrow(ctx);
+  rule_require(ctx);
+  rule_schema(ctx);
+  rule_bench_main(ctx);
+  rule_rng(ctx);
+  rule_include_hygiene(ctx);
+  std::sort(out.findings.begin(), out.findings.end(),
+            [](const Finding& a, const Finding& b) {
+              return std::tie(a.line, a.rule) < std::tie(b.line, b.rule);
+            });
+  return out;
+}
+
+std::string finding_fingerprint(const Finding& finding) {
+  return finding.rule + "|" + finding.file + "|" + squash(finding.snippet);
+}
+
+Baseline Baseline::load(const std::string& path) {
+  Baseline baseline;
+  std::ifstream in(path);
+  std::string line;
+  while (std::getline(in, line)) {
+    const std::string key = trim(line);
+    if (key.empty() || key[0] == '#') continue;
+    baseline.keys_.push_back(key);
+  }
+  std::sort(baseline.keys_.begin(), baseline.keys_.end());
+  baseline.keys_.erase(
+      std::unique(baseline.keys_.begin(), baseline.keys_.end()),
+      baseline.keys_.end());
+  return baseline;
+}
+
+Baseline Baseline::from_findings(const std::vector<Finding>& findings) {
+  Baseline baseline;
+  for (const Finding& f : findings) {
+    baseline.keys_.push_back(finding_fingerprint(f));
+  }
+  std::sort(baseline.keys_.begin(), baseline.keys_.end());
+  baseline.keys_.erase(
+      std::unique(baseline.keys_.begin(), baseline.keys_.end()),
+      baseline.keys_.end());
+  return baseline;
+}
+
+std::string Baseline::render() const {
+  std::string out =
+      "# ccmx_lint baseline — tolerated legacy findings, one fingerprint\n"
+      "# (rule|file|squashed snippet) per line.  Regenerate with\n"
+      "# `ccmx_lint --write-baseline`; shrink it, never grow it.\n";
+  for (const std::string& key : keys_) {
+    out += key;
+    out += '\n';
+  }
+  return out;
+}
+
+bool Baseline::contains(const Finding& finding) const {
+  return std::binary_search(keys_.begin(), keys_.end(),
+                            finding_fingerprint(finding));
+}
+
+RunResult run_lint(const RunOptions& options) {
+  const fs::path root(options.root);
+  CCMX_REQUIRE(fs::is_directory(root),
+               "lint root is not a directory: " + options.root);
+  const Baseline baseline = options.baseline_path.empty()
+                                ? Baseline{}
+                                : Baseline::load(options.baseline_path);
+
+  std::vector<fs::path> files;
+  for (const std::string& subdir : options.subdirs) {
+    const fs::path dir = root / subdir;
+    if (!fs::is_directory(dir)) continue;
+    auto it = fs::recursive_directory_iterator(dir);
+    for (const auto end = fs::end(it); it != end; ++it) {
+      const fs::path& p = it->path();
+      const std::string name = p.filename().string();
+      if (it->is_directory()) {
+        if (name == "lint_fixtures" || name == "build" || name == "out" ||
+            (name.size() > 1 && name[0] == '.')) {
+          it.disable_recursion_pending();
+        }
+        continue;
+      }
+      const std::string ext = p.extension().string();
+      if (ext == ".hpp" || ext == ".cpp" || ext == ".h" || ext == ".cc") {
+        files.push_back(p);
+      }
+    }
+  }
+  std::sort(files.begin(), files.end());
+
+  RunResult result;
+  for (const fs::path& file : files) {
+    std::ifstream in(file, std::ios::binary);
+    CCMX_REQUIRE(in.is_open(), "cannot read " + file.string());
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    const std::string rel =
+        normalize_path(fs::relative(file, root).generic_string());
+    FileLint lint = lint_text(rel, buffer.str());
+    ++result.files_scanned;
+    result.suppressed += lint.suppressed;
+    for (Finding& f : lint.findings) {
+      (baseline.contains(f) ? result.baselined : result.findings)
+          .push_back(std::move(f));
+    }
+  }
+  return result;
+}
+
+std::string render_lint_report_json(const RunResult& result,
+                                    const RunOptions& options) {
+  std::ostringstream os;
+  obs::json::Writer w(os);
+  w.begin_object();
+  w.key("schema").value(obs::kLintReportSchema);
+  w.key("root").value(options.root);
+  w.key("subdirs").begin_array();
+  for (const std::string& s : options.subdirs) w.value(s);
+  w.end_array();
+  w.key("files_scanned").value(std::uint64_t{result.files_scanned});
+  w.key("suppressed").value(std::uint64_t{result.suppressed});
+  w.key("baselined").value(std::uint64_t{result.baselined.size()});
+  std::map<std::string, std::uint64_t> counts;
+  for (const RuleInfo& rule : all_rules()) counts[std::string(rule.name)] = 0;
+  for (const Finding& f : result.findings) ++counts[f.rule];
+  w.key("counts").begin_object();
+  for (const auto& [rule, count] : counts) w.key(rule).value(count);
+  w.end_object();
+  w.key("findings").begin_array();
+  for (const Finding& f : result.findings) {
+    w.begin_object();
+    w.key("rule").value(f.rule);
+    w.key("file").value(f.file);
+    w.key("line").value(std::uint64_t{f.line});
+    w.key("message").value(f.message);
+    w.key("snippet").value(f.snippet);
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  os << '\n';
+  return os.str();
+}
+
+std::vector<std::string> validate_lint_report(const obs::json::Value& doc) {
+  std::vector<std::string> problems;
+  if (!doc.is_object()) {
+    problems.emplace_back("document is not an object");
+    return problems;
+  }
+  const obs::json::Value* schema = doc.find("schema");
+  if (schema == nullptr || !schema->is_string()) {
+    problems.emplace_back("missing string \"schema\"");
+  } else if (schema->string != obs::kLintReportSchema) {
+    problems.push_back("schema is \"" + schema->string + "\", expected \"" +
+                       std::string(obs::kLintReportSchema) + "\"");
+  }
+  for (const char* key : {"files_scanned", "suppressed", "baselined"}) {
+    const obs::json::Value* v = doc.find(key);
+    if (v == nullptr || !v->is_number()) {
+      problems.push_back(std::string("missing number \"") + key + "\"");
+    }
+  }
+  const obs::json::Value* findings = doc.find("findings");
+  if (findings == nullptr || !findings->is_array()) {
+    problems.emplace_back("missing array \"findings\"");
+    return problems;
+  }
+  for (std::size_t i = 0; i < findings->array.size(); ++i) {
+    const obs::json::Value& f = findings->array[i];
+    const std::string where = "findings[" + std::to_string(i) + "]";
+    if (!f.is_object()) {
+      problems.push_back(where + " is not an object");
+      continue;
+    }
+    for (const char* key : {"rule", "file", "message", "snippet"}) {
+      const obs::json::Value* v = f.find(key);
+      if (v == nullptr || !v->is_string()) {
+        problems.push_back(where + " missing string \"" + key + "\"");
+      }
+    }
+    const obs::json::Value* line = f.find("line");
+    if (line == nullptr || !line->is_number()) {
+      problems.push_back(where + " missing number \"line\"");
+    }
+  }
+  return problems;
+}
+
+}  // namespace ccmx::lint

@@ -667,4 +667,203 @@ TrajectoryAppend append_trajectory(const LoadResult& reports,
   return result;
 }
 
+TrendResult trend_from_trajectory(const std::string& trajectory_path,
+                                  std::size_t min_points) {
+  TrendResult result;
+  result.trajectory_path = trajectory_path;
+  result.min_points = min_points;
+
+  // (report, benchmark) -> [(unix_time, cpu_time)].
+  std::map<std::pair<std::string, std::string>,
+           std::vector<std::pair<double, double>>>
+      series;
+  std::ifstream in(trajectory_path);
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    json::Value doc;
+    try {
+      doc = json::parse(line);
+    } catch (const util::contract_error&) {
+      ++result.skipped;
+      continue;
+    }
+    const json::Value* benches = doc.find("benchmarks");
+    const std::string name = string_or(doc, "name", "");
+    if (string_or(doc, "schema", "") != kTrajectorySchema || name.empty() ||
+        benches == nullptr || !benches->is_object()) {
+      ++result.skipped;
+      continue;
+    }
+    ++result.rows;
+    const double t = number_or(doc, "unix_time", 0.0);
+    for (const auto& [bench, value] : benches->object) {
+      if (value.is_number()) {
+        series[{name, bench}].emplace_back(t, value.number);
+      }
+    }
+  }
+
+  constexpr double kSecondsPerDay = 86400.0;
+  for (auto& [key, points] : series) {
+    std::sort(points.begin(), points.end());
+    const double t_first = points.front().first;
+    const double t_last = points.back().first;
+    if (points.size() < min_points || t_last <= t_first) {
+      result.thin_series.push_back(key.first + "/" + key.second);
+      continue;
+    }
+    const double n = static_cast<double>(points.size());
+    double mean_t = 0.0;
+    double mean_y = 0.0;
+    for (const auto& [t, y] : points) {
+      mean_t += t;
+      mean_y += y;
+    }
+    mean_t /= n;
+    mean_y /= n;
+    double sxx = 0.0;
+    double sxy = 0.0;
+    double syy = 0.0;
+    for (const auto& [t, y] : points) {
+      const double dt = t - mean_t;
+      const double dy = y - mean_y;
+      sxx += dt * dt;
+      sxy += dt * dy;
+      syy += dy * dy;
+    }
+    TrendFit fit;
+    fit.report = key.first;
+    fit.benchmark = key.second;
+    fit.points = points.size();
+    fit.span_days = (t_last - t_first) / kSecondsPerDay;
+    fit.mean_cpu = mean_y;
+    fit.slope_per_day = (sxy / sxx) * kSecondsPerDay;  // sxx > 0: span > 0
+    fit.rel_slope_per_day = mean_y > 0.0 ? fit.slope_per_day / mean_y : 0.0;
+    // A flat series (syy == 0) is a perfect fit of a zero-slope line.
+    fit.r2 = syy > 0.0 ? (sxy * sxy) / (sxx * syy) : 1.0;
+    result.fits.push_back(std::move(fit));
+  }
+  std::sort(result.fits.begin(), result.fits.end(),
+            [](const TrendFit& a, const TrendFit& b) {
+              const double da = std::fabs(a.rel_slope_per_day);
+              const double db = std::fabs(b.rel_slope_per_day);
+              if (da != db) return da > db;
+              return std::tie(a.report, a.benchmark) <
+                     std::tie(b.report, b.benchmark);
+            });
+  return result;
+}
+
+std::string render_trend_json(const TrendResult& trend) {
+  std::ostringstream os;
+  json::Writer w(os);
+  w.begin_object();
+  w.key("schema").value(kTrendSchema);
+  w.key("trajectory").value(trend.trajectory_path);
+  w.key("rows").value(std::uint64_t{trend.rows});
+  w.key("skipped").value(std::uint64_t{trend.skipped});
+  w.key("min_points").value(std::uint64_t{trend.min_points});
+  w.key("fits").begin_array();
+  for (const TrendFit& fit : trend.fits) {
+    w.begin_object();
+    w.key("report").value(fit.report);
+    w.key("benchmark").value(fit.benchmark);
+    w.key("points").value(std::uint64_t{fit.points});
+    w.key("span_days").value(fit.span_days);
+    w.key("mean_cpu").value(fit.mean_cpu);
+    w.key("slope_per_day").value(fit.slope_per_day);
+    w.key("rel_slope_per_day").value(fit.rel_slope_per_day);
+    w.key("r2").value(fit.r2);
+    w.end_object();
+  }
+  w.end_array();
+  w.key("thin_series").begin_array();
+  for (const std::string& name : trend.thin_series) w.value(name);
+  w.end_array();
+  w.end_object();
+  os << '\n';
+  return os.str();
+}
+
+std::string render_trend_markdown(const TrendResult& trend) {
+  std::ostringstream os;
+  os << "## cpu_time drift — " << trend.trajectory_path << "\n\n"
+     << trend.rows << " trajectory row(s), " << trend.fits.size()
+     << " fitted series, " << trend.thin_series.size() << " below "
+     << trend.min_points << " points\n\n";
+  if (!trend.fits.empty()) {
+    os << "| report | benchmark | points | span (d) | mean cpu | slope/day "
+          "| rel/day | r² |\n"
+       << "|---|---|---|---|---|---|---|---|\n";
+    for (const TrendFit& fit : trend.fits) {
+      os << "| " << fit.report << " | " << fit.benchmark << " | "
+         << fit.points << " | " << fmt_num(fit.span_days) << " | "
+         << fmt_num(fit.mean_cpu) << " | " << fmt_num(fit.slope_per_day)
+         << " | " << fmt_num(fit.rel_slope_per_day) << " | "
+         << fmt_num(fit.r2) << " |\n";
+    }
+  }
+  if (!trend.thin_series.empty()) {
+    os << "\nToo thin to fit: ";
+    for (std::size_t i = 0; i < trend.thin_series.size(); ++i) {
+      os << (i == 0 ? "" : ", ") << trend.thin_series[i];
+    }
+    os << "\n";
+  }
+  return os.str();
+}
+
+std::vector<std::string> validate_trend(const json::Value& doc) {
+  std::vector<std::string> problems;
+  if (!doc.is_object()) {
+    problems.emplace_back("document is not an object");
+    return problems;
+  }
+  const json::Value* schema = doc.find("schema");
+  if (schema == nullptr || !schema->is_string()) {
+    problems.emplace_back("missing string \"schema\"");
+  } else if (schema->string != kTrendSchema) {
+    problems.push_back("schema is \"" + schema->string + "\", expected \"" +
+                       std::string(kTrendSchema) + "\"");
+  }
+  for (const char* key : {"rows", "skipped", "min_points"}) {
+    const json::Value* v = doc.find(key);
+    if (v == nullptr || !v->is_number()) {
+      problems.push_back(std::string("missing number \"") + key + "\"");
+    }
+  }
+  const json::Value* fits = doc.find("fits");
+  if (fits == nullptr || !fits->is_array()) {
+    problems.emplace_back("missing array \"fits\"");
+  } else {
+    for (std::size_t i = 0; i < fits->array.size(); ++i) {
+      const json::Value& fit = fits->array[i];
+      const std::string where = "fits[" + std::to_string(i) + "]";
+      if (!fit.is_object()) {
+        problems.push_back(where + " is not an object");
+        continue;
+      }
+      for (const char* key : {"report", "benchmark"}) {
+        const json::Value* v = fit.find(key);
+        if (v == nullptr || !v->is_string()) {
+          problems.push_back(where + " missing string \"" + key + "\"");
+        }
+      }
+      for (const char* key : {"points", "span_days", "mean_cpu",
+                              "slope_per_day", "rel_slope_per_day", "r2"}) {
+        const json::Value* v = fit.find(key);
+        if (v == nullptr || !v->is_number()) {
+          problems.push_back(where + " missing number \"" + key + "\"");
+        }
+      }
+    }
+  }
+  if (const json::Value* thin = doc.find("thin_series");
+      thin == nullptr || !thin->is_array()) {
+    problems.emplace_back("missing array \"thin_series\"");
+  }
+  return problems;
+}
+
 }  // namespace ccmx::obs

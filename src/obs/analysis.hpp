@@ -18,11 +18,9 @@
 #include <vector>
 
 #include "obs/json.hpp"
+#include "obs/schemas.hpp"
 
 namespace ccmx::obs {
-
-inline constexpr std::string_view kBenchDiffSchema = "ccmx.bench_diff/1";
-inline constexpr std::string_view kTrajectorySchema = "ccmx.trajectory/1";
 
 /// One validated ccmx.run_report/1 document plus the identity fields the
 /// differ and the trajectory need (pre-extracted so callers do not have
@@ -165,5 +163,47 @@ struct TrajectoryAppend {
 /// in the file is skipped, so re-running the tool cannot duplicate rows.
 TrajectoryAppend append_trajectory(const LoadResult& reports,
                                    const std::string& trajectory_path);
+
+/// Least-squares drift of one benchmark's cpu_time across the trajectory:
+/// cpu_time ~ a + b * t fitted over every trajectory row that carries the
+/// benchmark, with b rescaled to per-day units.
+struct TrendFit {
+  std::string report;     // trajectory row "name" (e.g. "exact_cc")
+  std::string benchmark;  // e.g. "BM_ExactCcEquality/3"
+  std::size_t points = 0;
+  double span_days = 0.0;          // last - first unix_time
+  double mean_cpu = 0.0;           // mean cpu_time over the points
+  double slope_per_day = 0.0;      // cpu_time units gained per day
+  double rel_slope_per_day = 0.0;  // slope_per_day / mean_cpu
+  double r2 = 0.0;                 // goodness of the linear fit in [0, 1]
+};
+
+struct TrendResult {
+  std::string trajectory_path;
+  std::size_t rows = 0;     // trajectory rows consumed
+  std::size_t skipped = 0;  // unparseable or foreign-schema lines
+  std::size_t min_points = 0;
+  /// Sorted by |rel_slope_per_day| descending — worst drift first.
+  std::vector<TrendFit> fits;
+  /// Series dropped for having fewer than min_points rows ("report/bench").
+  std::vector<std::string> thin_series;
+};
+
+/// Fits every (report, benchmark) cpu_time series in a ccmx.trajectory/1
+/// JSONL file.  Series with fewer than `min_points` rows, or spanning a
+/// single instant, are listed in `thin_series` instead of fitted — two
+/// commits cannot distinguish drift from noise.  A missing file yields an
+/// empty result.
+[[nodiscard]] TrendResult trend_from_trajectory(
+    const std::string& trajectory_path, std::size_t min_points = 3);
+
+/// ccmx.trend/1 JSON document (one object, trailing newline).
+[[nodiscard]] std::string render_trend_json(const TrendResult& trend);
+
+/// Human summary (GitHub-flavored markdown table, worst drift first).
+[[nodiscard]] std::string render_trend_markdown(const TrendResult& trend);
+
+/// Schema check for a parsed ccmx.trend/1 document; empty = valid.
+[[nodiscard]] std::vector<std::string> validate_trend(const json::Value& doc);
 
 }  // namespace ccmx::obs

@@ -4,6 +4,7 @@
 #include <cstdio>
 #include <cstdlib>
 
+#include "util/narrow.hpp"
 #include "util/require.hpp"
 
 namespace ccmx::obs::json {
@@ -24,7 +25,7 @@ std::string escape(std::string_view raw) {
         if (static_cast<unsigned char>(c) < 0x20) {
           char buf[8];
           std::snprintf(buf, sizeof(buf), "\\u%04x",
-                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+                        unsigned{static_cast<unsigned char>(c)});
           out += buf;
         } else {
           out += c;
@@ -174,21 +175,28 @@ struct Parser {
     return true;
   }
 
+  /// A UTF-8 code unit is a raw byte pattern: values >= 0x80 are *meant*
+  /// to land on (possibly negative) char — re-encoding, not numeric
+  /// narrowing, so the checked helpers do not apply.
+  static char u8_byte(unsigned unit) {
+    return static_cast<char>(unit);  // ccmx-lint: allow(narrow)
+  }
+
   void append_codepoint(std::string& out, unsigned cp) {
     if (cp < 0x80) {
-      out += static_cast<char>(cp);
+      out += u8_byte(cp);
     } else if (cp < 0x800) {
-      out += static_cast<char>(0xC0 | (cp >> 6));
-      out += static_cast<char>(0x80 | (cp & 0x3F));
+      out += u8_byte(0xC0 | (cp >> 6));
+      out += u8_byte(0x80 | (cp & 0x3F));
     } else if (cp < 0x10000) {
-      out += static_cast<char>(0xE0 | (cp >> 12));
-      out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
-      out += static_cast<char>(0x80 | (cp & 0x3F));
+      out += u8_byte(0xE0 | (cp >> 12));
+      out += u8_byte(0x80 | ((cp >> 6) & 0x3F));
+      out += u8_byte(0x80 | (cp & 0x3F));
     } else {
-      out += static_cast<char>(0xF0 | (cp >> 18));
-      out += static_cast<char>(0x80 | ((cp >> 12) & 0x3F));
-      out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
-      out += static_cast<char>(0x80 | (cp & 0x3F));
+      out += u8_byte(0xF0 | (cp >> 18));
+      out += u8_byte(0x80 | ((cp >> 12) & 0x3F));
+      out += u8_byte(0x80 | ((cp >> 6) & 0x3F));
+      out += u8_byte(0x80 | (cp & 0x3F));
     }
   }
 
@@ -199,11 +207,11 @@ struct Parser {
       ++at;
       value <<= 4;
       if (c >= '0' && c <= '9') {
-        value |= static_cast<unsigned>(c - '0');
+        value |= util::narrow_cast<unsigned>(c - '0');
       } else if (c >= 'a' && c <= 'f') {
-        value |= static_cast<unsigned>(c - 'a' + 10);
+        value |= util::narrow_cast<unsigned>(c - 'a' + 10);
       } else if (c >= 'A' && c <= 'F') {
-        value |= static_cast<unsigned>(c - 'A' + 10);
+        value |= util::narrow_cast<unsigned>(c - 'A' + 10);
       } else {
         fail("bad \\u escape");
       }

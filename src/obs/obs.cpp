@@ -13,6 +13,9 @@
 #include <mutex>
 #include <unordered_map>
 
+#include "util/narrow.hpp"
+#include "util/require.hpp"
+
 namespace ccmx::obs {
 
 namespace {
@@ -25,13 +28,13 @@ std::size_t bucket_of(double value) noexcept {
   if (!(value > 0.0)) return 0;
   int exp = 0;
   (void)std::frexp(value, &exp);  // value = mantissa * 2^exp, mantissa in [0.5,1)
-  const int b = std::clamp(exp + 64, 0, static_cast<int>(kBuckets) - 1);
+  const int b = std::clamp(exp + 64, 0, util::narrow_cast<int>(kBuckets) - 1);
   return static_cast<std::size_t>(b);
 }
 
 /// Geometric midpoint of bucket b (inverse of bucket_of up to factor 2).
 double bucket_mid(std::size_t b) noexcept {
-  return std::ldexp(1.5, static_cast<int>(b) - 65);
+  return std::ldexp(1.5, util::narrow_cast<int>(b) - 65);
 }
 
 struct HistData {
@@ -45,9 +48,17 @@ struct HistData {
 struct Registry;
 Registry& registry();
 
+/// Hard cap on distinct counter names (ids index fixed per-thread slot
+/// arrays, so slots never reallocate while workers are adding).
+constexpr std::size_t kMaxCounters = 256;
+
 /// Per-thread counter slots; folds into the registry on thread exit.
+/// Slots are relaxed atomics: the owning thread is the only writer, but
+/// Counter::value() and snapshot() may read them from other threads
+/// mid-sweep (e.g. a progress reporter), which TSan flags as a data race
+/// on plain integers.  Relaxed ops keep add() at one uncontended RMW.
 struct ThreadSink {
-  std::vector<std::uint64_t> slots;
+  std::array<std::atomic<std::uint64_t>, kMaxCounters> slots{};
   ThreadSink();
   ~ThreadSink();
   void fold(bool unregister);
@@ -71,9 +82,12 @@ struct Registry {
   std::uint32_t intern_counter(std::string_view name) {
     const std::scoped_lock lock(mu);
     const auto [it, fresh] =
-        counter_ids.try_emplace(std::string(name),
-                                static_cast<std::uint32_t>(counter_names.size()));
+        counter_ids.try_emplace(
+            std::string(name),
+            util::narrow_cast<std::uint32_t>(counter_names.size()));
     if (fresh) {
+      CCMX_REQUIRE(counter_names.size() < kMaxCounters,
+                   "too many distinct obs counters");
       counter_names.emplace_back(name);
       folded_counters.push_back(0);
     }
@@ -83,7 +97,8 @@ struct Registry {
   std::uint32_t intern_hist(std::string_view name) {
     const std::scoped_lock lock(mu);
     const auto [it, fresh] = hist_ids.try_emplace(
-        std::string(name), static_cast<std::uint32_t>(hist_names.size()));
+        std::string(name),
+        util::narrow_cast<std::uint32_t>(hist_names.size()));
     if (fresh) {
       hist_names.emplace_back(name);
       hists.emplace_back();
@@ -108,12 +123,8 @@ ThreadSink::~ThreadSink() { fold(/*unregister=*/true); }
 void ThreadSink::fold(bool unregister) {
   Registry& reg = registry();
   const std::scoped_lock lock(reg.mu);
-  if (reg.folded_counters.size() < slots.size()) {
-    reg.folded_counters.resize(slots.size(), 0);
-  }
-  for (std::size_t i = 0; i < slots.size(); ++i) {
-    reg.folded_counters[i] += slots[i];
-    slots[i] = 0;
+  for (std::size_t i = 0; i < reg.folded_counters.size(); ++i) {
+    reg.folded_counters[i] += slots[i].exchange(0, std::memory_order_relaxed);
   }
   if (unregister) {
     reg.live_sinks.erase(
@@ -188,9 +199,7 @@ Counter::Counter(std::string_view name)
 
 void Counter::add(std::uint64_t delta) const noexcept {
   if (!enabled()) return;
-  ThreadSink& sink = thread_sink();
-  if (sink.slots.size() <= id_) sink.slots.resize(id_ + 1, 0);
-  sink.slots[id_] += delta;
+  thread_sink().slots[id_].fetch_add(delta, std::memory_order_relaxed);
 }
 
 std::uint64_t Counter::value() const {
@@ -199,7 +208,7 @@ std::uint64_t Counter::value() const {
   std::uint64_t total =
       id_ < reg.folded_counters.size() ? reg.folded_counters[id_] : 0;
   for (const ThreadSink* sink : reg.live_sinks) {
-    if (id_ < sink->slots.size()) total += sink->slots[id_];
+    total += sink->slots[id_].load(std::memory_order_relaxed);
   }
   return total;
 }
@@ -288,7 +297,7 @@ Snapshot snapshot() {
                               ? reg.folded_counters[i]
                               : 0;
     for (const ThreadSink* sink : reg.live_sinks) {
-      if (i < sink->slots.size()) total += sink->slots[i];
+      total += sink->slots[i].load(std::memory_order_relaxed);
     }
     snap.counters.emplace_back(reg.counter_names[i], total);
   }
@@ -305,7 +314,9 @@ void reset_values() {
   const std::scoped_lock lock(reg.mu);
   std::fill(reg.folded_counters.begin(), reg.folded_counters.end(), 0);
   for (ThreadSink* sink : reg.live_sinks) {
-    std::fill(sink->slots.begin(), sink->slots.end(), 0);
+    for (std::atomic<std::uint64_t>& slot : sink->slots) {
+      slot.store(0, std::memory_order_relaxed);
+    }
   }
   for (HistData& h : reg.hists) h = HistData{};
   reg.attributes.clear();

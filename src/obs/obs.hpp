@@ -69,7 +69,8 @@ class Counter {
 
   void add(std::uint64_t delta = 1) const noexcept;
 
-  /// Folded total (call at quiescent points only).
+  /// Folded total.  Safe to call while workers are still adding (slots
+  /// are relaxed atomics); the result is only exact at quiescent points.
   [[nodiscard]] std::uint64_t value() const;
 
  private:

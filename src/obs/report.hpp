@@ -16,10 +16,9 @@
 #include <vector>
 
 #include "obs/json.hpp"
+#include "obs/schemas.hpp"
 
 namespace ccmx::obs {
-
-inline constexpr std::string_view kRunReportSchema = "ccmx.run_report/1";
 
 /// One google-benchmark timing row (times in the reported unit).  Rows
 /// whose run errored are kept (name + error flag, zero timings) so a

@@ -1,0 +1,53 @@
+// The single registry of machine-readable document schemas this repo
+// emits.  Every JSON(L) artifact carries a "schema" field of the form
+// "ccmx.<name>/<version>"; the string MUST be one of the constants below
+// and MUST be referenced through them — ccmx_lint rule R3 ("schema")
+// flags any other occurrence of a ccmx.<name>/<version> string literal
+// in src/, tools/, or bench/, so a new emitter cannot invent an
+// unregistered (or typo'd) schema id without failing the lint gate.
+//
+// Version bumps: adding a field is backward compatible and keeps the
+// version; removing or re-typing a field bumps <version> and gets a new
+// constant here (consumers match on the exact string).
+#pragma once
+
+#include <string_view>
+
+namespace ccmx::obs {
+
+/// Per-process run summary written by every bench binary and by ccmx_cli
+/// (see obs/report.hpp).
+inline constexpr std::string_view kRunReportSchema = "ccmx.run_report/1";
+
+/// Benchmark-by-benchmark diff of two run-report directories — the CI
+/// perf gate artifact (see obs/analysis.hpp).
+inline constexpr std::string_view kBenchDiffSchema = "ccmx.bench_diff/1";
+
+/// One JSONL line per run report, accumulated across commits in
+/// bench/out/trajectory.jsonl (see obs/analysis.hpp).
+inline constexpr std::string_view kTrajectorySchema = "ccmx.trajectory/1";
+
+/// Least-squares drift fit of per-benchmark cpu_time across the
+/// trajectory — `ccmx_insight trend` (see obs/analysis.hpp).
+inline constexpr std::string_view kTrendSchema = "ccmx.trend/1";
+
+/// Findings of the project-invariant static-analysis pass — `ccmx_lint`
+/// (see lint/lint.hpp).
+inline constexpr std::string_view kLintReportSchema = "ccmx.lint_report/1";
+
+/// Every schema id this repo may stamp into a document, for validators
+/// that only need to know "is this one of ours".
+inline constexpr std::string_view kRegisteredSchemas[] = {
+    kRunReportSchema, kBenchDiffSchema, kTrajectorySchema,
+    kTrendSchema,     kLintReportSchema,
+};
+
+[[nodiscard]] constexpr bool is_registered_schema(
+    std::string_view schema) noexcept {
+  for (const std::string_view known : kRegisteredSchemas) {
+    if (known == schema) return true;
+  }
+  return false;
+}
+
+}  // namespace ccmx::obs

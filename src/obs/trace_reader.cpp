@@ -6,6 +6,7 @@
 #include <map>
 #include <sstream>
 
+#include "util/narrow.hpp"
 #include "util/require.hpp"
 
 namespace ccmx::obs {
@@ -80,7 +81,7 @@ ChannelTrace parse_channel_trace(std::string_view text) {
     }
     const std::uint64_t from = uint_field(obj, "from", line_no);
     if (from > 1) fail(line_no, "agent out of range (must be 0 or 1)");
-    send.from = static_cast<unsigned>(from);
+    send.from = util::narrow_cast<unsigned>(from);
     send.bits = uint_field(obj, "bits", line_no);
     send.round = uint_field(obj, "round", line_no);
     send.msg = uint_field(obj, "msg", line_no);
@@ -174,6 +175,47 @@ std::vector<std::string> check_trace_against_report(
   check("comm.bits.agent1", trace.agents[1].bits);
   check("comm.messages", trace.agents[0].messages + trace.agents[1].messages);
   check("comm.rounds", trace.total_rounds());
+
+  // Per-round bit conservation: the channel layer keeps dedicated
+  // counters for rounds 1..8 plus an overflow bucket (see channel.cpp);
+  // reconstruct the same partition from the trace and compare.  A report
+  // written before these counters existed lacks them entirely — only
+  // complain when the trace actually carries bits for that bucket.
+  constexpr std::uint64_t kRoundCounters = 8;
+  std::uint64_t by_round[kRoundCounters] = {};
+  std::uint64_t overflow = 0;
+  for (const ChannelStats& ch : trace.channels) {
+    for (const RoundStats& r : ch.rounds) {
+      if (r.round >= 1 && r.round <= kRoundCounters) {
+        by_round[r.round - 1] += r.bits;
+      } else {
+        overflow += r.bits;
+      }
+    }
+  }
+  const auto check_round = [&](std::string_view name,
+                               std::uint64_t reconstructed) {
+    const double reported = counter(name);
+    if (reported < 0.0) {
+      if (reconstructed > 0) {
+        mismatches.push_back("report lacks counter \"" + std::string(name) +
+                             "\" but the trace carries " +
+                             std::to_string(reconstructed) +
+                             " bits in that round");
+      }
+      return;
+    }
+    if (reported != static_cast<double>(reconstructed)) {
+      std::ostringstream os;
+      os << name << ": report says " << reported << ", trace reconstructs "
+         << reconstructed;
+      mismatches.push_back(os.str());
+    }
+  };
+  for (std::uint64_t i = 0; i < kRoundCounters; ++i) {
+    check_round("comm.bits.round" + std::to_string(i + 1), by_round[i]);
+  }
+  check_round("comm.bits.round_overflow", overflow);
   return mismatches;
 }
 

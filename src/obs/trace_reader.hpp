@@ -91,10 +91,13 @@ struct ChannelTrace {
 
 /// Conservation check of a trace against the counters of a
 /// ccmx.run_report/1 document from the same process: comm.bits.agent0/1,
-/// comm.messages, and comm.rounds must all match the reconstruction
-/// exactly.  Returns human-readable mismatches (empty = conserved).
-/// Reports with no comm.* counters (untraced run) fail the check — that
-/// trace and report cannot be from the same instrumented run.
+/// comm.messages, comm.rounds, and the per-round bit partition
+/// (comm.bits.round1..round8 + comm.bits.round_overflow) must all match
+/// the reconstruction exactly.  Returns human-readable mismatches
+/// (empty = conserved).  Reports with no comm.* counters (untraced run)
+/// fail the check — that trace and report cannot be from the same
+/// instrumented run; reports that merely predate the per-round counters
+/// only fail when the trace carries bits for the missing bucket.
 [[nodiscard]] std::vector<std::string> check_trace_against_report(
     const ChannelTrace& trace, const json::Value& report_doc);
 

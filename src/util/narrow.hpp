@@ -22,4 +22,19 @@ template <class To, class From>
   return converted;
 }
 
+/// Hot-path variant for conversions the caller believes are lossless:
+/// checked like narrow() in debug/CCMX_CHECKED builds, a plain
+/// static_cast in release builds.  Use narrow() at API boundaries where
+/// the input is untrusted; use narrow_cast() inside kernels where the
+/// range was already established and the check would cost.
+template <class To, class From>
+[[nodiscard]] constexpr To narrow_cast(From value) {
+  static_assert(std::is_integral_v<To> && std::is_integral_v<From>);
+#if defined(CCMX_CHECKED) || !defined(NDEBUG)
+  return narrow<To>(value);
+#else
+  return static_cast<To>(value);
+#endif
+}
+
 }  // namespace ccmx::util

@@ -4,6 +4,7 @@
 #include <iomanip>
 #include <sstream>
 
+#include "util/narrow.hpp"
 #include "util/require.hpp"
 
 namespace ccmx::util {
@@ -33,7 +34,8 @@ void TextTable::print(std::ostream& os) const {
   const auto emit = [&](const std::vector<std::string>& cells) {
     os << '|';
     for (std::size_t c = 0; c < cells.size(); ++c) {
-      os << ' ' << std::setw(static_cast<int>(widths[c])) << cells[c] << " |";
+      os << ' ' << std::setw(util::narrow_cast<int>(widths[c])) << cells[c]
+         << " |";
     }
     os << '\n';
   };

@@ -1,0 +1,13 @@
+// Fixture: violates R1 (narrow) twice; linted as src/r1_narrowing.cpp.
+#include <cstdint>
+
+int shrink(long value) { return static_cast<int>(value); }
+
+std::uint32_t shrink32(std::uint64_t value) {
+  return static_cast<std::uint32_t>(value);
+}
+
+// Not a violation: widening, and a cast inside a string/comment.
+long widen(int value) { return static_cast<long>(value); }
+const char* text = "static_cast<int>(decoy)";
+// decoy: static_cast<short>(decoy)

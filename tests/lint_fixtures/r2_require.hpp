@@ -1,0 +1,23 @@
+// Fixture: violates R2 (require) once; linted as src/r2_require.hpp.
+#pragma once
+
+#include <stdexcept>
+
+/// Divides the budget.  Throws std::invalid_argument when parts is zero
+/// (precondition: parts > 0).
+inline int divide_budget(int budget, int parts) {
+  return budget / parts;  // promised a throw, never checks
+}
+
+/// Halves the budget.  Throws when budget is negative.
+inline int halve_checked(int budget) {
+  if (budget < 0) throw std::invalid_argument("negative budget");
+  return budget / 2;
+}
+
+/// Caps the budget.  Throws std::invalid_argument when cap is negative —
+/// enforced in the .cpp, so a declaration is not a violation.
+int cap_budget(int budget, int cap);
+
+/// Plain doc with no contract language; bodies are not inspected.
+inline int double_budget(int budget) { return budget * 2; }

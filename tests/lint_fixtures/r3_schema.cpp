@@ -1,0 +1,9 @@
+// Fixture: violates R3 (schema) once; linted as src/r3_schema.cpp.
+#include <string>
+
+// A schema id spelled inline instead of referenced from obs/schemas.hpp.
+const std::string kRogue = "{\"schema\":\"ccmx.rogue_report/1\"}";
+
+// Not violations: a schema id in a comment (ccmx.run_report/1) and a
+// string without the ccmx.<name>/<version> shape.
+const std::string kPlain = "just text";

@@ -1,0 +1,8 @@
+// Fixture: violates R4 (bench-main) twice — a hand-rolled main and no
+// CCMX_BENCH_MAIN registration; linted as bench/bench_fixture.cpp.
+#include <cstdio>
+
+int main() {
+  std::puts("not a registered bench binary");
+  return 0;
+}

@@ -1,0 +1,16 @@
+// Fixture: violates R5 (rng) three times; linted as src/r5_rng.cpp.
+#include <cstdlib>
+#include <random>
+
+int noisy() {
+  std::mt19937 gen;  // unseeded Mersenne Twister
+  std::random_device rd;
+  (void)gen;
+  (void)rd;
+  return std::rand();
+}
+
+// Not violations: "rand(" in a comment or string, and identifiers that
+// merely contain the substring.
+const char* label = "std::rand() decoy";
+int operand(int strand) { return strand; }

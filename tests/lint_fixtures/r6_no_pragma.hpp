@@ -1,0 +1,3 @@
+// Fixture: violates R6 (include-hygiene) — no #pragma once; linted as
+// src/r6_no_pragma.hpp.  ("#pragma once" in this comment must not count.)
+inline int forty_two() { return 42; }

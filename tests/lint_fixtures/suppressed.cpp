@@ -1,0 +1,20 @@
+// Fixture: every violation here is silenced by a ccmx-lint allow
+// comment; linted as src/suppressed.cpp.
+#include <cstdint>
+
+int same_line(long v) {
+  return static_cast<int>(v);  // ccmx-lint: allow(narrow)
+}
+
+int line_above(long v) {
+  // value proven < 2^31 by the caller.  ccmx-lint: allow(r1)
+  return static_cast<int>(v);
+}
+
+int all_rules(long v) {
+  return static_cast<int>(v);  // ccmx-lint: allow(all)
+}
+
+int wrong_rule(long v) {
+  return static_cast<int>(v);  // ccmx-lint: allow(rng) — does NOT silence R1
+}

@@ -292,6 +292,106 @@ TEST(Trajectory, AppendIsIdempotent) {
   EXPECT_EQ(third.appended, 1u);
 }
 
+/// One ccmx.trajectory/1 JSONL row, as append_trajectory writes them.
+std::string trajectory_row(const std::string& name, std::int64_t unix_time,
+                           double fast_cpu, double flat_cpu) {
+  std::ostringstream out;
+  out << "{\"schema\":\"" << kTrajectorySchema << "\",\"name\":\"" << name
+      << "\",\"git_sha\":\"cafe0123\",\"unix_time\":" << unix_time << ","
+      << "\"benchmarks\":{\"BM_Fast/1\":" << fast_cpu << ","
+      << "\"BM_Flat/1\":" << flat_cpu << "}}\n";
+  return out.str();
+}
+
+TEST(Trend, FitsLinearDriftAndFlatSeries) {
+  TempDir dir("trend");
+  const fs::path traj = dir.path() / "trajectory.jsonl";
+  // BM_Fast drifts +1us/day over four daily runs; BM_Flat is constant.
+  std::ostringstream rows;
+  for (int day = 0; day < 4; ++day) {
+    rows << trajectory_row("alpha", 1754500000 + day * 86400, 10.0 + day,
+                           5.0);
+  }
+  write_file(traj, rows.str());
+
+  const TrendResult trend = trend_from_trajectory(traj.string());
+  EXPECT_EQ(trend.rows, 4u);
+  EXPECT_EQ(trend.skipped, 0u);
+  EXPECT_TRUE(trend.thin_series.empty());
+  ASSERT_EQ(trend.fits.size(), 2u);
+
+  // Sorted by |relative slope| descending: the drifting series leads.
+  const TrendFit& fast = trend.fits[0];
+  EXPECT_EQ(fast.benchmark, "BM_Fast/1");
+  EXPECT_EQ(fast.report, "alpha");
+  EXPECT_EQ(fast.points, 4u);
+  EXPECT_NEAR(fast.span_days, 3.0, 1e-9);
+  EXPECT_NEAR(fast.mean_cpu, 11.5, 1e-9);
+  EXPECT_NEAR(fast.slope_per_day, 1.0, 1e-9);
+  EXPECT_NEAR(fast.rel_slope_per_day, 1.0 / 11.5, 1e-9);
+  EXPECT_NEAR(fast.r2, 1.0, 1e-12);
+
+  const TrendFit& flat = trend.fits[1];
+  EXPECT_EQ(flat.benchmark, "BM_Flat/1");
+  EXPECT_NEAR(flat.slope_per_day, 0.0, 1e-12);
+  EXPECT_NEAR(flat.r2, 1.0, 1e-12);  // zero-slope line fits perfectly
+}
+
+TEST(Trend, SkipsMalformedRowsAndReportsThinSeries) {
+  TempDir dir("trend2");
+  const fs::path traj = dir.path() / "trajectory.jsonl";
+  std::ostringstream rows;
+  rows << trajectory_row("alpha", 1754500000, 10.0, 5.0)
+       << trajectory_row("alpha", 1754586400, 11.0, 5.0)  // only 2 points
+       << "{not json at all\n"
+       << "{\"schema\":\"ccmx.run_report/1\",\"name\":\"alpha\","
+          "\"benchmarks\":{}}\n";
+  write_file(traj, rows.str());
+
+  const TrendResult trend = trend_from_trajectory(traj.string(), 3);
+  EXPECT_EQ(trend.rows, 2u);
+  EXPECT_EQ(trend.skipped, 2u);
+  EXPECT_TRUE(trend.fits.empty());
+  ASSERT_EQ(trend.thin_series.size(), 2u);
+  EXPECT_EQ(trend.thin_series[0], "alpha/BM_Fast/1");
+}
+
+TEST(Trend, MissingTrajectoryIsEmptyNotFatal) {
+  const TrendResult trend =
+      trend_from_trajectory("/nonexistent/ccmx/trajectory.jsonl");
+  EXPECT_EQ(trend.rows, 0u);
+  EXPECT_TRUE(trend.fits.empty());
+}
+
+TEST(TrendJson, RoundTripsThroughTheSchemaCheck) {
+  TempDir dir("trend3");
+  const fs::path traj = dir.path() / "trajectory.jsonl";
+  std::ostringstream rows;
+  for (int day = 0; day < 3; ++day) {
+    rows << trajectory_row("alpha", 1754500000 + day * 86400, 10.0 + day,
+                           5.0);
+  }
+  write_file(traj, rows.str());
+  const TrendResult trend = trend_from_trajectory(traj.string());
+
+  const std::string json_doc = render_trend_json(trend);
+  const json::Value doc = json::parse(json_doc);
+  EXPECT_TRUE(validate_trend(doc).empty())
+      << validate_trend(doc).front();
+  EXPECT_EQ(doc.find("schema")->string, kTrendSchema);
+  ASSERT_NE(doc.find("fits"), nullptr);
+  EXPECT_EQ(doc.find("fits")->array.size(), 2u);
+
+  // The markdown rendering names the drifting benchmark.
+  const std::string md = render_trend_markdown(trend);
+  EXPECT_NE(md.find("BM_Fast/1"), std::string::npos);
+
+  // A foreign schema id must be rejected.
+  const json::Value bad =
+      json::parse("{\"schema\":\"ccmx.bench_diff/1\",\"fits\":[]}");
+  EXPECT_FALSE(validate_trend(bad).empty());
+}
+
 TEST(Verdicts, NamesAreStable) {
   // The CI gate greps these out of the JSON; renaming them is a schema
   // break.

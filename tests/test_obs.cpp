@@ -1,10 +1,12 @@
 // obs: counters under parallelism, histograms, spans, JSON, run reports.
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
 #include <sstream>
+#include <thread>
 
 #include "comm/channel.hpp"
 #include "obs/json.hpp"
@@ -57,6 +59,30 @@ TEST(ObsCounter, RepeatedParallelRunsKeepAccumulating) {
     util::parallel_for(0, 1000, [&](std::size_t) { counter.add(); });
   }
   EXPECT_EQ(counter.value(), 4000u);
+}
+
+TEST(ObsCounter, ConcurrentReadsDuringAddsAreRaceFree) {
+  // Regression guard for the ThreadSink slots: value() folds worker slots
+  // while those workers are still mid-add, so slot traffic must go through
+  // atomics (TSan flags the old plain-uint64 slots here).  Mid-flight
+  // reads may see any partial sum; only the quiescent total is exact.
+  const TracingOn guard;
+  const obs::Counter counter("test.concurrent_reads");
+  constexpr std::size_t kItems = 50000;
+  std::atomic<bool> done{false};
+  std::thread reader([&] {
+    std::uint64_t last = 0;
+    while (!done.load(std::memory_order_acquire)) {
+      const std::uint64_t now = counter.value();
+      EXPECT_GE(now, last);  // monotone: adds only, folded relaxed
+      EXPECT_LE(now, 2 * kItems);
+      last = now;
+    }
+  });
+  util::parallel_for(0, kItems, [&](std::size_t) { counter.add(2); });
+  done.store(true, std::memory_order_release);
+  reader.join();
+  EXPECT_EQ(counter.value(), 2 * kItems);
 }
 
 TEST(ObsCounter, DisabledAddsAreDropped) {

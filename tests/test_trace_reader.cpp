@@ -207,6 +207,55 @@ TEST(TraceReader, DemultiplexesInterleavedChannels) {
   EXPECT_EQ(trace.total_rounds(), 3u);
 }
 
+TEST(TraceReader, ConservationChecksPerRoundBitPartition) {
+  // Two channels, interleaved rounds: round 1 carries 14+2 bits, round 2
+  // carries 1.  The report's dedicated comm.bits.roundN counters must
+  // match the partition reconstructed from the trace — not just totals.
+  const std::string text =
+      "{\"ev\":\"send\",\"ch\":1,\"from\":0,\"bits\":14,\"round\":1,"
+      "\"msg\":1,\"t_us\":0}\n"
+      "{\"ev\":\"send\",\"ch\":2,\"from\":0,\"bits\":2,\"round\":1,"
+      "\"msg\":1,\"t_us\":1}\n"
+      "{\"ev\":\"send\",\"ch\":1,\"from\":1,\"bits\":1,\"round\":2,"
+      "\"msg\":2,\"t_us\":2}\n";
+  const obs::ChannelTrace trace = obs::parse_channel_trace(text);
+
+  const auto report_with = [](std::uint64_t round1, std::uint64_t round2) {
+    std::ostringstream os;
+    os << "{\"counters\":{\"comm.bits.agent0\":16,\"comm.bits.agent1\":1,"
+       << "\"comm.messages\":3,\"comm.rounds\":3,"
+       << "\"comm.bits.round1\":" << round1 << ","
+       << "\"comm.bits.round2\":" << round2 << "}}";
+    return os.str();
+  };
+
+  // Exact partition: clean.  Rounds 3..8 and overflow are absent from the
+  // report AND empty in the trace, which must not be flagged.
+  EXPECT_TRUE(obs::check_trace_against_report(
+                  trace, obs::json::parse(report_with(16, 1)))
+                  .empty());
+
+  // Same totals, wrong split: a bit "moved" between rounds is caught even
+  // though comm.bits.agent* and comm.messages still balance.
+  const std::vector<std::string> mismatches = obs::check_trace_against_report(
+      trace, obs::json::parse(report_with(15, 2)));
+  ASSERT_EQ(mismatches.size(), 2u);
+  EXPECT_NE(mismatches[0].find("comm.bits.round1"), std::string::npos);
+  EXPECT_NE(mismatches[1].find("comm.bits.round2"), std::string::npos);
+
+  // A pre-per-round-counter report (aggregates only) is flagged for the
+  // rounds the trace actually used, with a distinct message.
+  const obs::json::Value legacy = obs::json::parse(
+      "{\"counters\":{\"comm.bits.agent0\":16,\"comm.bits.agent1\":1,"
+      "\"comm.messages\":3,\"comm.rounds\":3}}");
+  const std::vector<std::string> legacy_mismatches =
+      obs::check_trace_against_report(trace, legacy);
+  ASSERT_EQ(legacy_mismatches.size(), 2u);
+  EXPECT_NE(legacy_mismatches[0].find("report lacks counter"),
+            std::string::npos);
+  EXPECT_NE(legacy_mismatches[0].find("comm.bits.round1"), std::string::npos);
+}
+
 TEST(TraceReader, RejectsMalformedLine) {
   EXPECT_THROW((void)obs::parse_channel_trace("{not json}\n"),
                util::contract_error);

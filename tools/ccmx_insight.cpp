@@ -10,6 +10,12 @@
 //   trajectory --reports DIR [--out FILE]
 //       Append one ccmx.trajectory/1 JSONL line per report to the
 //       repo's perf trajectory (idempotent per name+git_sha+unix_time).
+//   trend [--trajectory FILE] [--min-points N] [--json PATH]
+//       Least-squares cpu_time drift per benchmark across the
+//       trajectory (ccmx.trend/1), worst relative slope first.
+//   lint FILE
+//       Validate and summarize a ccmx_lint JSON report (exit 1 when it
+//       carries non-baselined findings).
 //   trace FILE [--report BENCH.json]
 //       Parse a JSONL channel trace, print per-channel / per-round /
 //       per-agent traffic, and (with --report) cross-check conservation
@@ -42,6 +48,7 @@
 #include "comm/channel.hpp"
 #include "comm/partition.hpp"
 #include "linalg/convert.hpp"
+#include "lint/lint.hpp"
 #include "obs/analysis.hpp"
 #include "obs/obs.hpp"
 #include "obs/trace_reader.hpp"
@@ -56,13 +63,16 @@ using namespace ccmx;
 
 int usage() {
   std::cerr <<
-      "usage: ccmx_insight <diff|trajectory|trace|fit> ...\n"
+      "usage: ccmx_insight <diff|trajectory|trend|trace|fit|lint> ...\n"
       "  diff --baseline DIR --candidate DIR [--json PATH] [--md PATH]\n"
       "       [--cpu-tol F=0.20] [--counter-tol F=0.25] [--rss-tol F=0.30]\n"
       "       [--min-iters N=3] [--allow-missing-baseline]\n"
       "  trajectory --reports DIR [--out FILE=bench/out/trajectory.jsonl]\n"
+      "  trend [--trajectory FILE=bench/out/trajectory.jsonl]\n"
+      "       [--min-points N=3] [--json PATH] [--md PATH]\n"
       "  trace FILE [--report BENCH.json]\n"
-      "  fit --law send-half|fingerprint [--seed N=7] [--max-dev F]\n";
+      "  fit --law send-half|fingerprint [--seed N=7] [--max-dev F]\n"
+      "  lint FILE\n";
   return 2;
 }
 
@@ -216,6 +226,91 @@ int cmd_trajectory(Args& args) {
   std::cout << "trajectory: " << out << " (+" << result.appended
             << " appended, " << result.skipped << " already present)\n";
   return 0;
+}
+
+// --------------------------------------------------------------- trend
+
+int cmd_trend(Args& args) {
+  const std::string trajectory =
+      args.option("--trajectory").value_or("bench/out/trajectory.jsonl");
+  std::size_t min_points = 3;
+  if (const auto v = args.option("--min-points")) {
+    min_points = std::strtoul(v->c_str(), nullptr, 10);
+    if (min_points < 2) min_points = 2;  // a line needs two points
+  }
+  const obs::TrendResult trend =
+      obs::trend_from_trajectory(trajectory, min_points);
+  if (trend.rows == 0) {
+    std::cerr << "error: no trajectory rows in " << trajectory
+              << " (run `ccmx_insight trajectory` first)\n";
+    return 2;
+  }
+  const std::string markdown = obs::render_trend_markdown(trend);
+  std::cout << markdown;
+  if (const auto path = args.option("--json")) {
+    if (!write_text_file(*path, obs::render_trend_json(trend))) {
+      std::cerr << "error: cannot write " << *path << '\n';
+      return 2;
+    }
+    std::cout << "trend json: " << *path << '\n';
+  }
+  if (const auto path = args.option("--md")) {
+    if (!write_text_file(*path, markdown)) {
+      std::cerr << "error: cannot write " << *path << '\n';
+      return 2;
+    }
+  }
+  return 0;
+}
+
+// ---------------------------------------------------------------- lint
+
+int cmd_lint(Args& args) {
+  const auto report_path = args.positional();
+  if (!report_path) return usage();
+  std::ifstream in(*report_path, std::ios::binary);
+  if (!in.is_open()) {
+    std::cerr << "error: cannot open " << *report_path << '\n';
+    return 2;
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  obs::json::Value doc;
+  try {
+    doc = obs::json::parse(buffer.str());
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << *report_path << ": " << e.what() << '\n';
+    return 2;
+  }
+  const std::vector<std::string> problems = lint::validate_lint_report(doc);
+  if (!problems.empty()) {
+    std::cerr << "error: " << *report_path << " is not a valid lint report\n";
+    for (const std::string& p : problems) std::cerr << "  " << p << '\n';
+    return 2;
+  }
+  const obs::json::Value* findings = doc.find("findings");
+  const obs::json::Value* counts = doc.find("counts");
+  std::cout << "lint report: " << *report_path << " — "
+            << findings->array.size() << " finding(s)\n";
+  if (counts != nullptr && counts->is_object()) {
+    util::TextTable table({"rule", "findings"});
+    for (const auto& [rule, value] : counts->object) {
+      if (value.is_number() && value.number > 0) {
+        table.row(rule, static_cast<std::uint64_t>(value.number));
+      }
+    }
+    table.print(std::cout);
+  }
+  for (const obs::json::Value& f : findings->array) {
+    const obs::json::Value* file = f.find("file");
+    const obs::json::Value* line = f.find("line");
+    const obs::json::Value* rule = f.find("rule");
+    const obs::json::Value* message = f.find("message");
+    std::cout << "  " << file->string << ":"
+              << static_cast<std::uint64_t>(line->number) << " ["
+              << rule->string << "] " << message->string << '\n';
+  }
+  return findings->array.empty() ? 0 : 1;
 }
 
 // --------------------------------------------------------------- trace
@@ -449,8 +544,10 @@ int main(int argc, char** argv) {
   try {
     if (cmd == "diff") return cmd_diff(args);
     if (cmd == "trajectory") return cmd_trajectory(args);
+    if (cmd == "trend") return cmd_trend(args);
     if (cmd == "trace") return cmd_trace(args);
     if (cmd == "fit") return cmd_fit(args);
+    if (cmd == "lint") return cmd_lint(args);
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << '\n';
     return 2;

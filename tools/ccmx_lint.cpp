@@ -1,0 +1,143 @@
+// ccmx_lint — CLI for the project-invariant static-analysis pass.
+//
+//   ccmx_lint [--root DIR] [--subdir D ...] [--baseline FILE]
+//             [--write-baseline] [--json PATH] [--list-rules] [--quiet]
+//
+// Exit status: 0 = clean (no non-baselined findings), 1 = findings,
+// 2 = usage or I/O error.  The default baseline is <root>/tools/
+// lint_baseline.txt (a missing file is an empty baseline), so CI can run
+// plain `ccmx_lint` from the repo root.
+#include <cstring>
+#include <exception>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "lint/lint.hpp"
+
+namespace {
+
+void print_usage(std::ostream& os) {
+  os << "usage: ccmx_lint [options]\n"
+        "  --root DIR         repo root to lint (default: .)\n"
+        "  --subdir D         scan only this subdir; repeatable\n"
+        "                     (default: src bench tools tests)\n"
+        "  --baseline FILE    baseline file (default: <root>/tools/"
+        "lint_baseline.txt)\n"
+        "  --no-baseline      ignore any baseline file\n"
+        "  --write-baseline   rewrite the baseline from current findings\n"
+        "  --json PATH        also write the machine-readable lint report\n"
+        "                     (schema: obs::kLintReportSchema)\n"
+        "  --list-rules       print the rule table and exit\n"
+        "  --quiet            summary line only, no per-finding output\n";
+}
+
+void print_findings(const std::vector<ccmx::lint::Finding>& findings,
+                    std::string_view tag) {
+  for (const ccmx::lint::Finding& f : findings) {
+    std::cout << f.file << ":" << f.line << ": [" << f.rule << "]" << tag
+              << " " << f.message << "\n";
+    if (!f.snippet.empty()) std::cout << "    " << f.snippet << "\n";
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ccmx::lint::RunOptions options;
+  bool explicit_subdirs = false;
+  bool no_baseline = false;
+  bool write_baseline = false;
+  bool quiet = false;
+  std::string json_path;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    const auto next = [&]() -> std::string {
+      if (i + 1 >= argc) {
+        std::cerr << "ccmx_lint: " << arg << " needs a value\n";
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--root") {
+      options.root = next();
+    } else if (arg == "--subdir") {
+      if (!explicit_subdirs) options.subdirs.clear();
+      explicit_subdirs = true;
+      options.subdirs.push_back(next());
+    } else if (arg == "--baseline") {
+      options.baseline_path = next();
+    } else if (arg == "--no-baseline") {
+      no_baseline = true;
+    } else if (arg == "--write-baseline") {
+      write_baseline = true;
+    } else if (arg == "--json") {
+      json_path = next();
+    } else if (arg == "--quiet") {
+      quiet = true;
+    } else if (arg == "--list-rules") {
+      for (const ccmx::lint::RuleInfo& rule : ccmx::lint::rules()) {
+        std::cout << rule.alias << "  " << rule.name << "\n    "
+                  << rule.summary << "\n";
+      }
+      return 0;
+    } else if (arg == "--help" || arg == "-h") {
+      print_usage(std::cout);
+      return 0;
+    } else {
+      std::cerr << "ccmx_lint: unknown argument " << arg << "\n";
+      print_usage(std::cerr);
+      return 2;
+    }
+  }
+
+  if (options.baseline_path.empty() && !no_baseline) {
+    options.baseline_path = options.root + "/tools/lint_baseline.txt";
+  }
+  if (no_baseline) options.baseline_path.clear();
+
+  try {
+    const ccmx::lint::RunResult result = ccmx::lint::run_lint(options);
+
+    if (write_baseline) {
+      std::vector<ccmx::lint::Finding> all = result.findings;
+      all.insert(all.end(), result.baselined.begin(), result.baselined.end());
+      const std::string path = options.baseline_path.empty()
+                                   ? options.root + "/tools/lint_baseline.txt"
+                                   : options.baseline_path;
+      std::ofstream out(path, std::ios::trunc);
+      if (!out.is_open()) {
+        std::cerr << "ccmx_lint: cannot write " << path << "\n";
+        return 2;
+      }
+      out << ccmx::lint::Baseline::from_findings(all).render();
+      std::cout << "ccmx_lint: wrote " << all.size() << " fingerprint(s) to "
+                << path << "\n";
+      return 0;
+    }
+
+    if (!json_path.empty()) {
+      std::ofstream out(json_path, std::ios::trunc);
+      if (!out.is_open()) {
+        std::cerr << "ccmx_lint: cannot write " << json_path << "\n";
+        return 2;
+      }
+      out << ccmx::lint::render_lint_report_json(result, options);
+    }
+
+    if (!quiet) {
+      print_findings(result.findings, "");
+      print_findings(result.baselined, " (baselined)");
+    }
+    std::cout << "ccmx_lint: " << result.files_scanned << " file(s), "
+              << result.findings.size() << " finding(s), "
+              << result.baselined.size() << " baselined, "
+              << result.suppressed << " suppressed\n";
+    return result.findings.empty() ? 0 : 1;
+  } catch (const std::exception& e) {
+    std::cerr << "ccmx_lint: " << e.what() << "\n";
+    return 2;
+  }
+}
