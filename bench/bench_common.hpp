@@ -91,11 +91,17 @@ inline std::string bench_name_from_argv0(std::string_view argv0) {
 /// Boilerplate main body: tables, timings, then the RunReport.
 inline int bench_main(int argc, char** argv, void (*print_tables)()) {
   const util::WallTimer timer;
-  print_tables();
+  {
+    const obs::ScopedSpan span("bench.tables");
+    print_tables();
+  }
   ::benchmark::Initialize(&argc, argv);
   if (::benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   CollectingReporter reporter;
-  ::benchmark::RunSpecifiedBenchmarks(&reporter);
+  {
+    const obs::ScopedSpan span("bench.timings");
+    ::benchmark::RunSpecifiedBenchmarks(&reporter);
+  }
   ::benchmark::Shutdown();
 
   obs::RunReport report;

@@ -174,6 +174,11 @@ void usage() {
 
 int run_command(const std::string& cmd, std::size_t n, std::size_t arg3,
                 std::uint64_t seed) {
+  // Root of the run's span tree: every protocol execution (comm.execute)
+  // and core-layer span nests under this in the JSONL trace.
+  obs::ScopedSpan span("cli." + cmd);
+  span.arg("n", static_cast<std::uint64_t>(n));
+  span.arg(cmd == "rank" ? "r" : "k", static_cast<std::uint64_t>(arg3));
   if (cmd == "singularity") {
     return cmd_singularity(n, static_cast<unsigned>(arg3), seed);
   }

@@ -60,6 +60,8 @@ const BitVec& Channel::send(Agent from, BitVec payload) {
           ",\"bits\":" + std::to_string(payload_bits) +
           ",\"round\":" + std::to_string(rounds_) +
           ",\"msg\":" + std::to_string(transcript_.size()) +
+          ",\"span\":" + std::to_string(obs::current_span_id()) +
+          ",\"tid\":" + std::to_string(obs::thread_id()) +
           ",\"t_us\":" + std::to_string(obs::now_us()) + "}");
     }
   }
@@ -68,6 +70,8 @@ const BitVec& Channel::send(Agent from, BitVec payload) {
 
 ProtocolOutcome execute(const Protocol& protocol, const BitVec& input,
                         const Partition& partition) {
+  obs::ScopedSpan span("comm.execute");
+  span.arg("protocol", protocol.name());
   const AgentView agent0(Agent::kZero, input, partition);
   const AgentView agent1(Agent::kOne, input, partition);
   Channel channel;
@@ -76,6 +80,8 @@ ProtocolOutcome execute(const Protocol& protocol, const BitVec& input,
   outcome.bits = channel.bits_sent();
   outcome.rounds = channel.rounds();
   outcome.messages = channel.messages();
+  span.arg("bits", static_cast<std::uint64_t>(outcome.bits));
+  span.arg("rounds", static_cast<std::uint64_t>(outcome.rounds));
   return outcome;
 }
 

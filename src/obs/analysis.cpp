@@ -667,11 +667,10 @@ TrajectoryAppend append_trajectory(const LoadResult& reports,
   return result;
 }
 
-TrendResult trend_from_trajectory(const std::string& trajectory_path,
-                                  std::size_t min_points) {
-  TrendResult result;
+TrajectorySeriesResult load_trajectory_series(
+    const std::string& trajectory_path) {
+  TrajectorySeriesResult result;
   result.trajectory_path = trajectory_path;
-  result.min_points = min_points;
 
   // (report, benchmark) -> [(unix_time, cpu_time)].
   std::map<std::pair<std::string, std::string>,
@@ -704,9 +703,31 @@ TrendResult trend_from_trajectory(const std::string& trajectory_path,
     }
   }
 
-  constexpr double kSecondsPerDay = 86400.0;
   for (auto& [key, points] : series) {
     std::sort(points.begin(), points.end());
+    TrajectorySeries one;
+    one.report = key.first;
+    one.benchmark = key.second;
+    one.points = std::move(points);
+    result.series.push_back(std::move(one));
+  }
+  return result;  // std::map iteration already sorted by (report, benchmark)
+}
+
+TrendResult trend_from_trajectory(const std::string& trajectory_path,
+                                  std::size_t min_points) {
+  TrendResult result;
+  result.trajectory_path = trajectory_path;
+  result.min_points = min_points;
+
+  TrajectorySeriesResult loaded = load_trajectory_series(trajectory_path);
+  result.rows = loaded.rows;
+  result.skipped = loaded.skipped;
+
+  constexpr double kSecondsPerDay = 86400.0;
+  for (TrajectorySeries& one : loaded.series) {
+    const std::pair<std::string, std::string> key{one.report, one.benchmark};
+    std::vector<std::pair<double, double>>& points = one.points;
     const double t_first = points.front().first;
     const double t_last = points.back().first;
     if (points.size() < min_points || t_last <= t_first) {

@@ -164,6 +164,31 @@ struct TrajectoryAppend {
 TrajectoryAppend append_trajectory(const LoadResult& reports,
                                    const std::string& trajectory_path);
 
+/// One (report, benchmark) cpu_time series extracted from a
+/// ccmx.trajectory/1 JSONL file — the raw points behind both the trend
+/// fits and the dashboard sparklines.
+struct TrajectorySeries {
+  std::string report;     // trajectory row "name" (e.g. "exact_cc")
+  std::string benchmark;  // e.g. "BM_ExactCcEquality/3"
+  /// (unix_time, cpu_time) sorted by time.
+  std::vector<std::pair<double, double>> points;
+};
+
+struct TrajectorySeriesResult {
+  std::string trajectory_path;
+  std::size_t rows = 0;     // trajectory rows consumed
+  std::size_t skipped = 0;  // unparseable or foreign-schema lines
+  /// Sorted by (report, benchmark).
+  std::vector<TrajectorySeries> series;
+};
+
+/// Extracts every per-benchmark cpu_time series from a trajectory file.
+/// Malformed or foreign-schema lines are counted, not fatal; a missing
+/// file yields an empty result.  trend_from_trajectory() and the HTML
+/// dashboard both build on this.
+[[nodiscard]] TrajectorySeriesResult load_trajectory_series(
+    const std::string& trajectory_path);
+
 /// Least-squares drift of one benchmark's cpu_time across the trajectory:
 /// cpu_time ~ a + b * t fitted over every trajectory row that carries the
 /// benchmark, with b rescaled to per-day units.

@@ -354,4 +354,72 @@ Value parse(std::string_view text) {
   return v;
 }
 
+namespace {
+
+void render_to(const Value& value, std::string& out) {
+  switch (value.kind) {
+    case Value::Kind::kNull:
+      out += "null";
+      return;
+    case Value::Kind::kBool:
+      out += value.boolean ? "true" : "false";
+      return;
+    case Value::Kind::kNumber: {
+      if (!std::isfinite(value.number)) {
+        out += "null";  // JSON has no inf/nan (same policy as the Writer)
+        return;
+      }
+      // Integral values render without an exponent or trailing ".0" so a
+      // re-embedded counter still looks like the counter the Writer wrote.
+      if (value.number == std::floor(value.number) &&
+          std::abs(value.number) < 9.0e15) {
+        out += std::to_string(static_cast<std::int64_t>(value.number));
+        return;
+      }
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), "%.17g", value.number);
+      out += buf;
+      return;
+    }
+    case Value::Kind::kString:
+      out += '"';
+      out += escape(value.string);
+      out += '"';
+      return;
+    case Value::Kind::kArray: {
+      out += '[';
+      bool first = true;
+      for (const Value& item : value.array) {
+        if (!first) out += ',';
+        first = false;
+        render_to(item, out);
+      }
+      out += ']';
+      return;
+    }
+    case Value::Kind::kObject: {
+      out += '{';
+      bool first = true;
+      for (const auto& [key, member] : value.object) {
+        if (!first) out += ',';
+        first = false;
+        out += '"';
+        out += escape(key);
+        out += "\":";
+        render_to(member, out);
+      }
+      out += '}';
+      return;
+    }
+  }
+}
+
+}  // namespace
+
+std::string render(const Value& value) {
+  std::string out;
+  render_to(value, out);
+  return out;
+}
+
 }  // namespace ccmx::obs::json

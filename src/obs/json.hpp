@@ -95,4 +95,11 @@ struct Value {
 /// malformed input or trailing garbage.
 [[nodiscard]] Value parse(std::string_view text);
 
+/// Serializes a parsed Value back to compact JSON (member order
+/// preserved, numbers in %.17g so parse(render(parse(x))) is stable).
+/// The inverse of parse() up to insignificant whitespace — used to embed
+/// loaded documents into other artifacts (e.g. the HTML dashboard's data
+/// island).
+[[nodiscard]] std::string render(const Value& value);
+
 }  // namespace ccmx::obs::json

@@ -13,6 +13,7 @@
 #include <mutex>
 #include <unordered_map>
 
+#include "obs/json.hpp"
 #include "util/narrow.hpp"
 #include "util/require.hpp"
 
@@ -138,6 +139,19 @@ ThreadSink& thread_sink() {
   return sink;
 }
 
+/// Innermost-first stack of armed span ids on this thread; ScopedSpan
+/// pushes on construction and pops on destruction, so back() is always
+/// the parent of the next span opened here.
+std::vector<std::uint64_t>& span_stack() {
+  thread_local std::vector<std::uint64_t> stack;
+  return stack;
+}
+
+std::uint64_t next_span_id() noexcept {
+  static std::atomic<std::uint64_t> next{1};
+  return next.fetch_add(1, std::memory_order_relaxed);
+}
+
 bool env_truthy(const char* name) noexcept {
   const char* raw = std::getenv(name);
   if (raw == nullptr || raw[0] == '\0') return false;
@@ -228,22 +242,59 @@ void Histogram::record(double value) const {
   ++h.buckets[bucket_of(value)];
 }
 
+std::uint32_t thread_id() noexcept {
+  static std::atomic<std::uint32_t> next{1};
+  thread_local const std::uint32_t id =
+      next.fetch_add(1, std::memory_order_relaxed);
+  return id;
+}
+
+std::uint64_t current_span_id() noexcept {
+  const std::vector<std::uint64_t>& stack = span_stack();
+  return stack.empty() ? 0 : stack.back();
+}
+
 ScopedSpan::ScopedSpan(std::string_view name) {
   if (!enabled()) return;
   name_ = std::string(name);
+  id_ = next_span_id();
+  parent_ = current_span_id();
+  span_stack().push_back(id_);
   start_us_ = now_us();
   armed_ = true;
 }
 
+void ScopedSpan::arg(std::string_view key, std::string_view value) {
+  if (!armed_ || !event_sink_open()) return;
+  if (!args_json_.empty()) args_json_ += ',';
+  args_json_ += '"' + json::escape(key) + "\":\"" + json::escape(value) + '"';
+}
+
+void ScopedSpan::arg(std::string_view key, std::uint64_t value) {
+  if (!armed_ || !event_sink_open()) return;
+  if (!args_json_.empty()) args_json_ += ',';
+  args_json_ += '"' + json::escape(key) + "\":" + std::to_string(value);
+}
+
 ScopedSpan::~ScopedSpan() {
   if (!armed_) return;
+  span_stack().pop_back();
   const std::int64_t end_us = now_us();
   const double secs = static_cast<double>(end_us - start_us_) * 1e-6;
   Histogram("span." + name_).record(secs);
   if (event_sink_open()) {
-    emit_event("{\"ev\":\"span\",\"name\":\"" + name_ +
-               "\",\"t_us\":" + std::to_string(start_us_) +
-               ",\"dur_us\":" + std::to_string(end_us - start_us_) + "}");
+    // Emitted at scope exit (the duration is only known now), but t_us
+    // is the *construction* time: readers order spans by t_us, not by
+    // line number, or nested spans would appear child-before-parent.
+    std::string event = "{\"ev\":\"span\",\"id\":" + std::to_string(id_) +
+                        ",\"parent\":" + std::to_string(parent_) +
+                        ",\"tid\":" + std::to_string(thread_id()) +
+                        ",\"name\":\"" + json::escape(name_) +
+                        "\",\"t_us\":" + std::to_string(start_us_) +
+                        ",\"dur_us\":" + std::to_string(end_us - start_us_);
+    if (!args_json_.empty()) event += ",\"args\":{" + args_json_ + '}';
+    event += '}';
+    emit_event(event);
   }
 }
 

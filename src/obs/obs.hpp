@@ -91,7 +91,17 @@ class Histogram {
 
 /// RAII timer: on destruction records wall seconds into histogram
 /// "span.<name>" and, when the event sink is open, emits a JSONL event
-/// {"ev":"span","name":...,"t_us":...,"dur_us":...}.
+/// {"ev":"span","id":...,"parent":...,"tid":...,"name":...,
+///  "t_us":<start>,"dur_us":...[,"args":{...}]}.
+///
+/// Spans form a per-thread tree: every armed span gets a process-unique
+/// id, its parent is the innermost armed span on the same thread (0 at
+/// the root), and tid is a small sequential id assigned to each thread
+/// on first use.  Events are emitted at scope *exit* (that is when the
+/// duration is known), so children appear in the file before their
+/// parents — "t_us" always records the construction time, and readers
+/// must order by it, never by line number (see obs/trace_reader.hpp,
+/// which rebuilds the tree from id/parent).
 class ScopedSpan {
  public:
   explicit ScopedSpan(std::string_view name);
@@ -100,14 +110,34 @@ class ScopedSpan {
   ScopedSpan(const ScopedSpan&) = delete;
   ScopedSpan& operator=(const ScopedSpan&) = delete;
 
+  /// Attaches a key/value to the span's JSONL event ("args" object).
+  /// Dropped when the span is unarmed or no event sink is open; keys
+  /// repeat in emission order (callers should not reuse them).
+  void arg(std::string_view key, std::string_view value);
+  void arg(std::string_view key, std::uint64_t value);
+
+  /// Process-unique span id (0 when tracing was disabled at construction).
+  [[nodiscard]] std::uint64_t id() const noexcept { return id_; }
+
   /// Wall seconds since construction (0 when tracing was disabled then).
   [[nodiscard]] double seconds() const noexcept;
 
  private:
   std::string name_;
+  std::string args_json_;  // pre-rendered `"k":v` pairs, comma-joined
   std::int64_t start_us_ = 0;
+  std::uint64_t id_ = 0;
+  std::uint64_t parent_ = 0;
   bool armed_ = false;
 };
+
+/// Sequential id of the calling thread (1-based, assigned on first use).
+/// Stable for the thread's lifetime; spans stamp it into their events.
+[[nodiscard]] std::uint32_t thread_id() noexcept;
+
+/// Id of the innermost armed span on this thread, 0 outside any span.
+/// Lets non-span events (channel sends) reference their enclosing span.
+[[nodiscard]] std::uint64_t current_span_id() noexcept;
 
 /// Free-form key/value attached to the run (seed, command, params).
 /// Later writes overwrite earlier ones for the same key.
@@ -156,8 +186,14 @@ class ScopedSpan {
   explicit ScopedSpan(std::string_view) {}
   ScopedSpan(const ScopedSpan&) = delete;
   ScopedSpan& operator=(const ScopedSpan&) = delete;
+  void arg(std::string_view, std::string_view) {}
+  void arg(std::string_view, std::uint64_t) {}
+  [[nodiscard]] std::uint64_t id() const noexcept { return 0; }
   [[nodiscard]] double seconds() const noexcept { return 0.0; }
 };
+
+[[nodiscard]] inline std::uint32_t thread_id() noexcept { return 0; }
+[[nodiscard]] inline std::uint64_t current_span_id() noexcept { return 0; }
 
 inline void set_attribute(std::string_view, std::string_view) {}
 [[nodiscard]] inline bool event_sink_open() noexcept { return false; }

@@ -35,11 +35,24 @@ inline constexpr std::string_view kTrendSchema = "ccmx.trend/1";
 /// (see lint/lint.hpp).
 inline constexpr std::string_view kLintReportSchema = "ccmx.lint_report/1";
 
+/// Chrome trace-event JSON converted from a ccmx JSONL trace —
+/// `ccmx_insight trace --chrome` (see obs/trace_reader.hpp).  The
+/// document is the trace-event "object format" with this schema id as an
+/// extra top-level key (Perfetto ignores keys it does not know).
+inline constexpr std::string_view kChromeTraceSchema = "ccmx.chrome_trace/1";
+
+/// The data island embedded in `ccmx_insight html` dashboards — wraps
+/// the run-report documents the page renders so they can be re-parsed
+/// from the HTML (see obs/html_render.hpp).
+inline constexpr std::string_view kDashboardDataSchema =
+    "ccmx.dashboard_data/1";
+
 /// Every schema id this repo may stamp into a document, for validators
 /// that only need to know "is this one of ours".
 inline constexpr std::string_view kRegisteredSchemas[] = {
-    kRunReportSchema, kBenchDiffSchema, kTrajectorySchema,
-    kTrendSchema,     kLintReportSchema,
+    kRunReportSchema,   kBenchDiffSchema,     kTrajectorySchema,
+    kTrendSchema,       kLintReportSchema,    kChromeTraceSchema,
+    kDashboardDataSchema,
 };
 
 [[nodiscard]] constexpr bool is_registered_schema(

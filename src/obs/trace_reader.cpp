@@ -6,6 +6,7 @@
 #include <map>
 #include <sstream>
 
+#include "obs/schemas.hpp"
 #include "util/narrow.hpp"
 #include "util/require.hpp"
 
@@ -19,16 +20,78 @@ namespace {
 }
 
 std::uint64_t uint_field(const json::Value& obj, std::string_view key,
-                         std::size_t line_no) {
+                         std::size_t line_no,
+                         std::string_view event_kind = "send") {
   const json::Value* v = obj.find(key);
   if (v == nullptr || !v->is_number()) {
-    fail(line_no, "send event missing numeric \"" + std::string(key) + '"');
+    fail(line_no, std::string(event_kind) + " event missing numeric \"" +
+                      std::string(key) + '"');
   }
   if (v->number < 0.0 || v->number != std::floor(v->number)) {
     fail(line_no, "field \"" + std::string(key) +
                       "\" is not a non-negative integer");
   }
   return static_cast<std::uint64_t>(v->number);
+}
+
+std::int64_t int_field(const json::Value& obj, std::string_view key,
+                       std::size_t line_no, std::string_view event_kind) {
+  const json::Value* v = obj.find(key);
+  if (v == nullptr || !v->is_number()) {
+    fail(line_no, std::string(event_kind) + " event missing numeric \"" +
+                      std::string(key) + '"');
+  }
+  return static_cast<std::int64_t>(v->number);
+}
+
+/// Stringifies a span "args" member the way the dashboard and Chrome
+/// export want to display it (integers without a trailing ".0").
+std::string stringify_arg(const json::Value& v) {
+  switch (v.kind) {
+    case json::Value::Kind::kString:
+      return v.string;
+    case json::Value::Kind::kBool:
+      return v.boolean ? "true" : "false";
+    case json::Value::Kind::kNumber: {
+      if (v.number == std::floor(v.number) &&
+          std::abs(v.number) < 9.0e15) {
+        return std::to_string(static_cast<std::int64_t>(v.number));
+      }
+      std::ostringstream os;
+      os << v.number;
+      return os.str();
+    }
+    default:
+      return "<non-scalar>";
+  }
+}
+
+/// Parses one {"ev":"span",...} line.  Events carrying an "id" use the
+/// span-tree format and are validated strictly; events without one are
+/// the legacy flat format (name/t_us/dur_us only) and parse leniently so
+/// pre-span-tree traces stay readable.
+SpanEvent parse_span_event(const json::Value& obj, std::size_t line_no) {
+  SpanEvent span;
+  const json::Value* name = obj.find("name");
+  if (name == nullptr || !name->is_string()) {
+    fail(line_no, "span event missing string \"name\"");
+  }
+  span.name = name->string;
+  span.t_us = int_field(obj, "t_us", line_no, "span");
+  span.dur_us = int_field(obj, "dur_us", line_no, "span");
+  if (span.dur_us < 0) fail(line_no, "span event has negative \"dur_us\"");
+  if (obj.find("id") == nullptr) return span;  // legacy flat span
+  span.id = uint_field(obj, "id", line_no, "span");
+  if (span.id == 0) fail(line_no, "span event has id 0 (reserved)");
+  span.parent = uint_field(obj, "parent", line_no, "span");
+  span.tid = uint_field(obj, "tid", line_no, "span");
+  if (const json::Value* args = obj.find("args")) {
+    if (!args->is_object()) fail(line_no, "span \"args\" is not an object");
+    for (const auto& [key, value] : args->object) {
+      span.args.emplace_back(key, stringify_arg(value));
+    }
+  }
+  return span;
 }
 
 }  // namespace
@@ -66,9 +129,14 @@ ChannelTrace parse_channel_trace(std::string_view text) {
     if (ev == nullptr || !ev->is_string()) {
       fail(line_no, "event missing string \"ev\"");
     }
+    if (ev->string == "span") {
+      trace.spans.push_back(parse_span_event(obj, line_no));
+      ++trace.span_events;
+      continue;
+    }
     if (ev->string != "send") {
-      // Spans and future event kinds are valid JSONL but not channel
-      // traffic; count and move on.
+      // Future event kinds are valid JSONL but not modeled; count and
+      // move on.
       ++trace.other_events;
       continue;
     }
@@ -85,6 +153,14 @@ ChannelTrace parse_channel_trace(std::string_view text) {
     send.bits = uint_field(obj, "bits", line_no);
     send.round = uint_field(obj, "round", line_no);
     send.msg = uint_field(obj, "msg", line_no);
+    // "span"/"tid" joined the send format with the span-tree work; old
+    // traces simply lack them.
+    if (obj.find("span") != nullptr) {
+      send.span = uint_field(obj, "span", line_no);
+    }
+    if (obj.find("tid") != nullptr) {
+      send.tid = uint_field(obj, "tid", line_no);
+    }
     const json::Value* t = obj.find("t_us");
     if (t == nullptr || !t->is_number()) {
       fail(line_no, "send event missing numeric \"t_us\"");
@@ -217,6 +293,243 @@ std::vector<std::string> check_trace_against_report(
   }
   check_round("comm.bits.round_overflow", overflow);
   return mismatches;
+}
+
+SpanForest build_span_forest(const std::vector<SpanEvent>& spans) {
+  SpanForest forest;
+  for (const SpanEvent& span : spans) {
+    if (span.id == 0) {
+      ++forest.legacy_spans;
+      continue;
+    }
+    forest.spans.push_back(span);
+  }
+  // Start-time order with id as the tie-break: ids are handed out at
+  // construction, so a parent always sorts before its children even when
+  // the clock cannot separate them.
+  std::sort(forest.spans.begin(), forest.spans.end(),
+            [](const SpanEvent& a, const SpanEvent& b) {
+              return a.t_us != b.t_us ? a.t_us < b.t_us : a.id < b.id;
+            });
+
+  std::map<std::uint64_t, std::size_t> node_of_id;  // span id -> node index
+  std::map<std::uint64_t, std::size_t> thread_of_tid;
+  const auto thread_index = [&](std::uint64_t tid) {
+    const auto [it, fresh] =
+        thread_of_tid.try_emplace(tid, forest.threads.size());
+    if (fresh) {
+      forest.threads.emplace_back();
+      forest.threads.back().tid = tid;
+    }
+    return it->second;
+  };
+
+  for (std::size_t i = 0; i < forest.spans.size(); ++i) {
+    const SpanEvent& span = forest.spans[i];
+    SpanNode node;
+    node.span = i;
+    node.self_us = span.dur_us;
+
+    const auto [it, fresh] = node_of_id.try_emplace(span.id, forest.nodes.size());
+    if (!fresh) {
+      forest.problems.push_back("span id " + std::to_string(span.id) + " (\"" +
+                                span.name + "\") appears more than once");
+      continue;
+    }
+
+    std::size_t parent_node = forest.nodes.size();  // sentinel: no parent
+    if (span.parent != 0) {
+      const auto parent_it = node_of_id.find(span.parent);
+      if (parent_it == node_of_id.end()) {
+        forest.problems.push_back(
+            "span " + std::to_string(span.id) + " (\"" + span.name +
+            "\") references missing parent " + std::to_string(span.parent) +
+            "; reattached as a root");
+      } else {
+        const SpanNode& parent = forest.nodes[parent_it->second];
+        const SpanEvent& parent_span = forest.spans[parent.span];
+        if (parent_span.tid != span.tid) {
+          forest.problems.push_back(
+              "span " + std::to_string(span.id) + " (\"" + span.name +
+              "\") on thread " + std::to_string(span.tid) +
+              " claims parent " + std::to_string(span.parent) +
+              " on thread " + std::to_string(parent_span.tid) +
+              "; reattached as a root");
+        } else {
+          parent_node = parent_it->second;
+          if (span.t_us < parent_span.t_us ||
+              span.end_us() > parent_span.end_us()) {
+            forest.problems.push_back(
+                "unbalanced span " + std::to_string(span.id) + " (\"" +
+                span.name + "\"): [" + std::to_string(span.t_us) + ", " +
+                std::to_string(span.end_us()) +
+                "] leaks outside its parent's [" +
+                std::to_string(parent_span.t_us) + ", " +
+                std::to_string(parent_span.end_us()) + "]");
+          }
+        }
+      }
+    }
+
+    if (parent_node < forest.nodes.size()) {
+      SpanNode& parent = forest.nodes[parent_node];
+      node.depth = parent.depth + 1;
+      parent.children.push_back(forest.nodes.size());
+      parent.self_us -= span.dur_us;
+    } else {
+      ThreadSpans& thread = forest.threads[thread_index(span.tid)];
+      if (thread.roots.empty()) {
+        thread.first_us = span.t_us;
+        thread.last_us = span.end_us();
+      } else {
+        thread.first_us = std::min(thread.first_us, span.t_us);
+        thread.last_us = std::max(thread.last_us, span.end_us());
+      }
+      thread.roots.push_back(forest.nodes.size());
+    }
+    forest.nodes.push_back(std::move(node));
+  }
+
+  // Same-parent siblings (and same-thread roots) must not overlap: the
+  // writer's spans are scoped, so overlap means interleaved lifetimes
+  // (e.g. spans moved across scopes by hand).
+  const auto check_siblings = [&](const std::vector<std::size_t>& siblings) {
+    for (std::size_t i = 1; i < siblings.size(); ++i) {
+      const SpanEvent& prev = forest.spans[forest.nodes[siblings[i - 1]].span];
+      const SpanEvent& next = forest.spans[forest.nodes[siblings[i]].span];
+      if (prev.end_us() > next.t_us) {
+        forest.problems.push_back(
+            "interleaved spans " + std::to_string(prev.id) + " (\"" +
+            prev.name + "\", ends " + std::to_string(prev.end_us()) +
+            ") and " + std::to_string(next.id) + " (\"" + next.name +
+            "\", starts " + std::to_string(next.t_us) + ")");
+      }
+    }
+  };
+  for (const SpanNode& node : forest.nodes) check_siblings(node.children);
+  for (const ThreadSpans& thread : forest.threads) {
+    check_siblings(thread.roots);
+  }
+
+  std::sort(forest.threads.begin(), forest.threads.end(),
+            [](const ThreadSpans& a, const ThreadSpans& b) {
+              return a.tid < b.tid;
+            });
+  return forest;
+}
+
+std::string render_chrome_trace(const ChannelTrace& trace) {
+  std::ostringstream os;
+  json::Writer w(os);
+  w.begin_object();
+  w.key("schema").value(kChromeTraceSchema);
+  w.key("displayTimeUnit").value("ms");
+  w.key("traceEvents").begin_array();
+
+  // Track naming: pid 1 carries the span trees (one track per writer
+  // thread), pid 2 the channel traffic (one track per agent).
+  constexpr std::int64_t kSpanPid = 1;
+  constexpr std::int64_t kChannelPid = 2;
+  const auto metadata = [&](std::int64_t pid, std::int64_t tid,
+                            std::string_view what, std::string_view name) {
+    w.begin_object();
+    w.key("ph").value("M");
+    w.key("pid").value(pid);
+    w.key("tid").value(tid);
+    w.key("name").value(what);
+    w.key("args").begin_object().key("name").value(name).end_object();
+    w.end_object();
+  };
+  // Name only the tracks that will carry events, so an empty trace
+  // renders an empty (but valid) traceEvents array.
+  if (!trace.spans.empty()) {
+    metadata(kSpanPid, 0, "process_name", "ccmx spans");
+  }
+  if (trace.send_events > 0) {
+    metadata(kChannelPid, 0, "process_name", "ccmx channel");
+    metadata(kChannelPid, 0, "thread_name", "agent0");
+    metadata(kChannelPid, 1, "thread_name", "agent1");
+  }
+  std::vector<std::uint64_t> tids;
+  for (const SpanEvent& span : trace.spans) tids.push_back(span.tid);
+  std::sort(tids.begin(), tids.end());
+  tids.erase(std::unique(tids.begin(), tids.end()), tids.end());
+  for (const std::uint64_t tid : tids) {
+    metadata(kSpanPid, static_cast<std::int64_t>(tid), "thread_name",
+             tid == 0 ? std::string("legacy spans")
+                      : "thread " + std::to_string(tid));
+  }
+
+  for (const SpanEvent& span : trace.spans) {
+    w.begin_object();
+    w.key("ph").value("X");
+    w.key("pid").value(kSpanPid);
+    w.key("tid").value(span.tid);
+    w.key("name").value(span.name);
+    w.key("cat").value("span");
+    w.key("ts").value(span.t_us);
+    w.key("dur").value(span.dur_us);
+    w.key("args").begin_object();
+    w.key("span_id").value(span.id);
+    w.key("parent").value(span.parent);
+    for (const auto& [key, value] : span.args) {
+      w.key(key).value(value);
+    }
+    w.end_object();
+    w.end_object();
+  }
+
+  // Each send becomes a 1us slice on the sender's track, a matching
+  // slice on the receiver's, and a flow arrow binding the two — the
+  // Perfetto rendering of "this message crossed the channel".
+  std::uint64_t flow_id = 0;
+  for (const ChannelStats& ch : trace.channels) {
+    for (const SendEvent& send : ch.sends) {
+      ++flow_id;
+      const std::string label = "ch" + std::to_string(send.channel) + " r" +
+                                std::to_string(send.round) + " " +
+                                std::to_string(send.bits) + "b";
+      const auto slice = [&](std::int64_t tid, std::string_view name) {
+        w.begin_object();
+        w.key("ph").value("X");
+        w.key("pid").value(kChannelPid);
+        w.key("tid").value(tid);
+        w.key("name").value(name);
+        w.key("cat").value("send");
+        w.key("ts").value(send.t_us);
+        w.key("dur").value(std::int64_t{1});
+        w.key("args").begin_object();
+        w.key("bits").value(send.bits);
+        w.key("channel").value(send.channel);
+        w.key("round").value(send.round);
+        w.key("msg").value(send.msg);
+        if (send.span != 0) w.key("span_id").value(send.span);
+        w.end_object();
+        w.end_object();
+      };
+      slice(send.from, label);
+      slice(1 - static_cast<std::int64_t>(send.from), "recv " + label);
+      const auto flow = [&](std::string_view ph, std::int64_t tid) {
+        w.begin_object();
+        w.key("ph").value(ph);
+        w.key("pid").value(kChannelPid);
+        w.key("tid").value(tid);
+        w.key("name").value("msg");
+        w.key("cat").value("send");
+        w.key("id").value(flow_id);
+        w.key("ts").value(send.t_us);
+        if (ph == "f") w.key("bp").value("e");
+        w.end_object();
+      };
+      flow("s", send.from);
+      flow("f", 1 - static_cast<std::int64_t>(send.from));
+    }
+  }
+
+  w.end_array();
+  w.end_object();
+  os << '\n';
+  return os.str();
 }
 
 PowerLawFit fit_power_law(const std::vector<std::pair<double, double>>& xy) {

@@ -37,7 +37,25 @@ struct SendEvent {
   std::uint64_t bits = 0;     // payload size of this message
   std::uint64_t round = 0;    // 1-based round number recorded by the writer
   std::uint64_t msg = 0;      // 1-based message number within the channel
+  std::uint64_t span = 0;     // enclosing span id; 0 = none / legacy trace
+  std::uint64_t tid = 0;      // writer thread id; 0 for legacy traces
   std::int64_t t_us = 0;
+};
+
+/// One {"ev":"span",...} line.  id == 0 marks the legacy (pre-span-tree)
+/// format, which carried only name/t_us/dur_us: such spans are kept for
+/// totals but excluded from tree reconstruction.
+struct SpanEvent {
+  std::uint64_t id = 0;
+  std::uint64_t parent = 0;  // 0 = root
+  std::uint64_t tid = 0;
+  std::string name;
+  std::int64_t t_us = 0;    // start time (emission happens at scope exit)
+  std::int64_t dur_us = 0;
+  /// "args" members, stringified (numbers rendered shortest-round-trip).
+  std::vector<std::pair<std::string, std::string>> args;
+
+  [[nodiscard]] std::int64_t end_us() const noexcept { return t_us + dur_us; }
 };
 
 /// One reconstructed round: consecutive sends by the same speaker.
@@ -69,8 +87,10 @@ struct ChannelStats {
 struct ChannelTrace {
   std::vector<ChannelStats> channels;  // ordered by first appearance
   AgentStats agents[2];                // summed over all channels
+  std::vector<SpanEvent> spans;        // in file (= scope-exit) order
   std::uint64_t send_events = 0;
-  std::uint64_t other_events = 0;  // spans etc.; parsed but not modeled
+  std::uint64_t span_events = 0;
+  std::uint64_t other_events = 0;  // neither send nor span; not modeled
 
   [[nodiscard]] std::uint64_t total_bits() const noexcept {
     return agents[0].bits + agents[1].bits;
@@ -114,5 +134,57 @@ struct PowerLawFit {
 /// (util::contract_error), as is a sample with fewer than two distinct x.
 [[nodiscard]] PowerLawFit fit_power_law(
     const std::vector<std::pair<double, double>>& xy);
+
+// ----------------------------------------------------------- span trees
+
+/// One node of the reconstructed span tree.  Indices refer to
+/// SpanForest::spans (the event) and SpanForest::nodes (the children).
+struct SpanNode {
+  std::size_t span = 0;               // index into SpanForest::spans
+  std::vector<std::size_t> children;  // node indices, ordered by t_us
+  std::size_t depth = 0;              // 0 at the root
+  std::int64_t self_us = 0;           // dur_us minus the children's dur_us
+};
+
+/// All spans of one thread, tree-shaped.
+struct ThreadSpans {
+  std::uint64_t tid = 0;
+  std::vector<std::size_t> roots;  // node indices, ordered by t_us
+  std::int64_t first_us = 0;       // earliest start across the roots
+  std::int64_t last_us = 0;        // latest end across the roots
+};
+
+/// Per-thread span trees rebuilt from the flat event stream, with
+/// self-time attribution and structural diagnostics.
+struct SpanForest {
+  std::vector<SpanEvent> spans;      // tree-participating spans, by t_us
+  std::vector<SpanNode> nodes;       // one per entry of `spans`
+  std::vector<ThreadSpans> threads;  // ordered by tid
+  std::size_t legacy_spans = 0;      // id == 0 events, kept out of the tree
+  /// Structural anomalies: duplicate ids, a parent that is missing or on
+  /// another thread, a child interval leaking outside its parent
+  /// ("unbalanced"), same-parent siblings overlapping in time
+  /// ("interleaved").  Empty = clean.
+  std::vector<std::string> problems;
+};
+
+/// Rebuilds the per-thread span trees from span events.  Malformed
+/// *structure* lands in SpanForest::problems (the offending span is
+/// reattached as a root so the forest is still renderable); this never
+/// throws — parse-level strictness already happened in
+/// parse_channel_trace.
+[[nodiscard]] SpanForest build_span_forest(
+    const std::vector<SpanEvent>& spans);
+
+// -------------------------------------------------- Chrome trace export
+
+/// Converts a parsed ccmx trace to Chrome trace-event JSON (the Perfetto
+/// / chrome://tracing "JSON object format"): spans become complete ("X")
+/// events on their thread's track, channel sends become paired slices on
+/// per-agent tracks with flow arrows ("s"/"f") from sender to receiver,
+/// and metadata events name every track.  The document carries
+/// "schema": "ccmx.chrome_trace/1" next to "traceEvents" (the format
+/// ignores unknown top-level keys).
+[[nodiscard]] std::string render_chrome_trace(const ChannelTrace& trace);
 
 }  // namespace ccmx::obs

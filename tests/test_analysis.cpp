@@ -303,6 +303,36 @@ std::string trajectory_row(const std::string& name, std::int64_t unix_time,
   return out.str();
 }
 
+TEST(TrajectorySeries, ExtractsSortedPerBenchmarkSeries) {
+  TempDir dir("series");
+  const fs::path traj = dir.path() / "trajectory.jsonl";
+  // Rows intentionally out of time order, plus one foreign-schema line.
+  std::ostringstream rows;
+  rows << trajectory_row("alpha", 2000, 12.0, 5.0)
+       << "{\"schema\":\"ccmx.run_report/1\",\"name\":\"noise\"}\n"
+       << trajectory_row("alpha", 1000, 11.0, 5.0);
+  write_file(traj, rows.str());
+
+  const TrajectorySeriesResult result =
+      load_trajectory_series(traj.string());
+  EXPECT_EQ(result.rows, 2u);
+  EXPECT_EQ(result.skipped, 1u);
+  ASSERT_EQ(result.series.size(), 2u);  // sorted by (report, benchmark)
+  EXPECT_EQ(result.series[0].benchmark, "BM_Fast/1");
+  EXPECT_EQ(result.series[1].benchmark, "BM_Flat/1");
+  ASSERT_EQ(result.series[0].points.size(), 2u);
+  // Points come back time-sorted regardless of file order.
+  EXPECT_EQ(result.series[0].points[0].first, 1000.0);
+  EXPECT_EQ(result.series[0].points[0].second, 11.0);
+  EXPECT_EQ(result.series[0].points[1].second, 12.0);
+
+  // A missing file is empty, not fatal (same contract as trend).
+  const TrajectorySeriesResult missing =
+      load_trajectory_series((dir.path() / "absent.jsonl").string());
+  EXPECT_TRUE(missing.series.empty());
+  EXPECT_EQ(missing.rows, 0u);
+}
+
 TEST(Trend, FitsLinearDriftAndFlatSeries) {
   TempDir dir("trend");
   const fs::path traj = dir.path() / "trajectory.jsonl";

@@ -1,0 +1,242 @@
+// Dashboard renderer: the output must be ONE self-contained HTML file —
+// balanced tags, zero external references — whose embedded
+// ccmx.dashboard_data/1 island round-trips the run reports through the
+// strict JSON parser byte-exactly.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "obs/analysis.hpp"
+#include "obs/html_render.hpp"
+#include "obs/json.hpp"
+#include "obs/report.hpp"
+#include "obs/trace_reader.hpp"
+#include "util/require.hpp"
+
+namespace {
+
+using namespace ccmx;
+
+/// A minimal but schema-valid LoadResult built in memory (no files).
+obs::LoadResult make_reports() {
+  obs::RunReport report;
+  report.name = "exact_cc";
+  report.argv = {"bench_exact_cc"};
+  report.wall_seconds = 1.5;
+  report.cpu_seconds = 1.4;
+  obs::BenchmarkRun run;
+  run.name = "BM_ExactCcEquality/2";
+  run.iterations = 100;
+  run.real_time = 12.0;
+  run.cpu_time = 11.5;
+  run.time_unit = "us";
+  report.benchmarks.push_back(run);
+
+  obs::LoadResult out;
+  obs::LoadedReport loaded;
+  loaded.path = "BENCH_exact_cc.json";
+  loaded.name = report.name;
+  loaded.doc = obs::json::parse(obs::render_run_report(report));
+  if (const obs::json::Value* sha = loaded.doc.find("git_sha")) {
+    loaded.git_sha = sha->string;
+  }
+  loaded.wall_seconds = report.wall_seconds;
+  loaded.cpu_seconds = report.cpu_seconds;
+  out.reports.push_back(std::move(loaded));
+  return out;
+}
+
+/// Walks the document and asserts every <tag> has a matching </tag>.
+/// Void elements (<meta ...>) and self-closed tags (<rect .../>) are
+/// exempt.  Returns the number of elements seen.
+std::size_t check_balanced(const std::string& html) {
+  std::vector<std::string> stack;
+  std::size_t elements = 0;
+  std::size_t at = 0;
+  while ((at = html.find('<', at)) != std::string::npos) {
+    const std::size_t end = html.find('>', at);
+    EXPECT_NE(end, std::string::npos) << "unterminated tag at " << at;
+    if (end == std::string::npos) break;
+    std::string tag = html.substr(at + 1, end - at - 1);
+    at = end + 1;
+    if (tag.rfind("!DOCTYPE", 0) == 0) continue;
+    if (!tag.empty() && tag.back() == '/') continue;  // self-closed
+    const bool closing = !tag.empty() && tag.front() == '/';
+    if (closing) tag.erase(0, 1);
+    const std::size_t space = tag.find_first_of(" \t\n");
+    if (space != std::string::npos) tag.resize(space);
+    if (tag == "meta" || tag == "br" || tag == "hr") continue;
+    if (closing) {
+      if (stack.empty() || stack.back() != tag) {
+        ADD_FAILURE() << "</" << tag << "> closes <"
+                      << (stack.empty() ? "nothing" : stack.back()) << ">";
+        return elements;
+      }
+      stack.pop_back();
+    } else {
+      stack.push_back(tag);
+      ++elements;
+      // Raw-text elements: skip to the closer so CSS/JSON content (which
+      // may contain '<') is not tokenized as markup.
+      if (tag == "style" || tag == "script") {
+        const std::string closer = "</" + tag + ">";
+        at = html.find(closer, at);
+        EXPECT_NE(at, std::string::npos) << "unclosed <" << tag << ">";
+        if (at == std::string::npos) return elements;
+        at += closer.size();
+        stack.pop_back();
+      }
+    }
+  }
+  EXPECT_TRUE(stack.empty())
+      << "unclosed <" << (stack.empty() ? "" : stack.back()) << ">";
+  return elements;
+}
+
+/// Extracts the JSON payload of the ccmx-dashboard-data island.
+std::string island_of(const std::string& html) {
+  const std::string open = "<script id=\"ccmx-dashboard-data\"";
+  std::size_t at = html.find(open);
+  EXPECT_NE(at, std::string::npos);
+  at = html.find('>', at);
+  const std::size_t end = html.find("</script>", at);
+  EXPECT_NE(end, std::string::npos);
+  return html.substr(at + 1, end - at - 1);
+}
+
+TEST(HtmlRender, MinimalDashboardIsBalancedAndSelfContained) {
+  const obs::LoadResult reports = make_reports();
+  obs::DashboardData data;
+  data.title = "test dashboard";
+  data.provenance = "unit test";
+  data.reports = &reports;
+  const std::string html = obs::render_dashboard_html(data);
+
+  EXPECT_EQ(html.rfind("<!DOCTYPE html>", 0), 0u);
+  EXPECT_GT(check_balanced(html), 20u);
+  // Zero external references of any kind.
+  for (const char* banned : {"http://", "https://", "src=", "href=",
+                             "@import", "url("}) {
+    EXPECT_EQ(html.find(banned), std::string::npos) << banned;
+  }
+  // Absent optional sections render as notes, not as missing markup.
+  EXPECT_NE(html.find("No trajectory provided"), std::string::npos);
+  EXPECT_NE(html.find("No bench diff provided"), std::string::npos);
+  EXPECT_NE(html.find("No channel trace provided"), std::string::npos);
+}
+
+TEST(HtmlRender, DataIslandRoundTripsThroughStrictParser) {
+  const obs::LoadResult reports = make_reports();
+  obs::DashboardData data;
+  data.reports = &reports;
+  const std::string html = obs::render_dashboard_html(data);
+
+  const obs::json::Value island = obs::json::parse(island_of(html));
+  ASSERT_NE(island.find("schema"), nullptr);
+  EXPECT_EQ(island.find("schema")->string, "ccmx.dashboard_data/1");
+  const obs::json::Value* docs = island.find("reports");
+  ASSERT_NE(docs, nullptr);
+  ASSERT_EQ(docs->array.size(), 1u);
+  // The embedded document IS the run report: same schema, same report
+  // name, same benchmark rows — and re-rendering it reproduces the
+  // original byte-for-byte (render is deterministic and order-keeping).
+  const obs::json::Value& doc = docs->array[0];
+  EXPECT_EQ(doc.find("schema")->string, std::string(obs::kRunReportSchema));
+  EXPECT_EQ(doc.find("name")->string, "exact_cc");
+  EXPECT_EQ(obs::json::render(doc),
+            obs::json::render(reports.reports[0].doc));
+}
+
+TEST(HtmlRender, EscapesScriptTerminatorsInsideTheIsland) {
+  obs::RunReport report;
+  report.name = "sneaky";
+  report.argv = {"</script><b>pwned</b>"};
+  obs::LoadResult reports;
+  obs::LoadedReport loaded;
+  loaded.name = report.name;
+  loaded.doc = obs::json::parse(obs::render_run_report(report));
+  reports.reports.push_back(std::move(loaded));
+
+  obs::DashboardData data;
+  data.reports = &reports;
+  const std::string html = obs::render_dashboard_html(data);
+  // Exactly one </script> may appear inside the island's span — its own
+  // closer; the payload's copy must be escaped to <\/.
+  const std::string payload = island_of(html);
+  EXPECT_EQ(payload.find("</script>"), std::string::npos);
+  EXPECT_NE(payload.find("<\\/script>"), std::string::npos);
+  // And the escape is invisible to JSON: the argv round-trips unchanged.
+  const obs::json::Value island = obs::json::parse(payload);
+  const obs::json::Value& doc = island.find("reports")->array[0];
+  EXPECT_EQ(doc.find("argv")->array[0].string, "</script><b>pwned</b>");
+}
+
+TEST(HtmlRender, RendersAllSectionsWhenEverythingIsProvided) {
+  const obs::LoadResult reports = make_reports();
+
+  obs::TrajectorySeriesResult series;
+  series.rows = 3;
+  obs::TrajectorySeries one;
+  one.report = "exact_cc";
+  one.benchmark = "BM_ExactCcEquality/2";
+  one.points = {{1000.0, 11.0}, {2000.0, 11.5}, {3000.0, 12.0}};
+  series.series.push_back(one);
+
+  obs::TrendResult trend;
+  obs::TrendFit fit;
+  fit.report = one.report;
+  fit.benchmark = one.benchmark;
+  fit.points = 3;
+  fit.rel_slope_per_day = 0.01;
+  fit.r2 = 0.99;
+  trend.fits.push_back(fit);
+
+  const obs::json::Value diff = obs::json::parse(
+      "{\"benchmarks\":[{\"report\":\"exact_cc\","
+      "\"benchmark\":\"BM_ExactCcEquality/2\",\"baseline_cpu\":11.0,"
+      "\"candidate_cpu\":14.0,\"ratio\":1.27,"
+      "\"verdict\":\"regression\"}],"
+      "\"baseline_dir\":\"a\",\"candidate_dir\":\"b\"}");
+
+  const obs::ChannelTrace trace = obs::parse_channel_trace(
+      "{\"ev\":\"span\",\"id\":2,\"parent\":1,\"tid\":1,"
+      "\"name\":\"comm.execute\",\"t_us\":5,\"dur_us\":40}\n"
+      "{\"ev\":\"send\",\"ch\":1,\"from\":0,\"bits\":8,\"round\":1,"
+      "\"msg\":1,\"span\":2,\"tid\":1,\"t_us\":10}\n"
+      "{\"ev\":\"send\",\"ch\":1,\"from\":1,\"bits\":1,\"round\":2,"
+      "\"msg\":2,\"span\":2,\"tid\":1,\"t_us\":30}\n"
+      "{\"ev\":\"span\",\"id\":1,\"parent\":0,\"tid\":1,"
+      "\"name\":\"cli.singularity\",\"t_us\":0,\"dur_us\":60}\n");
+  const obs::SpanForest forest = obs::build_span_forest(trace.spans);
+
+  obs::DashboardData data;
+  data.reports = &reports;
+  data.series = &series;
+  data.trend = &trend;
+  data.diff = &diff;
+  data.trace = &trace;
+  data.forest = &forest;
+  const std::string html = obs::render_dashboard_html(data);
+
+  check_balanced(html);
+  // Every section rendered its content, not its fallback note.
+  EXPECT_EQ(html.find("No trajectory provided"), std::string::npos);
+  EXPECT_EQ(html.find("No bench diff provided"), std::string::npos);
+  EXPECT_EQ(html.find("No channel trace provided"), std::string::npos);
+  EXPECT_NE(html.find("<polyline"), std::string::npos);   // sparkline
+  EXPECT_NE(html.find("regression"), std::string::npos);  // verdict chip
+  EXPECT_NE(html.find("cli.singularity"), std::string::npos);  // flame
+  EXPECT_NE(html.find("bits on the wire"), std::string::npos);
+  // Identity never rides on color alone: the regression verdict carries
+  // its arrow marker, and the flame view ships a table twin.
+  EXPECT_NE(html.find("\xE2\x96\xB2 regression"), std::string::npos);
+  EXPECT_NE(html.find("Top spans by self time"), std::string::npos);
+}
+
+TEST(HtmlRender, RequiresReports) {
+  const obs::DashboardData data;
+  EXPECT_THROW((void)obs::render_dashboard_html(data), util::contract_error);
+}
+
+}  // namespace

@@ -164,6 +164,74 @@ TEST(TraceReader, ConservationFailsAgainstForeignReport) {
   EXPECT_FALSE(obs::check_trace_against_report(trace, doc).empty());
 }
 
+// Regression guard for the span timeline semantics: span events are
+// EMITTED at scope exit (innermost first), but their t_us field must be
+// the construction time — otherwise every tree rebuilt from a trace
+// would have children starting "after" their parents ended.
+TEST(TraceReader, SpanEventsRecordStartTimeNotEmissionTime) {
+  const TracingOn guard;
+  ASSERT_TRUE(obs::event_sink_open());
+  const std::size_t spans_before =
+      obs::read_channel_trace_file(g_trace_path).spans.size();
+
+  {
+    obs::ScopedSpan outer("t_us_outer");
+    outer.arg("layer", std::uint64_t{1});
+    {
+      const obs::ScopedSpan inner("t_us_inner");
+      (void)inner;
+    }
+  }
+  obs::flush_thread();
+
+  const obs::ChannelTrace trace = obs::read_channel_trace_file(g_trace_path);
+  ASSERT_GE(trace.spans.size(), spans_before + 2);
+  // File order is emission order: the inner span's line comes FIRST.
+  const obs::SpanEvent& inner = trace.spans[spans_before];
+  const obs::SpanEvent& outer = trace.spans[spans_before + 1];
+  ASSERT_EQ(inner.name, "t_us_inner");
+  ASSERT_EQ(outer.name, "t_us_outer");
+  // ... yet on the recorded timeline the outer span starts first and
+  // fully contains the inner one — t_us is the start, not the emit time.
+  EXPECT_LE(outer.t_us, inner.t_us);
+  EXPECT_GE(outer.end_us(), inner.end_us());
+  // Tree fields round-trip: parent linkage, same thread, args attached.
+  EXPECT_GT(inner.id, 0u);
+  EXPECT_EQ(inner.parent, outer.id);
+  EXPECT_EQ(inner.tid, outer.tid);
+  ASSERT_EQ(outer.args.size(), 1u);
+  EXPECT_EQ(outer.args[0].first, "layer");
+  EXPECT_EQ(outer.args[0].second, "1");
+}
+
+// Channel sends are stamped with the enclosing span and thread so the
+// Chrome export can draw flows from inside the right slice.
+TEST(TraceReader, SendsCarryEnclosingSpanAndThread) {
+  const TracingOn guard;
+  ASSERT_TRUE(obs::event_sink_open());
+  const std::size_t channels_before =
+      obs::read_channel_trace_file(g_trace_path).channels.size();
+
+  util::Xoshiro256 rng(31);
+  const comm::MatrixBitLayout layout(2, 2, 1);
+  const comm::Partition pi = comm::Partition::pi0(layout);
+  const comm::BitVec input = layout.encode(random_entries(2, 1, rng));
+  (void)comm::execute(proto::make_send_half_singularity(layout), input, pi);
+  obs::flush_thread();
+
+  const obs::ChannelTrace trace = obs::read_channel_trace_file(g_trace_path);
+  ASSERT_GT(trace.channels.size(), channels_before);
+  const obs::ChannelStats& ch = trace.channels.back();
+  ASSERT_FALSE(ch.sends.empty());
+  // comm::execute wraps the run in its own span, so every send of this
+  // channel names that span and this thread.
+  for (const obs::SendEvent& send : ch.sends) {
+    EXPECT_GT(send.span, 0u);
+    EXPECT_EQ(send.span, ch.sends.front().span);
+    EXPECT_EQ(send.tid, obs::thread_id());
+  }
+}
+
 #endif  // CCMX_OBS_DISABLED
 
 TEST(TraceReader, ParsesHandwrittenTrace) {
@@ -177,7 +245,13 @@ TEST(TraceReader, ParsesHandwrittenTrace) {
       "\"msg\":3,\"t_us\":12}\n";
   const obs::ChannelTrace trace = obs::parse_channel_trace(text);
   EXPECT_EQ(trace.send_events, 3u);
-  EXPECT_EQ(trace.other_events, 1u);
+  // The id-less span line is the legacy (pre-span-tree) format: parsed
+  // leniently, counted as a span, excluded from tree reconstruction.
+  EXPECT_EQ(trace.span_events, 1u);
+  EXPECT_EQ(trace.other_events, 0u);
+  ASSERT_EQ(trace.spans.size(), 1u);
+  EXPECT_EQ(trace.spans[0].id, 0u);
+  EXPECT_EQ(trace.spans[0].name, "x");
   ASSERT_EQ(trace.channels.size(), 1u);
   const obs::ChannelStats& ch = trace.channels[0];
   EXPECT_EQ(ch.id, 7u);
@@ -314,6 +388,196 @@ TEST(TraceReader, EmptyTraceIsValid) {
   const obs::ChannelTrace trace = obs::parse_channel_trace("");
   EXPECT_EQ(trace.send_events, 0u);
   EXPECT_TRUE(trace.channels.empty());
+}
+
+// ----------------------------------------------------------- span trees
+
+/// One {"ev":"span",...} line in the tree-aware format.
+std::string span_line(std::uint64_t id, std::uint64_t parent,
+                      std::uint64_t tid, const std::string& name,
+                      std::int64_t t_us, std::int64_t dur_us) {
+  return "{\"ev\":\"span\",\"id\":" + std::to_string(id) +
+         ",\"parent\":" + std::to_string(parent) +
+         ",\"tid\":" + std::to_string(tid) + ",\"name\":\"" + name +
+         "\",\"t_us\":" + std::to_string(t_us) +
+         ",\"dur_us\":" + std::to_string(dur_us) + "}\n";
+}
+
+TEST(SpanForest, RebuildsNestedAndSiblingSpans) {
+  // Emission order is scope-exit order: children's lines precede the
+  // root's.  The forest must still come out parent-first.
+  const std::string text = span_line(2, 1, 1, "child_a", 10, 20) +
+                           span_line(3, 1, 1, "child_b", 50, 30) +
+                           span_line(1, 0, 1, "root", 0, 100);
+  const obs::ChannelTrace trace = obs::parse_channel_trace(text);
+  ASSERT_EQ(trace.spans.size(), 3u);
+  const obs::SpanForest forest = obs::build_span_forest(trace.spans);
+  EXPECT_TRUE(forest.problems.empty())
+      << (forest.problems.empty() ? "" : forest.problems.front());
+  ASSERT_EQ(forest.nodes.size(), 3u);
+  ASSERT_EQ(forest.threads.size(), 1u);
+  const obs::ThreadSpans& thread = forest.threads[0];
+  EXPECT_EQ(thread.tid, 1u);
+  EXPECT_EQ(thread.first_us, 0);
+  EXPECT_EQ(thread.last_us, 100);
+  ASSERT_EQ(thread.roots.size(), 1u);
+  const obs::SpanNode& root = forest.nodes[thread.roots[0]];
+  EXPECT_EQ(forest.spans[root.span].name, "root");
+  EXPECT_EQ(root.depth, 0u);
+  // Self time: 100 minus the two children's 20 + 30.
+  EXPECT_EQ(root.self_us, 50);
+  ASSERT_EQ(root.children.size(), 2u);
+  const obs::SpanNode& a = forest.nodes[root.children[0]];
+  const obs::SpanNode& b = forest.nodes[root.children[1]];
+  EXPECT_EQ(forest.spans[a.span].name, "child_a");  // time order
+  EXPECT_EQ(forest.spans[b.span].name, "child_b");
+  EXPECT_EQ(a.depth, 1u);
+  EXPECT_EQ(a.self_us, 20);
+}
+
+TEST(SpanForest, SeparatesThreadsAndRejectsCrossThreadParents) {
+  const std::string text = span_line(1, 0, 2, "worker_root", 0, 40) +
+                           span_line(2, 0, 1, "main_root", 0, 8) +
+                           // Claims a parent living on thread 2.
+                           span_line(3, 1, 1, "confused", 10, 5);
+  const obs::SpanForest forest =
+      obs::build_span_forest(obs::parse_channel_trace(text).spans);
+  ASSERT_EQ(forest.threads.size(), 2u);  // ordered by tid
+  EXPECT_EQ(forest.threads[0].tid, 1u);
+  EXPECT_EQ(forest.threads[1].tid, 2u);
+  // The cross-thread child is flagged and reattached as a root of ITS
+  // thread, so the forest stays renderable.
+  ASSERT_EQ(forest.problems.size(), 1u);
+  EXPECT_NE(forest.problems[0].find("on thread"), std::string::npos);
+  EXPECT_EQ(forest.threads[0].roots.size(), 2u);
+  EXPECT_EQ(forest.threads[1].roots.size(), 1u);
+}
+
+TEST(SpanForest, FlagsUnbalancedAndInterleavedSpans) {
+  // child leaks 20us past its parent's end; the two roots overlap.
+  const std::string text = span_line(2, 1, 1, "leaky", 80, 40) +
+                           span_line(1, 0, 1, "short_parent", 0, 100) +
+                           span_line(3, 0, 1, "overlapping_root", 90, 50);
+  const obs::SpanForest forest =
+      obs::build_span_forest(obs::parse_channel_trace(text).spans);
+  ASSERT_EQ(forest.problems.size(), 2u);
+  EXPECT_NE(forest.problems[0].find("unbalanced"), std::string::npos);
+  EXPECT_NE(forest.problems[1].find("interleaved"), std::string::npos);
+  // The leaky child still hangs off its parent (structure is preserved;
+  // only the accounting is flagged).
+  ASSERT_EQ(forest.threads.size(), 1u);
+  EXPECT_EQ(forest.threads[0].roots.size(), 2u);
+}
+
+TEST(SpanForest, FlagsMissingParentsAndDuplicateIds) {
+  const std::string text = span_line(5, 99, 1, "orphan", 0, 10) +
+                           span_line(6, 0, 1, "twin", 20, 10) +
+                           span_line(6, 0, 1, "twin", 40, 10);
+  const obs::SpanForest forest =
+      obs::build_span_forest(obs::parse_channel_trace(text).spans);
+  ASSERT_EQ(forest.problems.size(), 2u);
+  EXPECT_NE(forest.problems[0].find("missing parent"), std::string::npos);
+  EXPECT_NE(forest.problems[1].find("more than once"), std::string::npos);
+  // Orphan is reattached as a root; the duplicate is dropped.
+  ASSERT_EQ(forest.threads.size(), 1u);
+  EXPECT_EQ(forest.threads[0].roots.size(), 2u);
+  EXPECT_EQ(forest.nodes.size(), 2u);
+}
+
+TEST(SpanForest, KeepsLegacySpansOutOfTheTree) {
+  const std::string text =
+      "{\"ev\":\"span\",\"name\":\"old\",\"t_us\":1,\"dur_us\":2}\n" +
+      span_line(1, 0, 1, "new", 0, 10);
+  const obs::SpanForest forest =
+      obs::build_span_forest(obs::parse_channel_trace(text).spans);
+  EXPECT_EQ(forest.legacy_spans, 1u);
+  EXPECT_EQ(forest.nodes.size(), 1u);
+  EXPECT_TRUE(forest.problems.empty());
+}
+
+TEST(SpanForest, RejectsIllTypedSpanLines) {
+  // Once "id" is present the strict schema applies: a span with an id
+  // but a missing name must throw, not half-parse.
+  EXPECT_THROW((void)obs::parse_channel_trace(
+                   "{\"ev\":\"span\",\"id\":1,\"parent\":0,\"tid\":1,"
+                   "\"t_us\":0,\"dur_us\":1}\n"),
+               util::contract_error);
+  EXPECT_THROW((void)obs::parse_channel_trace(
+                   "{\"ev\":\"span\",\"id\":1,\"parent\":0,\"tid\":1,"
+                   "\"name\":\"x\",\"t_us\":0,\"dur_us\":-5}\n"),
+               util::contract_error);
+  // args must be an object when present.
+  EXPECT_THROW((void)obs::parse_channel_trace(
+                   "{\"ev\":\"span\",\"id\":1,\"parent\":0,\"tid\":1,"
+                   "\"name\":\"x\",\"t_us\":0,\"dur_us\":1,\"args\":[]}\n"),
+               util::contract_error);
+}
+
+// -------------------------------------------------- Chrome trace export
+
+TEST(ChromeTrace, ExportsSpansAndFlowsAsValidJson) {
+  const std::string text =
+      span_line(2, 1, 1, "comm.execute", 5, 40) +
+      "{\"ev\":\"send\",\"ch\":1,\"from\":0,\"bits\":8,\"round\":1,"
+      "\"msg\":1,\"span\":2,\"tid\":1,\"t_us\":10}\n"
+      "{\"ev\":\"send\",\"ch\":1,\"from\":1,\"bits\":1,\"round\":2,"
+      "\"msg\":2,\"span\":2,\"tid\":1,\"t_us\":30}\n" +
+      span_line(1, 0, 1, "cli.run", 0, 60);
+  const obs::ChannelTrace trace = obs::parse_channel_trace(text);
+  const std::string rendered = obs::render_chrome_trace(trace);
+
+  // The export must itself be strict-parser-valid JSON.
+  const obs::json::Value doc = obs::json::parse(rendered);
+  const obs::json::Value* schema = doc.find("schema");
+  ASSERT_NE(schema, nullptr);
+  EXPECT_EQ(schema->string, "ccmx.chrome_trace/1");
+  const obs::json::Value* events = doc.find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  ASSERT_TRUE(events->is_array());
+
+  std::size_t complete = 0;
+  std::size_t metadata = 0;
+  std::size_t flow_out = 0;
+  std::size_t flow_in = 0;
+  for (const obs::json::Value& event : events->array) {
+    const obs::json::Value* ph = event.find("ph");
+    ASSERT_NE(ph, nullptr);
+    if (ph->string == "X") ++complete;
+    if (ph->string == "M") ++metadata;
+    if (ph->string == "s") ++flow_out;
+    if (ph->string == "f") ++flow_in;
+  }
+  // 2 span slices + 2 sends x 2 slices (send + recv) = 6 complete events;
+  // one flow arrow (s + f) per send.
+  EXPECT_EQ(complete, 6u);
+  EXPECT_EQ(flow_out, 2u);
+  EXPECT_EQ(flow_in, 2u);
+  EXPECT_GE(metadata, 4u);  // 2 process names + >= 2 thread names
+
+  // Span nesting survives: both spans land on the same pid/tid with the
+  // child's [ts, ts+dur] inside the parent's.
+  const obs::json::Value* parent = nullptr;
+  const obs::json::Value* child = nullptr;
+  for (const obs::json::Value& event : events->array) {
+    const obs::json::Value* name = event.find("name");
+    if (name == nullptr) continue;
+    if (name->string == "cli.run") parent = &event;
+    if (name->string == "comm.execute") child = &event;
+  }
+  ASSERT_NE(parent, nullptr);
+  ASSERT_NE(child, nullptr);
+  EXPECT_EQ(parent->find("tid")->number, child->find("tid")->number);
+  EXPECT_LE(parent->find("ts")->number, child->find("ts")->number);
+  EXPECT_GE(parent->find("ts")->number + parent->find("dur")->number,
+            child->find("ts")->number + child->find("dur")->number);
+}
+
+TEST(ChromeTrace, EmptyTraceStillRendersAValidDocument) {
+  const obs::ChannelTrace trace = obs::parse_channel_trace("");
+  const obs::json::Value doc =
+      obs::json::parse(obs::render_chrome_trace(trace));
+  ASSERT_NE(doc.find("traceEvents"), nullptr);
+  EXPECT_TRUE(doc.find("traceEvents")->array.empty());
 }
 
 TEST(PowerLawFit, RecoversAnExactLaw) {

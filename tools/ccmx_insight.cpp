@@ -16,17 +16,27 @@
 //   lint FILE
 //       Validate and summarize a ccmx_lint JSON report (exit 1 when it
 //       carries non-baselined findings).
-//   trace FILE [--report BENCH.json]
+//   trace FILE [--report BENCH.json] [--chrome OUT.json]
 //       Parse a JSONL channel trace, print per-channel / per-round /
-//       per-agent traffic, and (with --report) cross-check conservation
-//       against the report's comm.* counters.  Exit 1 on mismatch.
+//       per-agent traffic plus the reconstructed span trees, and (with
+//       --report) cross-check conservation against the report's comm.*
+//       counters.  --chrome converts the whole trace to Chrome
+//       trace-event JSON (ccmx.chrome_trace/1) for Perfetto /
+//       chrome://tracing.  Exit 1 on conservation mismatch.
+//   html --reports DIR [--trajectory FILE] [--diff DIFF.json]
+//       [--trace FILE] [--out FILE] [--title S]
+//       Render the observability artifacts into ONE self-contained HTML
+//       dashboard (inline SVG/CSS, no scripts, no network) with the
+//       run-report JSON embedded as a ccmx.dashboard_data/1 island.
 //   fit --law send-half|fingerprint [--seed N] [--max-dev F]
 //       Run instrumented protocol sweeps, read the measured bits back
 //       out of the JSONL trace they emitted, and fit the paper's laws:
 //       send-half bits vs k·n² (Theorem 1.1's upper bound, slope 1) and
 //       fingerprint bits vs n²·max{log n, log k} (the probabilistic
-//       bound).  Exit 1 when --max-dev is set (default 0.1 for
-//       send-half) and |slope - 1| exceeds it.
+//       bound), the latter fitted piecewise over the log n–dominant and
+//       log k–dominant regimes.  Exit 1 when |slope - 1| exceeds
+//       --max-dev (default 0.1 for send-half, 0.2 per fingerprint
+//       regime).
 //
 // See docs/OBSERVABILITY.md ("Analyzing reports") for the schemas.
 #include <algorithm>
@@ -50,6 +60,7 @@
 #include "linalg/convert.hpp"
 #include "lint/lint.hpp"
 #include "obs/analysis.hpp"
+#include "obs/html_render.hpp"
 #include "obs/obs.hpp"
 #include "obs/trace_reader.hpp"
 #include "protocols/fingerprint.hpp"
@@ -63,14 +74,16 @@ using namespace ccmx;
 
 int usage() {
   std::cerr <<
-      "usage: ccmx_insight <diff|trajectory|trend|trace|fit|lint> ...\n"
+      "usage: ccmx_insight <diff|trajectory|trend|trace|html|fit|lint> ...\n"
       "  diff --baseline DIR --candidate DIR [--json PATH] [--md PATH]\n"
       "       [--cpu-tol F=0.20] [--counter-tol F=0.25] [--rss-tol F=0.30]\n"
       "       [--min-iters N=3] [--allow-missing-baseline]\n"
       "  trajectory --reports DIR [--out FILE=bench/out/trajectory.jsonl]\n"
       "  trend [--trajectory FILE=bench/out/trajectory.jsonl]\n"
       "       [--min-points N=3] [--json PATH] [--md PATH]\n"
-      "  trace FILE [--report BENCH.json]\n"
+      "  trace FILE [--report BENCH.json] [--chrome OUT.json]\n"
+      "  html --reports DIR [--trajectory FILE] [--diff DIFF.json]\n"
+      "       [--trace FILE] [--out FILE=dashboard.html] [--title S]\n"
       "  fit --law send-half|fingerprint [--seed N=7] [--max-dev F]\n"
       "  lint FILE\n";
   return 2;
@@ -317,6 +330,7 @@ int cmd_lint(Args& args) {
 
 int cmd_trace(Args& args) {
   const auto report_path = args.option("--report");
+  const auto chrome_path = args.option("--chrome");
   const auto trace_path = args.positional();
   if (!trace_path) return usage();
 
@@ -330,7 +344,8 @@ int cmd_trace(Args& args) {
 
   std::cout << "trace: " << *trace_path << " — " << trace.send_events
             << " sends across " << trace.channels.size() << " channel(s), "
-            << trace.other_events << " other event(s)\n\n";
+            << trace.span_events << " span(s), " << trace.other_events
+            << " other event(s)\n\n";
   util::TextTable channels(
       {"channel", "rounds", "messages", "agent0 bits", "agent1 bits",
        "total bits"});
@@ -355,6 +370,51 @@ int cmd_trace(Args& args) {
       rounds.row(r.round, r.speaker, r.messages, r.bits);
     }
     rounds.print(std::cout);
+  }
+
+  if (!trace.spans.empty()) {
+    const obs::SpanForest forest = obs::build_span_forest(trace.spans);
+    std::cout << "\nspan trees (" << forest.nodes.size() << " span(s) on "
+              << forest.threads.size() << " thread(s)";
+    if (forest.legacy_spans > 0) {
+      std::cout << ", " << forest.legacy_spans << " legacy";
+    }
+    std::cout << "):\n";
+    for (const obs::ThreadSpans& thread : forest.threads) {
+      std::cout << "thread " << thread.tid << ":\n";
+      // Depth-first, children in time order — the tree as indentation.
+      std::vector<std::size_t> todo(thread.roots.rbegin(),
+                                    thread.roots.rend());
+      while (!todo.empty()) {
+        const std::size_t at = todo.back();
+        todo.pop_back();
+        const obs::SpanNode& node = forest.nodes[at];
+        const obs::SpanEvent& span = forest.spans[node.span];
+        std::cout << "  " << std::string(2 * node.depth, ' ') << span.name
+                  << "  " << span.dur_us << " us (self " << node.self_us
+                  << " us)";
+        for (const auto& [key, value] : span.args) {
+          std::cout << ' ' << key << '=' << value;
+        }
+        std::cout << '\n';
+        for (auto it = node.children.rbegin(); it != node.children.rend();
+             ++it) {
+          todo.push_back(*it);
+        }
+      }
+    }
+    for (const std::string& p : forest.problems) {
+      std::cout << "  warning: " << p << '\n';
+    }
+  }
+
+  if (chrome_path) {
+    if (!write_text_file(*chrome_path, obs::render_chrome_trace(trace))) {
+      std::cerr << "error: cannot write " << *chrome_path << '\n';
+      return 2;
+    }
+    std::cout << "\nchrome trace json: " << *chrome_path
+              << " (open in Perfetto or chrome://tracing)\n";
   }
 
   if (report_path) {
@@ -385,6 +445,92 @@ int cmd_trace(Args& args) {
       return 1;
     }
   }
+  return 0;
+}
+
+// ---------------------------------------------------------------- html
+
+int cmd_html(Args& args) {
+  const auto reports_dir = args.option("--reports");
+  if (!reports_dir) return usage();
+  const std::string out = args.option("--out").value_or("dashboard.html");
+
+  const obs::LoadResult reports = obs::load_report_dir(*reports_dir);
+  for (const std::string& p : reports.problems) {
+    std::cerr << "warning: " << p << '\n';
+  }
+
+  obs::DashboardData data;
+  data.reports = &reports;
+  data.title = args.option("--title").value_or("ccmx observability dashboard");
+  if (!reports.reports.empty()) {
+    const obs::LoadedReport& first = reports.reports.front();
+    data.provenance = "git " + first.git_sha.substr(0, 12) + ", " +
+                      first.build_type + " build, " +
+                      std::to_string(reports.reports.size()) +
+                      " run report(s) from " + *reports_dir;
+  } else {
+    data.provenance = "no run reports in " + *reports_dir;
+  }
+
+  // Optional sections — each loads independently; a missing artifact is
+  // a note on the page, not a failure.
+  obs::TrajectorySeriesResult series;
+  obs::TrendResult trend;
+  if (const auto trajectory = args.option("--trajectory")) {
+    series = obs::load_trajectory_series(*trajectory);
+    trend = obs::trend_from_trajectory(*trajectory);
+    data.series = &series;
+    data.trend = &trend;
+  }
+
+  obs::json::Value diff_doc;
+  if (const auto diff_path = args.option("--diff")) {
+    std::ifstream in(*diff_path, std::ios::binary);
+    if (!in.is_open()) {
+      std::cerr << "error: cannot open " << *diff_path << '\n';
+      return 2;
+    }
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    try {
+      diff_doc = obs::json::parse(buffer.str());
+    } catch (const std::exception& e) {
+      std::cerr << "error: " << *diff_path << ": " << e.what() << '\n';
+      return 2;
+    }
+    const std::vector<std::string> problems =
+        obs::validate_bench_diff(diff_doc);
+    if (!problems.empty()) {
+      std::cerr << "error: " << *diff_path
+                << " is not a valid bench diff\n";
+      for (const std::string& p : problems) std::cerr << "  " << p << '\n';
+      return 2;
+    }
+    data.diff = &diff_doc;
+  }
+
+  obs::ChannelTrace trace;
+  obs::SpanForest forest;
+  if (const auto trace_path = args.option("--trace")) {
+    try {
+      trace = obs::read_channel_trace_file(*trace_path);
+    } catch (const std::exception& e) {
+      std::cerr << "error: " << e.what() << '\n';
+      return 2;
+    }
+    forest = obs::build_span_forest(trace.spans);
+    data.trace = &trace;
+    data.forest = &forest;
+  }
+
+  const std::string html = obs::render_dashboard_html(data);
+  if (!write_text_file(out, html)) {
+    std::cerr << "error: cannot write " << out << '\n';
+    return 2;
+  }
+  std::cout << "dashboard: " << out << " (" << html.size()
+            << " bytes, self-contained)\n";
   return 0;
 }
 
@@ -500,12 +646,15 @@ int cmd_fit(Args& args) {
 
   if (law == "fingerprint") {
     const double max_dev = args.option("--max-dev")
-                               ? parse_double(*args.option("--max-dev"), 0.0)
-                               : 0.0;  // advisory by default; see E2
+                               ? parse_double(*args.option("--max-dev"), 0.2)
+                               : 0.2;  // gating by default; see E2/E11
     const std::string trace_path = arm_private_trace_file();
     // E2/E11's regime: fingerprint bits grow with n^2 * max{log n, log k}
-    // (the prime length tracks the max); measured, not exact.
-    std::vector<FitPoint> points;
+    // (the prime length tracks the max).  The max makes one global fit
+    // meaningless — which term dominates flips across the grid — so fit
+    // PIECEWISE: points with log n >= log k against n^2*log n, the rest
+    // against n^2*log k, each regime linear in its own predictor.
+    std::vector<FitPoint> all;
     for (const std::size_t n : {4u, 8u, 16u}) {
       for (const unsigned k : {2u, 8u, 32u}) {
         const comm::MatrixBitLayout layout(n, n, k);
@@ -518,16 +667,68 @@ int cmd_fit(Args& args) {
         FitPoint p;
         p.n = n;
         p.k = k;
-        const double logs = std::max(
-            std::log2(static_cast<double>(n)),
-            std::log2(static_cast<double>(k)));
-        p.x = static_cast<double>(n * n) * logs;
+        p.x = static_cast<double>(n * n) *
+              std::max(std::log2(static_cast<double>(n)),
+                       std::log2(static_cast<double>(k)));
         p.outcome_bits = outcome.bits;
-        points.push_back(p);
+        all.push_back(p);
       }
     }
-    return fit_report(law, points, trace_path, "n^2*max(log n, log k)",
-                      max_dev);
+    // One conservation pass over the whole sweep (the trace holds every
+    // run in order), then one fit per regime; the gate requires both.
+    std::vector<FitPoint> n_dominant;
+    std::vector<FitPoint> k_dominant;
+    for (const FitPoint& p : all) {
+      (std::log2(static_cast<double>(p.n)) >=
+               std::log2(static_cast<double>(p.k))
+           ? n_dominant
+           : k_dominant)
+          .push_back(p);
+    }
+    const obs::ChannelTrace trace = obs::read_channel_trace_file(trace_path);
+    if (trace.channels.size() != all.size()) {
+      std::cerr << "error: trace holds " << trace.channels.size()
+                << " channels for " << all.size() << " runs\n";
+      return 2;
+    }
+    for (std::size_t i = 0; i < all.size(); ++i) {
+      if (trace.channels[i].total_bits() != all[i].outcome_bits) {
+        std::cerr << "error: run " << i << " trace bits "
+                  << trace.channels[i].total_bits()
+                  << " != protocol outcome " << all[i].outcome_bits << '\n';
+        return 2;
+      }
+    }
+    int rc = 0;
+    const struct {
+      const char* label;
+      const std::vector<FitPoint>* points;
+    } regimes[] = {{"n^2*log n (log n dominant)", &n_dominant},
+                   {"n^2*log k (log k dominant)", &k_dominant}};
+    for (const auto& regime : regimes) {
+      util::TextTable table({"n", "k", regime.label, "bits"});
+      std::vector<std::pair<double, double>> xy;
+      for (const FitPoint& p : *regime.points) {
+        table.row(p.n, p.k, p.x, p.outcome_bits);
+        xy.emplace_back(p.x, static_cast<double>(p.outcome_bits));
+      }
+      std::cout << '\n';
+      table.print(std::cout);
+      const obs::PowerLawFit fit = obs::fit_power_law(xy);
+      const double dev = std::abs(fit.slope - 1.0);
+      std::cout << "log2(bits) vs log2(" << regime.label << "): slope "
+                << util::fmt_double(fit.slope, 4) << ", R^2 "
+                << util::fmt_double(fit.r2, 4) << " over " << fit.points
+                << " points; deviation from 1: "
+                << util::fmt_double(dev, 4) << '\n';
+      if (max_dev > 0.0 && dev > max_dev) {
+        std::cerr << "FAIL: " << regime.label
+                  << " slope deviates from 1 by more than "
+                  << util::fmt_double(max_dev, 3) << '\n';
+        rc = 1;
+      }
+    }
+    return rc;
   }
 
   std::cerr << "error: unknown law \"" << law
@@ -546,6 +747,7 @@ int main(int argc, char** argv) {
     if (cmd == "trajectory") return cmd_trajectory(args);
     if (cmd == "trend") return cmd_trend(args);
     if (cmd == "trace") return cmd_trace(args);
+    if (cmd == "html") return cmd_html(args);
     if (cmd == "fit") return cmd_fit(args);
     if (cmd == "lint") return cmd_lint(args);
   } catch (const std::exception& e) {
