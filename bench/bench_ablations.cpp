@@ -3,11 +3,15 @@
 //     |det| via Smith normal form — all must agree; costs differ sharply,
 //   * product kernels: naive vs blocked vs Strassen over BigInt,
 //   * mesh scheduling: sequential vs wavefront-pipelined (same traffic,
-//     Theta(n^2) -> Theta(n) cycles, AT^2 approaching the bound).
+//     Theta(n^2) -> Theta(n) cycles, AT^2 approaching the bound),
+//   * census engines: serial recompute vs pooled recompute vs pooled
+//     delta-evaluated sweeps (identical ones counts, very different cost).
 #include <cmath>
 
 #include "bench_common.hpp"
+#include "core/census.hpp"
 #include "linalg/det.hpp"
+#include "util/parallel.hpp"
 #include "linalg/det_crt.hpp"
 #include "linalg/hnf.hpp"
 #include "linalg/rref.hpp"
@@ -154,6 +158,41 @@ void BM_MultiplyStrassen(benchmark::State& state) {
 BENCHMARK(BM_MultiplyNaive)->Arg(16)->Arg(32)->Arg(64);
 BENCHMARK(BM_MultiplyBlocked)->Arg(16)->Arg(32)->Arg(64);
 BENCHMARK(BM_MultiplyStrassen)->Arg(16)->Arg(32)->Arg(64);
+
+// Census engine ablation: the exact (7, 2) sweep (3^15 digit assignments)
+// under the three engine configurations.  All produce identical counts
+// (tests/test_census.cpp pins that); the rows record the speedup from the
+// worker pool and from delta evaluation as run-report data.
+void census_engine_bench(benchmark::State& state, std::size_t degree,
+                         bool delta) {
+  const core::ConstructionParams p(7, 2);
+  util::Xoshiro256 rng(1);
+  const auto parts = core::FreeParts::random(p, rng);
+  core::CensusOptions options;
+  options.budget = std::uint64_t{1} << 24;
+  options.delta = delta;
+  util::set_parallelism(degree);
+  for (auto _ : state) {
+    util::Xoshiro256 inner(2);
+    benchmark::DoNotOptimize(
+        core::row_census(p, parts.c, options, inner).exact);
+  }
+  util::set_parallelism(0);
+}
+void BM_RowCensusSerial(benchmark::State& state) {
+  census_engine_bench(state, /*degree=*/1, /*delta=*/false);
+}
+void BM_RowCensusPool(benchmark::State& state) {
+  census_engine_bench(state, /*degree=*/0, /*delta=*/false);
+}
+void BM_RowCensusPoolDelta(benchmark::State& state) {
+  census_engine_bench(state, /*degree=*/0, /*delta=*/true);
+}
+BENCHMARK(BM_RowCensusSerial)->Unit(benchmark::kMillisecond)->Iterations(2);
+BENCHMARK(BM_RowCensusPool)->Unit(benchmark::kMillisecond)->Iterations(2);
+BENCHMARK(BM_RowCensusPoolDelta)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(2);
 
 }  // namespace
 

@@ -59,6 +59,17 @@ void BM_SpanCanonicalForm(benchmark::State& state) {
 }
 BENCHMARK(BM_SpanCanonicalForm)->Arg(7)->Arg(9)->Arg(11)->Arg(15);
 
+void BM_Lemma34Census(benchmark::State& state) {
+  // Exhaustive (7, 2) census: 3^9 canonical forms deduped by byte keys on
+  // the parallel enumeration engine.
+  const core::ConstructionParams p(7, 2);
+  for (auto _ : state) {
+    util::Xoshiro256 rng(3);
+    benchmark::DoNotOptimize(core::lemma34_census(p, 20000, rng).distinct);
+  }
+}
+BENCHMARK(BM_Lemma34Census)->Unit(benchmark::kMillisecond)->Iterations(2);
+
 }  // namespace
 
 CCMX_BENCH_MAIN(print_tables)

@@ -26,14 +26,14 @@ run() {
     --benchmark_min_time=0.05
 }
 
-run ablations          'BM_DetBareiss/4'
+run ablations          'BM_DetBareiss/4|BM_RowCensus'
 run corollary12        'BM_OracleDet'
 run corollary13        'BM_SolvabilityExact/4'
 run crossover          'BM_DeterministicBits/2'
 run exact_cc           'BM_ExactCcEquality/[12]'
 run identity_embedding 'BM_IdentityEmbeddingSearch/2'
-run lemma34            'BM_SpanCanonicalForm/7'
-run lemma35            'BM_Lemma35Completion/7'
+run lemma34            'BM_SpanCanonicalForm/7|BM_Lemma34Census'
+run lemma35            'BM_Lemma35Completion/7|BM_RowCensusExact'
 run linwu_rank         'BM_LinWuRank/3'
 run padding            'BM_PaddedDeterminant/4'
 run partitions         'BM_ProperTransform/7'

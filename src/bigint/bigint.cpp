@@ -562,4 +562,20 @@ std::size_t BigInt::hash() const noexcept {
   return h;
 }
 
+void BigInt::append_key_bytes(std::string& out) const {
+  // limbs_ is trimmed, so (sign, limb count, limb bytes) is canonical.  The
+  // count is part of the key so concatenated keys stay prefix-free.
+  const auto push_byte = [&out](std::uint64_t byte) {
+    out.push_back(std::bit_cast<char>(static_cast<unsigned char>(byte)));
+  };
+  push_byte(static_cast<unsigned char>(sign_ + 1));
+  const std::size_t count = limbs_.size();
+  for (unsigned shift = 0; shift < 32; shift += 8) push_byte(count >> shift);
+  for (const Limb limb : limbs_) {
+    for (unsigned shift = 0; shift < kLimbBits; shift += 8) {
+      push_byte(limb >> shift);
+    }
+  }
+}
+
 }  // namespace ccmx::num

@@ -110,6 +110,12 @@ class BigInt {
   /// FNV-style hash for use in unordered containers.
   [[nodiscard]] std::size_t hash() const noexcept;
 
+  /// Appends a canonical byte encoding (sign, limb count, little-endian limb
+  /// bytes) to out.  Two BigInts append equal bytes iff they are equal, so
+  /// concatenations of these keys dedup composite values without the
+  /// quadratic cost of to_string().
+  void append_key_bytes(std::string& out) const;
+
  private:
   using Limb = std::uint32_t;
   using Wide = std::uint64_t;

@@ -31,11 +31,29 @@ struct RowCensus {
   bool exact = true;
   double log_q_ones = 0.0;   // log_q of ones (for the lemma's exponents)
   double log_q_columns = 0.0;
+  std::uint64_t evaluations = 0;  // digit assignments evaluated
+};
+
+/// Engine knobs for row_census.  The defaults match the fast production
+/// configuration; `delta = false` keeps the recompute-from-scratch evaluator
+/// reachable for ablation benchmarks and cross-checks.
+struct CensusOptions {
+  std::uint64_t budget = 1;  // exact-enumeration cap on q^digits
+  std::size_t samples = 0;   // Monte Carlo draws above the budget
+  bool delta = true;         // incremental shift updates in the exact sweep
 };
 
 /// Counts the singular columns of the truth-matrix row indexed by C.
-/// `budget` caps the number of (E, D_1..D_{half-1}) combinations enumerated
-/// exactly; above it, `samples` stratified draws estimate the count.
+/// `options.budget` caps the number of (E, D_1..D_{half-1}) combinations
+/// enumerated exactly; above it, `options.samples` stratified draws estimate
+/// the count.  Runs on the parallel sweep engine; the result (including the
+/// evaluations counter) is identical for every parallel degree.
+[[nodiscard]] RowCensus row_census(const ConstructionParams& p,
+                                   const la::IntMatrix& c,
+                                   const CensusOptions& options,
+                                   util::Xoshiro256& rng);
+
+/// Convenience overload: (budget, samples) with delta updates on.
 [[nodiscard]] RowCensus row_census(const ConstructionParams& p,
                                    const la::IntMatrix& c,
                                    std::uint64_t budget,

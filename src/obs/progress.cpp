@@ -50,9 +50,14 @@ ProgressMeter::~ProgressMeter() { finish(); }
 void ProgressMeter::tick(std::uint64_t delta) noexcept {
   if (!active_) return;
   done_.fetch_add(delta, std::memory_order_relaxed);
-  // Consult the clock only every 1024 calls — ticks can be per-item in
-  // loops whose body is tens of nanoseconds.
-  if ((calls_.fetch_add(1, std::memory_order_relaxed) & 0x3FF) != 0) return;
+  // Per-item ticks (delta == 1) consult the clock only every 1024 calls —
+  // they can come from loops whose body is tens of nanoseconds.  Batched
+  // ticks are already rate-limited by their chunking, so they always check
+  // the clock (a few thousand chunk-sized calls must not starve redraws).
+  if (delta == 1 &&
+      (calls_.fetch_add(1, std::memory_order_relaxed) & 0x3FF) != 0) {
+    return;
+  }
   const std::int64_t now = now_us();
   std::int64_t next = next_draw_us_.load(std::memory_order_relaxed);
   if (now < next) return;

@@ -25,6 +25,10 @@ class ProgressMeter {
   ProgressMeter(const ProgressMeter&) = delete;
   ProgressMeter& operator=(const ProgressMeter&) = delete;
 
+  /// Thread-safe (relaxed atomics): concurrent sweep workers may tick the
+  /// same meter.  Batch ticks (delta = the chunk's item count) amortize the
+  /// call overhead and always consult the redraw clock; per-item ticks only
+  /// check it every 1024 calls.
   void tick(std::uint64_t delta = 1) noexcept;
 
   /// Draws the final state and terminates the line; idempotent.

@@ -4,6 +4,7 @@
 
 #include "bigint/negabase.hpp"
 #include "core/census.hpp"
+#include "util/parallel.hpp"
 #include "util/rng.hpp"
 
 namespace {
@@ -119,6 +120,96 @@ TEST(RowCensus, SampledModeTracksExact) {
                                        /*samples=*/20000, rng2);
   EXPECT_FALSE(sampled.exact);
   EXPECT_NEAR(sampled.log_q_ones, exact.log_q_ones, 0.5);
+}
+
+TEST(RowCensus, ExactIsIdenticalAcrossParallelDegrees) {
+  // The exact sweep folds per-worker integer accumulators, so ones and the
+  // evaluations counter must be bit-for-bit identical for every degree.
+  const ConstructionParams p(7, 2);
+  Xoshiro256 seed_rng(11);
+  const FreeParts parts = FreeParts::random(p, seed_rng);
+  const std::size_t degrees[] = {1, 2, 0};  // serial, forced 2, hardware
+  RowCensus results[3];
+  for (int i = 0; i < 3; ++i) {
+    ccmx::util::set_parallelism(degrees[i]);
+    Xoshiro256 rng(12);
+    results[i] = row_census(p, parts.c, std::uint64_t{1} << 30, 0, rng);
+  }
+  ccmx::util::set_parallelism(0);
+  // The sweep covers every (E, D_1..) assignment exactly once: q^digits.
+  std::uint64_t space = 1;
+  const std::size_t digits = p.half() * p.l() + (p.half() - 1) * p.g();
+  for (std::size_t d = 0; d < digits; ++d) space *= p.q();
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_TRUE(results[i].exact);
+    EXPECT_EQ(results[i].ones, results[0].ones);
+    EXPECT_EQ(results[i].evaluations, space);
+  }
+}
+
+TEST(RowCensus, SampledIsIdenticalAcrossParallelDegrees) {
+  // Sample s derives its own generator from one base draw, so the estimate
+  // does not depend on which worker ran which sample.
+  const ConstructionParams p(7, 2);
+  Xoshiro256 seed_rng(13);
+  const FreeParts parts = FreeParts::random(p, seed_rng);
+  const std::size_t degrees[] = {1, 2, 0};
+  RowCensus results[3];
+  for (int i = 0; i < 3; ++i) {
+    ccmx::util::set_parallelism(degrees[i]);
+    Xoshiro256 rng(14);
+    results[i] = row_census(p, parts.c, /*budget=*/1000, /*samples=*/5000, rng);
+  }
+  ccmx::util::set_parallelism(0);
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_FALSE(results[i].exact);
+    EXPECT_EQ(results[i].ones, results[0].ones);
+    EXPECT_EQ(results[i].evaluations, 5000u);
+  }
+}
+
+TEST(RowCensus, DeltaAndRecomputeEnginesAgree) {
+  // The incremental (delta) evaluator and the full-chain recompute are the
+  // same linear functional; their censuses must match exactly.
+  const ConstructionParams p(7, 2);
+  Xoshiro256 seed_rng(15);
+  const FreeParts parts = FreeParts::random(p, seed_rng);
+  CensusOptions with_delta;
+  with_delta.budget = std::uint64_t{1} << 30;
+  CensusOptions recompute = with_delta;
+  recompute.delta = false;
+  Xoshiro256 rng_a(16);
+  Xoshiro256 rng_b(16);
+  const RowCensus a = row_census(p, parts.c, with_delta, rng_a);
+  const RowCensus b = row_census(p, parts.c, recompute, rng_b);
+  EXPECT_EQ(a.ones, b.ones);
+  EXPECT_EQ(a.evaluations, b.evaluations);
+  EXPECT_TRUE(a.exact);
+  EXPECT_TRUE(b.exact);
+}
+
+TEST(Lemma34Census, IdenticalAcrossParallelDegrees) {
+  const ConstructionParams p(7, 2);
+  const ConstructionParams p_large(9, 3);
+  const std::size_t degrees[] = {1, 2, 0};
+  SpanCensus exhaustive[3];
+  SpanCensus sampled[3];
+  for (int i = 0; i < 3; ++i) {
+    ccmx::util::set_parallelism(degrees[i]);
+    Xoshiro256 rng(17);
+    exhaustive[i] = lemma34_census(p, 20000, rng);
+    Xoshiro256 rng_large(18);
+    sampled[i] = lemma34_census(p_large, 60, rng_large);
+  }
+  ccmx::util::set_parallelism(0);
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_TRUE(exhaustive[i].exhaustive);
+    EXPECT_EQ(exhaustive[i].tested, exhaustive[0].tested);
+    EXPECT_EQ(exhaustive[i].distinct, exhaustive[0].distinct);
+    EXPECT_FALSE(sampled[i].exhaustive);
+    EXPECT_EQ(sampled[i].tested, sampled[0].tested);
+    EXPECT_EQ(sampled[i].distinct, sampled[0].distinct);
+  }
 }
 
 TEST(Lemma34Census, ExhaustiveAtSmallestParams) {

@@ -172,6 +172,18 @@ TEST(ObsChannel, CountsTrafficWhenEnabled) {
 
 #endif  // CCMX_OBS_DISABLED
 
+TEST(ObsProgress, ConcurrentBatchedTicksCountExactly) {
+  // Sweep workers tick one shared meter with per-chunk batch sizes; the
+  // relaxed-atomic counter must still total exactly.
+  const TracingOn guard;
+  obs::ProgressMeter meter("test.batched", 256 * 1000);
+  ASSERT_TRUE(meter.active());
+  util::parallel_for(0, 256, [&](std::size_t i) {
+    meter.tick(i % 2 == 0 ? 999 : 1001);  // uneven batches
+  });
+  EXPECT_EQ(meter.done(), 256u * 1000u);
+}
+
 TEST(ObsProgress, InactiveMeterStillCountsNothing) {
   // Without CCMX_PROGRESS/CCMX_TRACE the meter must be a no-op.
   obs::set_enabled(false);

@@ -5,10 +5,12 @@
 #include <numeric>
 #include <set>
 #include <sstream>
+#include <thread>
 
 #include "util/narrow.hpp"
 #include "util/parallel.hpp"
 #include "util/rng.hpp"
+#include "util/sweep.hpp"
 #include "util/table.hpp"
 #include "util/timer.hpp"
 
@@ -123,6 +125,97 @@ TEST(Parallel, ReduceSumsCorrectly) {
       [](long long& acc, std::size_t i) { acc += static_cast<long long>(i); },
       [](long long& into, const long long& from) { into += from; });
   EXPECT_EQ(total, 500500LL);
+}
+
+TEST(Parallel, SetParallelismOverridesDegree) {
+  const std::size_t original = parallelism();
+  set_parallelism(3);
+  EXPECT_EQ(parallelism(), 3u);
+  set_parallelism(0);
+  EXPECT_EQ(parallelism(), original);
+}
+
+TEST(Parallel, NestedCallsSerializeInline) {
+  // A parallel_for issued from inside a parallel body must not deadlock on
+  // the shared pool; it runs serially inline and still covers every index.
+  set_parallelism(4);
+  std::vector<std::atomic<int>> hits(64 * 64);
+  parallel_for(0, 64, [&](std::size_t i) {
+    parallel_for(0, 64, [&](std::size_t j) { hits[i * 64 + j]++; });
+  });
+  set_parallelism(0);
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(Parallel, ConcurrentCallsFromTwoThreadsBothComplete) {
+  // While one thread holds the pool, a second caller serializes inline;
+  // both calls must cover their ranges exactly once.
+  set_parallelism(4);
+  std::vector<std::atomic<int>> mine(20000);
+  std::vector<std::atomic<int>> theirs(20000);
+  std::thread other([&] {
+    parallel_for(0, theirs.size(), [&](std::size_t i) { theirs[i]++; });
+  });
+  parallel_for(0, mine.size(), [&](std::size_t i) { mine[i]++; });
+  other.join();
+  set_parallelism(0);
+  for (const auto& h : mine) EXPECT_EQ(h.load(), 1);
+  for (const auto& h : theirs) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(Parallel, PoolSurvivesManySmallCalls) {
+  // Persistent workers: repeated invocations reuse the parked pool.
+  std::atomic<std::uint64_t> total{0};
+  for (int round = 0; round < 200; ++round) {
+    parallel_for(0, 64, [&](std::size_t i) { total += i; });
+  }
+  EXPECT_EQ(total.load(), 200u * (63u * 64u / 2u));
+}
+
+TEST(Sweep, VisitsEveryIndexWithConsistentDeltas) {
+  // Each worker tracks value = sum dv[d] * 3^d through reset + deltas; the
+  // sum over all visits must equal 0 + 1 + ... + (3^5 - 1) and every index
+  // must be visited exactly once regardless of chunking.
+  constexpr std::uint64_t kPow3[5] = {1, 3, 9, 27, 81};
+  struct St {
+    std::uint64_t value = 0;
+    std::uint64_t sum = 0;
+    std::uint64_t visits = 0;
+    std::uint64_t chunk_items = 0;
+  };
+  set_parallelism(4);
+  const auto states = sweep_digits(
+      3, 5, [] { return St{}; },
+      [&](St& st, const std::vector<std::uint32_t>& dv) {
+        st.value = 0;
+        for (std::size_t d = 0; d < dv.size(); ++d) st.value += dv[d] * kPow3[d];
+      },
+      [&](St& st, std::size_t pos, std::uint32_t old_d, std::uint32_t new_d) {
+        st.value += new_d * kPow3[pos];
+        st.value -= old_d * kPow3[pos];  // unsigned wrap cancels exactly
+      },
+      [](St& st, const std::vector<std::uint32_t>&) {
+        st.sum += st.value;
+        ++st.visits;
+      },
+      [](St& st, std::uint64_t items) { st.chunk_items += items; });
+  set_parallelism(0);
+  std::uint64_t sum = 0, visits = 0, chunk_items = 0;
+  for (const St& st : states) {
+    sum += st.sum;
+    visits += st.visits;
+    chunk_items += st.chunk_items;
+  }
+  const std::uint64_t space = 243;
+  EXPECT_EQ(sum, space * (space - 1) / 2);
+  EXPECT_EQ(visits, space);
+  EXPECT_EQ(chunk_items, space);
+}
+
+TEST(Sweep, SpaceSizeOverflowIsRejected) {
+  EXPECT_EQ(digit_space_size(3, 5), 243u);
+  EXPECT_EQ(digit_space_size(1, 100), 1u);
+  EXPECT_THROW((void)digit_space_size(3, 41), contract_error);  // > 2^64
 }
 
 TEST(Timer, CpuSecondsAdvancesUnderWork) {
