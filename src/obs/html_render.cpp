@@ -247,6 +247,7 @@ class Dashboard {
     trajectory_section();
     diff_section();
     traffic_section();
+    pipeline_section();
     flame_section();
     data_island();
     w_.open("footer");
@@ -667,6 +668,103 @@ class Dashboard {
                              : std::string("overflow"));
     }
     w_.close();  // svg
+    w_.close();  // section
+  }
+
+  // ---- trace pipeline ---------------------------------------------------
+
+  /// Health of the async event pipeline: per-report emitted/dropped
+  /// conservation and self-overhead (obs.trace.* / obs.overhead.*
+  /// counters), plus the streaming reader's own stats for the rendered
+  /// trace.  Dropped events are never silent — this is where they show.
+  void pipeline_section() {
+    w_.open("section", {{"class", "card"}});
+    w_.element("h2", {}, "Trace pipeline");
+
+    const auto counter = [](const json::Value& doc, std::string_view name) {
+      const json::Value* counters = doc.find("counters");
+      if (counters == nullptr || !counters->is_object()) return -1.0;
+      return number_or(*counters, name, -1.0);
+    };
+    std::vector<const LoadedReport*> piped;
+    for (const LoadedReport& report : data_.reports->reports) {
+      if (counter(report.doc, "obs.trace.emitted") >= 0.0) {
+        piped.push_back(&report);
+      }
+    }
+    if (piped.empty() && data_.trace_stats == nullptr) {
+      w_.element("p", {{"class", "note"}},
+                 "No report carries obs.trace.* counters and no streamed "
+                 "trace was read.");
+      w_.close();
+      return;
+    }
+
+    if (data_.trace_stats != nullptr) {
+      const TraceReadStats& stats = *data_.trace_stats;
+      const auto tile = [&](std::string_view value, std::string_view key) {
+        w_.open("div", {{"class", "tile"}});
+        w_.element("div", {{"class", "v"}}, value);
+        w_.element("div", {{"class", "k"}}, key);
+        w_.close();
+      };
+      w_.open("div", {{"class", "tiles"}});
+      tile(fmt_count(stats.lines), "trace lines read");
+      tile(fmt_count(stats.gap_events), "tolerated gaps");
+      tile(fmt_count(stats.gapped_channels), "gapped channels");
+      tile(stats.truncated_tail ? "torn" : "clean", "final line");
+      w_.close();  // tiles
+    }
+
+    if (!piped.empty()) {
+      w_.open("table");
+      w_.open("thead").open("tr");
+      w_.element("th", {}, "report");
+      w_.element("th", {{"class", "num"}}, "emitted");
+      w_.element("th", {{"class", "num"}}, "dropped");
+      w_.element("th", {{"class", "num"}}, "open failed");
+      w_.element("th", {{"class", "num"}}, "ns / emit");
+      w_.element("th", {{"class", "num"}}, "drain ms");
+      w_.element("th", {{"class", "num"}}, "flush ms");
+      w_.element("th", {}, "verdict");
+      w_.close().close();  // tr, thead
+      w_.open("tbody");
+      for (const LoadedReport* report : piped) {
+        const double emitted = counter(report->doc, "obs.trace.emitted");
+        const double dropped =
+            std::max(0.0, counter(report->doc, "obs.trace.dropped"));
+        const double open_failed =
+            std::max(0.0, counter(report->doc, "obs.trace.open_failed"));
+        const double emit_ns = counter(report->doc, "obs.overhead.emit_ns");
+        const double drain_ns = counter(report->doc, "obs.overhead.drain_ns");
+        const double flush_ns = counter(report->doc, "obs.overhead.flush_ns");
+        w_.open("tr");
+        w_.element("td", {}, report->name);
+        w_.element("td", {{"class", "num"}},
+                   fmt_count(static_cast<std::uint64_t>(emitted)));
+        w_.element("td", {{"class", "num"}},
+                   fmt_count(static_cast<std::uint64_t>(dropped)));
+        w_.element("td", {{"class", "num"}},
+                   fmt_count(static_cast<std::uint64_t>(open_failed)));
+        w_.element("td", {{"class", "num"}},
+                   emit_ns >= 0.0 && emitted > 0.0
+                       ? fmt_fixed(emit_ns / emitted, 0)
+                       : std::string("\xE2\x80\x94"));
+        w_.element("td", {{"class", "num"}},
+                   drain_ns >= 0.0 ? fmt_fixed(drain_ns * 1e-6, 2)
+                                   : std::string("\xE2\x80\x94"));
+        w_.element("td", {{"class", "num"}},
+                   flush_ns >= 0.0 ? fmt_fixed(flush_ns * 1e-6, 2)
+                                   : std::string("\xE2\x80\x94"));
+        const bool truncated = dropped > 0.0 || open_failed > 0.0;
+        w_.element("td",
+                   {{"class", truncated ? "verdict-regression"
+                                        : "verdict-improvement"}},
+                   truncated ? "\xE2\x96\xB2 truncated" : "lossless");
+        w_.close();  // tr
+      }
+      w_.close().close();  // tbody, table
+    }
     w_.close();  // section
   }
 

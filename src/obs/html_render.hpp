@@ -44,6 +44,9 @@ struct DashboardData {
   /// Span forest (typically build_span_forest(trace->spans)) for the
   /// flame view.
   const SpanForest* forest = nullptr;
+  /// Stats from the streaming read of `trace` (lines, tolerated gaps,
+  /// torn tail) for the trace-pipeline panel.
+  const TraceReadStats* trace_stats = nullptr;
 };
 
 /// Renders the dashboard.  Throws util::contract_error when `reports` is

@@ -47,6 +47,29 @@ struct Snapshot {
   std::vector<std::pair<std::string, std::string>> attributes;
 };
 
+/// Backpressure policy of the trace sink, chosen when the sink opens
+/// (CCMX_TRACE_POLICY or TraceSinkOptions::policy).
+enum class TracePolicy : std::uint8_t {
+  /// Emitters wait for ring space: lossless, but a hot path can stall
+  /// behind a slow disk.  The default.
+  kBlock,
+  /// Overflowing events are discarded and counted in obs.trace.dropped
+  /// (never silently): per-thread order is preserved, with gaps.
+  kDrop,
+  /// Legacy synchronous path — one mutex + write + flush per event.
+  /// Kept as the ablation baseline for BENCH_obs; do not use in hot code.
+  kSync,
+};
+
+/// Explicit sink configuration for open_trace_sink (CLIs and benches;
+/// normal runs configure the sink through the environment instead).
+struct TraceSinkOptions {
+  std::string path;
+  TracePolicy policy = TracePolicy::kBlock;
+  /// Ring capacity in events; 0 picks the default (65536).
+  std::size_t capacity = 0;
+};
+
 #ifndef CCMX_OBS_DISABLED
 
 /// True when tracing is on (CCMX_TRACE=1 / CCMX_TRACE_FILE set, or an
@@ -143,16 +166,48 @@ class ScopedSpan {
 /// Later writes overwrite earlier ones for the same key.
 void set_attribute(std::string_view key, std::string_view value);
 
-/// True when a JSONL event sink is open (CCMX_TRACE_FILE).  Use to skip
-/// building event payloads that would be dropped.
+/// True when a JSONL event sink is open (CCMX_TRACE_FILE or an explicit
+/// open_trace_sink).  Use to skip building event payloads that would be
+/// dropped.  One relaxed atomic load after the first (lazy) probe.
 [[nodiscard]] bool event_sink_open() noexcept;
 
 /// Appends one pre-rendered JSON object as a line to the event sink
 /// (no-op when the sink is closed).  `json_object` must not contain '\n'.
+///
+/// The write is asynchronous by default: events land in a per-thread
+/// buffer, move in batches through a bounded MPSC ring, and a background
+/// drainer thread writes them out.  Per-thread order is preserved; what
+/// happens when the ring is full is the sink's TracePolicy.  Every call
+/// that reaches an open sink counts obs.trace.emitted; every event the
+/// sink could not write counts obs.trace.dropped.
 void emit_event(std::string_view json_object);
 
+/// Opens (or replaces, after draining) the trace sink.  Returns false —
+/// and counts obs.trace.open_failed, reporting to stderr once — when the
+/// file cannot be opened.  The environment path (CCMX_TRACE_FILE +
+/// CCMX_TRACE_POLICY + CCMX_TRACE_BUFFER) goes through this too, lazily
+/// on the first emit.
+bool open_trace_sink(const TraceSinkOptions& options);
+
+/// Publishes this thread's buffered events and blocks until the drainer
+/// has written and flushed everything buffered so far (all threads'
+/// swept buffers included).  No-op without a sink.  Call before reading
+/// a trace file back in the writing process.
+void flush_trace_sink();
+
+/// Drains, flushes, and closes the sink; emit_event becomes a no-op
+/// until a sink is opened again.  Safe to call with no sink open.
+void close_trace_sink();
+
+/// True when trace output is known incomplete: some events were dropped
+/// (obs.trace.dropped > 0) or the trace file failed to open
+/// (obs.trace.open_failed > 0).  Stamped into the run report so readers
+/// can tell a short trace from a truncated one.
+[[nodiscard]] bool trace_truncated();
+
 /// Folds the calling thread's counter slots into the global registry now
-/// (normally automatic at thread exit).
+/// (normally automatic at thread exit) and publishes its buffered trace
+/// events to the sink's ring (without waiting for the write).
 void flush_thread();
 
 /// Folded view of every counter/histogram/attribute registered so far.
@@ -198,6 +253,10 @@ class ScopedSpan {
 inline void set_attribute(std::string_view, std::string_view) {}
 [[nodiscard]] inline bool event_sink_open() noexcept { return false; }
 inline void emit_event(std::string_view) {}
+inline bool open_trace_sink(const TraceSinkOptions&) { return false; }
+inline void flush_trace_sink() {}
+inline void close_trace_sink() {}
+[[nodiscard]] inline bool trace_truncated() { return false; }
 inline void flush_thread() {}
 [[nodiscard]] inline Snapshot snapshot() { return {}; }
 inline void reset_values() {}

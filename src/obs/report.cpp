@@ -47,6 +47,9 @@ std::int64_t current_max_rss_bytes() noexcept {
 }
 
 std::string render_run_report(const RunReport& report) {
+  // Settle the async trace pipeline first so the obs.trace.* counters
+  // below agree with what actually reached the trace file.
+  flush_trace_sink();
   const Snapshot snap = snapshot();
   std::ostringstream os;
   json::Writer w(os);
@@ -62,6 +65,10 @@ std::string render_run_report(const RunReport& report) {
   w.key("hardware_parallelism")
       .value(static_cast<std::uint64_t>(hardware == 0 ? 1 : hardware));
   w.key("trace_enabled").value(enabled());
+  // Honest-trace flag: true when events were dropped (backpressure under
+  // CCMX_TRACE_POLICY=drop) or the trace file never opened, so readers
+  // can tell a short trace from a truncated one.
+  w.key("trace_truncated").value(trace_truncated());
   w.key("wall_seconds").value(report.wall_seconds);
   w.key("cpu_seconds").value(report.cpu_seconds);
   w.key("max_rss_bytes")
@@ -202,6 +209,12 @@ std::vector<std::string> validate_run_report(const json::Value& doc) {
     } else if (rss->number < 0.0) {
       problems.emplace_back("\"max_rss_bytes\" must be >= 0");
     }
+  }
+  // Optional for the same reason: reports predating the async trace
+  // pipeline carry no truncation flag.
+  if (const json::Value* trunc = doc.find("trace_truncated");
+      trunc != nullptr && !trunc->is_bool()) {
+    problems.emplace_back("member \"trace_truncated\" has wrong type");
   }
   check_member(doc, "argv", Kind::kArray, problems);
   check_member(doc, "attributes", Kind::kObject, problems);

@@ -102,87 +102,143 @@ std::uint64_t ChannelTrace::total_rounds() const noexcept {
   return total;
 }
 
-ChannelTrace parse_channel_trace(std::string_view text) {
-  ChannelTrace trace;
-  std::map<std::uint64_t, std::size_t> channel_index;  // id -> channels[i]
+TraceStream::TraceStream(TraceReadOptions options) : options_(options) {}
 
-  std::size_t line_no = 0;
+void TraceStream::feed(std::string_view chunk) {
+  CCMX_REQUIRE(!finished_, "TraceStream::feed after finish");
   std::size_t pos = 0;
-  while (pos < text.size()) {
-    const std::size_t eol = text.find('\n', pos);
-    ++line_no;
+  while (pos < chunk.size()) {
+    const std::size_t eol = chunk.find('\n', pos);
     if (eol == std::string_view::npos) {
-      fail(line_no, "truncated trace: final line is not newline-terminated");
+      carry_.append(chunk.substr(pos));  // line continues in the next feed
+      return;
     }
-    const std::string_view line = text.substr(pos, eol - pos);
+    ++line_no_;
+    if (carry_.empty()) {
+      parse_line(chunk.substr(pos, eol - pos));
+    } else {
+      carry_.append(chunk.substr(pos, eol - pos));
+      parse_line(carry_);
+      carry_.clear();
+    }
     pos = eol + 1;
-    if (line.empty()) continue;
+  }
+}
 
-    json::Value obj;
-    try {
-      obj = json::parse(line);
-    } catch (const util::contract_error& e) {
-      fail(line_no, std::string("malformed JSON: ") + e.what());
-    }
-    if (!obj.is_object()) fail(line_no, "event is not a JSON object");
-    const json::Value* ev = obj.find("ev");
-    if (ev == nullptr || !ev->is_string()) {
-      fail(line_no, "event missing string \"ev\"");
-    }
-    if (ev->string == "span") {
-      trace.spans.push_back(parse_span_event(obj, line_no));
-      ++trace.span_events;
-      continue;
-    }
-    if (ev->string != "send") {
-      // Future event kinds are valid JSONL but not modeled; count and
-      // move on.
-      ++trace.other_events;
-      continue;
-    }
+void TraceStream::finish() {
+  if (finished_) return;
+  finished_ = true;
+  if (carry_.empty()) return;
+  // A line without its newline is the signature of a killed writer.
+  if (!options_.tolerate_truncated_tail) {
+    fail(line_no_ + 1,
+         "truncated trace: final line is not newline-terminated");
+  }
+  stats_.truncated_tail = true;  // one tolerated truncation, line dropped
+  carry_.clear();
+}
 
-    SendEvent send;
-    // "ch" was added after PR 1; traces written before it carry no
-    // channel id and all fold into channel 0.
-    if (obj.find("ch") != nullptr) {
-      send.channel = uint_field(obj, "ch", line_no);
-    }
-    const std::uint64_t from = uint_field(obj, "from", line_no);
-    if (from > 1) fail(line_no, "agent out of range (must be 0 or 1)");
-    send.from = util::narrow_cast<unsigned>(from);
-    send.bits = uint_field(obj, "bits", line_no);
-    send.round = uint_field(obj, "round", line_no);
-    send.msg = uint_field(obj, "msg", line_no);
-    // "span"/"tid" joined the send format with the span-tree work; old
-    // traces simply lack them.
-    if (obj.find("span") != nullptr) {
-      send.span = uint_field(obj, "span", line_no);
-    }
-    if (obj.find("tid") != nullptr) {
-      send.tid = uint_field(obj, "tid", line_no);
-    }
-    const json::Value* t = obj.find("t_us");
-    if (t == nullptr || !t->is_number()) {
-      fail(line_no, "send event missing numeric \"t_us\"");
-    }
-    send.t_us = static_cast<std::int64_t>(t->number);
+void TraceStream::consume_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  CCMX_REQUIRE(in.is_open(), "cannot open trace file: " + path);
+  std::string chunk(std::size_t{256} * 1024, '\0');
+  for (;;) {
+    in.read(chunk.data(), static_cast<std::streamsize>(chunk.size()));
+    const std::size_t got = static_cast<std::size_t>(in.gcount());
+    if (got == 0) break;
+    feed(std::string_view(chunk.data(), got));
+  }
+  finish();
+}
 
-    const auto [it, fresh] =
-        channel_index.try_emplace(send.channel, trace.channels.size());
-    if (fresh) {
-      trace.channels.emplace_back();
-      trace.channels.back().id = send.channel;
-    }
-    ChannelStats& ch = trace.channels[it->second];
+void TraceStream::parse_line(std::string_view line) {
+  if (line.empty()) return;
+  ++stats_.lines;
+  json::Value obj;
+  try {
+    obj = json::parse(line);
+  } catch (const util::contract_error& e) {
+    fail(line_no_, std::string("malformed JSON: ") + e.what());
+  }
+  if (!obj.is_object()) fail(line_no_, "event is not a JSON object");
+  const json::Value* ev = obj.find("ev");
+  if (ev == nullptr || !ev->is_string()) {
+    fail(line_no_, "event missing string \"ev\"");
+  }
+  if (ev->string == "span") {
+    SpanEvent span = parse_span_event(obj, line_no_);
+    if (on_span) on_span(span);
+    ++trace_.span_events;
+    if (options_.keep_spans) trace_.spans.push_back(std::move(span));
+    return;
+  }
+  if (ev->string != "send") {
+    // Future event kinds are valid JSONL but not modeled; count and
+    // move on.
+    ++trace_.other_events;
+    return;
+  }
+  handle_send(obj);
+}
 
-    // Per-channel message numbers are assigned 1, 2, 3, ... by the
-    // writer; a gap means lines were lost.
-    if (send.msg != ch.sends.size() + 1) {
+void TraceStream::handle_send(const json::Value& obj) {
+  const std::size_t line_no = line_no_;
+  SendEvent send;
+  // "ch" was added after PR 1; traces written before it carry no channel
+  // id and all fold into channel 0.
+  if (obj.find("ch") != nullptr) {
+    send.channel = uint_field(obj, "ch", line_no);
+  }
+  const std::uint64_t from = uint_field(obj, "from", line_no);
+  if (from > 1) fail(line_no, "agent out of range (must be 0 or 1)");
+  send.from = util::narrow_cast<unsigned>(from);
+  send.bits = uint_field(obj, "bits", line_no);
+  send.round = uint_field(obj, "round", line_no);
+  send.msg = uint_field(obj, "msg", line_no);
+  // "span"/"tid" joined the send format with the span-tree work; old
+  // traces simply lack them.
+  if (obj.find("span") != nullptr) {
+    send.span = uint_field(obj, "span", line_no);
+  }
+  if (obj.find("tid") != nullptr) {
+    send.tid = uint_field(obj, "tid", line_no);
+  }
+  const json::Value* t = obj.find("t_us");
+  if (t == nullptr || !t->is_number()) {
+    fail(line_no, "send event missing numeric \"t_us\"");
+  }
+  send.t_us = static_cast<std::int64_t>(t->number);
+  if (on_send) on_send(send);
+
+  const auto [it, fresh] = channels_.try_emplace(send.channel);
+  ChannelState& state = it->second;
+  if (fresh) {
+    state.index = trace_.channels.size();
+    trace_.channels.emplace_back();
+    trace_.channels.back().id = send.channel;
+  }
+  ChannelStats& ch = trace_.channels[state.index];
+
+  // Per-channel message numbers are assigned 1, 2, 3, ... by the writer;
+  // a gap means lines were lost.  Under tolerate_gaps a *forward* jump
+  // is counted and parsing continues (drop backpressure only ever
+  // removes lines); a backward number is corruption either way.
+  if (send.msg != state.next_msg) {
+    if (!options_.tolerate_gaps || send.msg < state.next_msg) {
       fail(line_no, "message sequence gap on channel " +
                         std::to_string(send.channel) + ": expected msg " +
-                        std::to_string(ch.sends.size() + 1) + ", got " +
+                        std::to_string(state.next_msg) + ", got " +
                         std::to_string(send.msg));
     }
+    ++stats_.gap_events;
+    if (!state.gapped) {
+      state.gapped = true;
+      ++stats_.gapped_channels;
+    }
+  }
+  state.next_msg = send.msg + 1;
+
+  if (!state.gapped) {
     // Reconstruct the round from speaker alternation and cross-check the
     // writer's own round number.
     const bool new_round =
@@ -201,24 +257,49 @@ ChannelTrace parse_channel_trace(std::string_view text) {
       round.speaker = send.from;
       ch.rounds.push_back(round);
     }
-    ch.rounds.back().bits += send.bits;
-    ch.rounds.back().messages += 1;
-    ch.agents[send.from].bits += send.bits;
-    ch.agents[send.from].messages += 1;
-    trace.agents[send.from].bits += send.bits;
-    trace.agents[send.from].messages += 1;
-    ++trace.send_events;
-    ch.sends.push_back(send);
+  } else {
+    // With lines missing, speaker alternation is unreliable: trust the
+    // recorded round numbers instead.  They must still be monotone with
+    // a single speaker per round.
+    const std::uint64_t last =
+        ch.rounds.empty() ? 0 : ch.rounds.back().round;
+    if (send.round == 0 || send.round < last) {
+      fail(line_no, "round number went backwards on gapped channel " +
+                        std::to_string(send.channel) + ": recorded " +
+                        std::to_string(send.round) + " after " +
+                        std::to_string(last));
+    }
+    if (send.round > last) {
+      RoundStats round;
+      round.round = send.round;
+      round.speaker = send.from;
+      ch.rounds.push_back(round);
+    } else if (ch.rounds.back().speaker != send.from) {
+      fail(line_no, "two speakers in round " + std::to_string(send.round) +
+                        " on channel " + std::to_string(send.channel));
+    }
   }
-  return trace;
+  ch.rounds.back().bits += send.bits;
+  ch.rounds.back().messages += 1;
+  ch.agents[send.from].bits += send.bits;
+  ch.agents[send.from].messages += 1;
+  trace_.agents[send.from].bits += send.bits;
+  trace_.agents[send.from].messages += 1;
+  ++trace_.send_events;
+  if (options_.keep_sends) ch.sends.push_back(send);
+}
+
+ChannelTrace parse_channel_trace(std::string_view text) {
+  TraceStream stream;
+  stream.feed(text);
+  stream.finish();
+  return stream.take_trace();
 }
 
 ChannelTrace read_channel_trace_file(const std::string& path) {
-  std::ifstream in(path, std::ios::binary);
-  CCMX_REQUIRE(in.is_open(), "cannot open trace file: " + path);
-  std::ostringstream buffer;
-  buffer << in.rdbuf();
-  return parse_channel_trace(buffer.str());
+  TraceStream stream;
+  stream.consume_file(path);
+  return stream.take_trace();
 }
 
 std::vector<std::string> check_trace_against_report(
@@ -292,6 +373,51 @@ std::vector<std::string> check_trace_against_report(
     check_round("comm.bits.round" + std::to_string(i + 1), by_round[i]);
   }
   check_round("comm.bits.round_overflow", overflow);
+
+  // Event conservation for the async pipeline: every emitted event must
+  // either reach the file or be accounted as a drop, so at a quiescent
+  // point  lines-in-file + obs.trace.dropped >= obs.trace.emitted.  The
+  // checks are one-sided because a parsed trace may legitimately hold
+  // MORE events than one report's counters (append-mode files span
+  // several runs, and counter resets do not truncate the file), and
+  // they only fire when the report carries the pipeline's counters at
+  // all (older reports predate them).
+  const double emitted = counter("obs.trace.emitted");
+  const double dropped = counter("obs.trace.dropped");
+  if (emitted >= 0.0 && dropped >= 0.0) {
+    if (dropped > emitted) {
+      std::ostringstream os;
+      os << "obs.trace.dropped (" << dropped << ") exceeds obs.trace.emitted ("
+         << emitted << ')';
+      mismatches.push_back(os.str());
+    }
+    const std::uint64_t total_events =
+        trace.send_events + trace.span_events + trace.other_events;
+    // total_events == 0 means the caller checked a hand-built subset (or
+    // an empty trace) against a real report; stay quiet.
+    if (total_events > 0 &&
+        static_cast<double>(total_events) + dropped < emitted) {
+      std::ostringstream os;
+      os << "trace file lost events: " << total_events << " parsed + "
+         << dropped << " dropped < " << emitted << " emitted";
+      mismatches.push_back(os.str());
+    }
+    const double open_failed = counter("obs.trace.open_failed");
+    const bool losses = dropped > 0.0 || open_failed > 0.0;
+    const json::Value* trunc = report_doc.find("trace_truncated");
+    if (trunc != nullptr && trunc->is_bool()) {
+      if (trunc->boolean != losses) {
+        std::ostringstream os;
+        os << "trace_truncated flag is " << (trunc->boolean ? "true" : "false")
+           << " but counters say " << dropped << " dropped / "
+           << std::max(open_failed, 0.0) << " open failures";
+        mismatches.push_back(os.str());
+      }
+    } else if (losses) {
+      mismatches.emplace_back(
+          "report lacks trace_truncated flag despite dropped events");
+    }
+  }
   return mismatches;
 }
 
@@ -418,117 +544,131 @@ SpanForest build_span_forest(const std::vector<SpanEvent>& spans) {
   return forest;
 }
 
-std::string render_chrome_trace(const ChannelTrace& trace) {
-  std::ostringstream os;
-  json::Writer w(os);
-  w.begin_object();
-  w.key("schema").value(kChromeTraceSchema);
-  w.key("displayTimeUnit").value("ms");
-  w.key("traceEvents").begin_array();
+namespace {
 
-  // Track naming: pid 1 carries the span trees (one track per writer
-  // thread), pid 2 the channel traffic (one track per agent).
-  constexpr std::int64_t kSpanPid = 1;
-  constexpr std::int64_t kChannelPid = 2;
+// Track naming: pid 1 carries the span trees (one track per writer
+// thread), pid 2 the channel traffic (one track per agent).
+constexpr std::int64_t kSpanPid = 1;
+constexpr std::int64_t kChannelPid = 2;
+
+}  // namespace
+
+ChromeTraceWriter::ChromeTraceWriter(std::ostream& os) : os_(&os), w_(os) {
+  w_.begin_object();
+  w_.key("schema").value(kChromeTraceSchema);
+  w_.key("displayTimeUnit").value("ms");
+  w_.key("traceEvents").begin_array();
+}
+
+void ChromeTraceWriter::add_span(const SpanEvent& span) {
+  span_tids_.push_back(span.tid);
+  w_.begin_object();
+  w_.key("ph").value("X");
+  w_.key("pid").value(kSpanPid);
+  w_.key("tid").value(span.tid);
+  w_.key("name").value(span.name);
+  w_.key("cat").value("span");
+  w_.key("ts").value(span.t_us);
+  w_.key("dur").value(span.dur_us);
+  w_.key("args").begin_object();
+  w_.key("span_id").value(span.id);
+  w_.key("parent").value(span.parent);
+  for (const auto& [key, value] : span.args) {
+    w_.key(key).value(value);
+  }
+  w_.end_object();
+  w_.end_object();
+}
+
+void ChromeTraceWriter::add_send(const SendEvent& send) {
+  // Each send becomes a 1us slice on the sender's track, a matching
+  // slice on the receiver's, and a flow arrow binding the two — the
+  // Perfetto rendering of "this message crossed the channel".
+  any_send_ = true;
+  ++flow_id_;
+  const std::string label = "ch" + std::to_string(send.channel) + " r" +
+                            std::to_string(send.round) + " " +
+                            std::to_string(send.bits) + "b";
+  const auto slice = [&](std::int64_t tid, std::string_view name) {
+    w_.begin_object();
+    w_.key("ph").value("X");
+    w_.key("pid").value(kChannelPid);
+    w_.key("tid").value(tid);
+    w_.key("name").value(name);
+    w_.key("cat").value("send");
+    w_.key("ts").value(send.t_us);
+    w_.key("dur").value(std::int64_t{1});
+    w_.key("args").begin_object();
+    w_.key("bits").value(send.bits);
+    w_.key("channel").value(send.channel);
+    w_.key("round").value(send.round);
+    w_.key("msg").value(send.msg);
+    if (send.span != 0) w_.key("span_id").value(send.span);
+    w_.end_object();
+    w_.end_object();
+  };
+  slice(send.from, label);
+  slice(1 - static_cast<std::int64_t>(send.from), "recv " + label);
+  const auto flow = [&](std::string_view ph, std::int64_t tid) {
+    w_.begin_object();
+    w_.key("ph").value(ph);
+    w_.key("pid").value(kChannelPid);
+    w_.key("tid").value(tid);
+    w_.key("name").value("msg");
+    w_.key("cat").value("send");
+    w_.key("id").value(flow_id_);
+    w_.key("ts").value(send.t_us);
+    if (ph == "f") w_.key("bp").value("e");
+    w_.end_object();
+  };
+  flow("s", send.from);
+  flow("f", 1 - static_cast<std::int64_t>(send.from));
+}
+
+void ChromeTraceWriter::finish() {
+  CCMX_REQUIRE(!finished_, "ChromeTraceWriter::finish called twice");
+  finished_ = true;
   const auto metadata = [&](std::int64_t pid, std::int64_t tid,
                             std::string_view what, std::string_view name) {
-    w.begin_object();
-    w.key("ph").value("M");
-    w.key("pid").value(pid);
-    w.key("tid").value(tid);
-    w.key("name").value(what);
-    w.key("args").begin_object().key("name").value(name).end_object();
-    w.end_object();
+    w_.begin_object();
+    w_.key("ph").value("M");
+    w_.key("pid").value(pid);
+    w_.key("tid").value(tid);
+    w_.key("name").value(what);
+    w_.key("args").begin_object().key("name").value(name).end_object();
+    w_.end_object();
   };
-  // Name only the tracks that will carry events, so an empty trace
-  // renders an empty (but valid) traceEvents array.
-  if (!trace.spans.empty()) {
+  // Name only the tracks that carried events, so an empty trace renders
+  // an empty (but valid) traceEvents array.
+  if (!span_tids_.empty()) {
     metadata(kSpanPid, 0, "process_name", "ccmx spans");
   }
-  if (trace.send_events > 0) {
+  if (any_send_) {
     metadata(kChannelPid, 0, "process_name", "ccmx channel");
     metadata(kChannelPid, 0, "thread_name", "agent0");
     metadata(kChannelPid, 1, "thread_name", "agent1");
   }
-  std::vector<std::uint64_t> tids;
-  for (const SpanEvent& span : trace.spans) tids.push_back(span.tid);
-  std::sort(tids.begin(), tids.end());
-  tids.erase(std::unique(tids.begin(), tids.end()), tids.end());
-  for (const std::uint64_t tid : tids) {
+  std::sort(span_tids_.begin(), span_tids_.end());
+  span_tids_.erase(std::unique(span_tids_.begin(), span_tids_.end()),
+                   span_tids_.end());
+  for (const std::uint64_t tid : span_tids_) {
     metadata(kSpanPid, static_cast<std::int64_t>(tid), "thread_name",
              tid == 0 ? std::string("legacy spans")
                       : "thread " + std::to_string(tid));
   }
+  w_.end_array();
+  w_.end_object();
+  *os_ << '\n';
+}
 
-  for (const SpanEvent& span : trace.spans) {
-    w.begin_object();
-    w.key("ph").value("X");
-    w.key("pid").value(kSpanPid);
-    w.key("tid").value(span.tid);
-    w.key("name").value(span.name);
-    w.key("cat").value("span");
-    w.key("ts").value(span.t_us);
-    w.key("dur").value(span.dur_us);
-    w.key("args").begin_object();
-    w.key("span_id").value(span.id);
-    w.key("parent").value(span.parent);
-    for (const auto& [key, value] : span.args) {
-      w.key(key).value(value);
-    }
-    w.end_object();
-    w.end_object();
-  }
-
-  // Each send becomes a 1us slice on the sender's track, a matching
-  // slice on the receiver's, and a flow arrow binding the two — the
-  // Perfetto rendering of "this message crossed the channel".
-  std::uint64_t flow_id = 0;
+std::string render_chrome_trace(const ChannelTrace& trace) {
+  std::ostringstream os;
+  ChromeTraceWriter writer(os);
+  for (const SpanEvent& span : trace.spans) writer.add_span(span);
   for (const ChannelStats& ch : trace.channels) {
-    for (const SendEvent& send : ch.sends) {
-      ++flow_id;
-      const std::string label = "ch" + std::to_string(send.channel) + " r" +
-                                std::to_string(send.round) + " " +
-                                std::to_string(send.bits) + "b";
-      const auto slice = [&](std::int64_t tid, std::string_view name) {
-        w.begin_object();
-        w.key("ph").value("X");
-        w.key("pid").value(kChannelPid);
-        w.key("tid").value(tid);
-        w.key("name").value(name);
-        w.key("cat").value("send");
-        w.key("ts").value(send.t_us);
-        w.key("dur").value(std::int64_t{1});
-        w.key("args").begin_object();
-        w.key("bits").value(send.bits);
-        w.key("channel").value(send.channel);
-        w.key("round").value(send.round);
-        w.key("msg").value(send.msg);
-        if (send.span != 0) w.key("span_id").value(send.span);
-        w.end_object();
-        w.end_object();
-      };
-      slice(send.from, label);
-      slice(1 - static_cast<std::int64_t>(send.from), "recv " + label);
-      const auto flow = [&](std::string_view ph, std::int64_t tid) {
-        w.begin_object();
-        w.key("ph").value(ph);
-        w.key("pid").value(kChannelPid);
-        w.key("tid").value(tid);
-        w.key("name").value("msg");
-        w.key("cat").value("send");
-        w.key("id").value(flow_id);
-        w.key("ts").value(send.t_us);
-        if (ph == "f") w.key("bp").value("e");
-        w.end_object();
-      };
-      flow("s", send.from);
-      flow("f", 1 - static_cast<std::int64_t>(send.from));
-    }
+    for (const SendEvent& send : ch.sends) writer.add_send(send);
   }
-
-  w.end_array();
-  w.end_object();
-  os << '\n';
+  writer.finish();
   return os.str();
 }
 

@@ -20,7 +20,9 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <iosfwd>
+#include <map>
 #include <string>
 #include <string_view>
 #include <utility>
@@ -106,8 +108,101 @@ struct ChannelTrace {
 /// or input whose final line is not newline-terminated (truncation).
 [[nodiscard]] ChannelTrace parse_channel_trace(std::string_view text);
 
-/// Reads and parses a trace file; throws on unreadable paths too.
+/// Reads and parses a trace file; throws on unreadable paths too.  The
+/// file moves through TraceStream in bounded chunks, so only the parsed
+/// representation (not the raw bytes) is ever resident.
 [[nodiscard]] ChannelTrace read_channel_trace_file(const std::string& path);
+
+// ------------------------------------------------------ streaming reader
+
+/// Knobs for TraceStream.  The defaults reproduce parse_channel_trace's
+/// strict behavior exactly; the tolerant flags exist for traces written
+/// under CCMX_TRACE_POLICY=drop or by a killed writer, where losses are
+/// expected and must be *surfaced* (TraceReadStats) rather than thrown.
+struct TraceReadOptions {
+  /// Tolerate forward per-channel message-sequence gaps (lines lost to
+  /// drop backpressure): the gap is counted, round reconstruction for
+  /// that channel switches from speaker alternation to the recorded
+  /// round numbers, and parsing continues.  Backward message numbers
+  /// still throw — drops only ever remove lines.
+  bool tolerate_gaps = false;
+  /// Tolerate a final line without its newline (killed writer): counted
+  /// as one truncation, the partial line is discarded.
+  bool tolerate_truncated_tail = false;
+  /// Keep every SendEvent in ChannelStats::sends.  Off = per-channel and
+  /// per-round aggregates only, so memory stays bounded by the number of
+  /// channels and rounds, not events.
+  bool keep_sends = true;
+  /// Keep every SpanEvent in ChannelTrace::spans (off: spans are counted
+  /// and forwarded to on_span, never stored).
+  bool keep_spans = true;
+};
+
+/// What the streaming reader observed beyond the trace content itself.
+struct TraceReadStats {
+  std::uint64_t lines = 0;            ///< non-empty event lines parsed
+  std::uint64_t gap_events = 0;       ///< message-sequence gaps tolerated
+  std::uint64_t gapped_channels = 0;  ///< channels with >= 1 gap
+  bool truncated_tail = false;        ///< final line lacked its newline
+};
+
+/// Chunked streaming parser over JSONL trace bytes: feed() arbitrary
+/// partial chunks (lines may split anywhere), then finish().  Aggregates
+/// accumulate in trace(); per-event callbacks see every send/span in
+/// file order, so converters (e.g. ChromeTraceWriter) can run in O(1)
+/// memory over the event count.
+class TraceStream {
+ public:
+  explicit TraceStream(TraceReadOptions options = {});
+
+  /// Per-event hooks, invoked before the event folds into the
+  /// aggregates.  Install before feeding.
+  std::function<void(const SendEvent&)> on_send;
+  std::function<void(const SpanEvent&)> on_span;
+
+  /// Parses every complete line in `chunk`; a trailing partial line is
+  /// carried into the next feed().  Throws like parse_channel_trace,
+  /// subject to TraceReadOptions.
+  void feed(std::string_view chunk);
+
+  /// Settles the carry buffer (a leftover partial line is a truncated
+  /// tail).  feed() must not be called afterwards.
+  void finish();
+
+  /// Streams a whole file through feed()/finish() in bounded chunks;
+  /// throws on unreadable paths.
+  void consume_file(const std::string& path);
+
+  [[nodiscard]] const TraceReadStats& stats() const noexcept {
+    return stats_;
+  }
+  /// The accumulated trace (aggregates always; sends/spans only when the
+  /// corresponding keep_* option is on).
+  [[nodiscard]] const ChannelTrace& trace() const noexcept { return trace_; }
+  [[nodiscard]] ChannelTrace take_trace() noexcept {
+    return std::move(trace_);
+  }
+
+ private:
+  /// Per-channel reconstruction state, kept here instead of relying on
+  /// ChannelStats::sends so keep_sends=false changes nothing.
+  struct ChannelState {
+    std::size_t index = 0;       // into trace_.channels
+    std::uint64_t next_msg = 1;  // expected next message number
+    bool gapped = false;         // rounds rebuilt from recorded numbers
+  };
+
+  void parse_line(std::string_view line);
+  void handle_send(const json::Value& obj);
+
+  TraceReadOptions options_;
+  TraceReadStats stats_;
+  ChannelTrace trace_;
+  std::map<std::uint64_t, ChannelState> channels_;
+  std::string carry_;       // partial line split across feed() chunks
+  std::size_t line_no_ = 0;
+  bool finished_ = false;
+};
 
 /// Conservation check of a trace against the counters of a
 /// ccmx.run_report/1 document from the same process: comm.bits.agent0/1,
@@ -186,5 +281,31 @@ struct SpanForest {
 /// "schema": "ccmx.chrome_trace/1" next to "traceEvents" (the format
 /// ignores unknown top-level keys).
 [[nodiscard]] std::string render_chrome_trace(const ChannelTrace& trace);
+
+/// Incremental form of render_chrome_trace for streaming conversion:
+/// hook add_span/add_send into TraceStream's callbacks and events write
+/// straight through to `os`, so a million-span trace converts without a
+/// materialized ChannelTrace.  Track metadata is collected on the fly
+/// and emitted at finish() — the JSON object format ignores ordering
+/// inside traceEvents, so metadata-last renders identically.
+class ChromeTraceWriter {
+ public:
+  explicit ChromeTraceWriter(std::ostream& os);
+
+  void add_span(const SpanEvent& span);
+  void add_send(const SendEvent& send);
+
+  /// Emits the track metadata and closes the document.  Must be called
+  /// exactly once, after the last event.
+  void finish();
+
+ private:
+  std::ostream* os_;
+  json::Writer w_;
+  std::vector<std::uint64_t> span_tids_;  // deduped at finish
+  bool any_send_ = false;
+  bool finished_ = false;
+  std::uint64_t flow_id_ = 0;
+};
 
 }  // namespace ccmx::obs

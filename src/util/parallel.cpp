@@ -184,7 +184,14 @@ class Pool {
         seen_generation = generation_;
         job = job_;
       }
-      if (index + 1 < job->slots) participate(*job, index + 1);
+      if (index + 1 < job->slots) {
+        participate(*job, index + 1);
+        // Fold counters and publish buffered trace events before parking:
+        // a worker may idle across many jobs (or forever), and the obs
+        // drainer outlives this pool, so the publish cannot deadlock even
+        // at shutdown.
+        obs::flush_thread();
+      }
     }
   }
 

@@ -86,6 +86,8 @@ TEST(TraceReader, RoundTripsARealInstrumentedRun) {
   const comm::ProtocolOutcome outcome = comm::execute(
       proto::make_send_half_singularity(layout), input, pi);
 
+  // The async pipeline buffers events; settle it before reading back.
+  obs::flush_trace_sink();
   const obs::ChannelTrace trace =
       obs::read_channel_trace_file(g_trace_path);
   ASSERT_FALSE(trace.channels.empty());
@@ -112,6 +114,7 @@ TEST(TraceReader, ConservesAgainstRunReportCounters) {
   ASSERT_TRUE(obs::event_sink_open());
   // Fresh counter values (reset in the guard) + a fresh slice of the
   // trace: remember how many channels existed before this test's run.
+  obs::flush_trace_sink();
   const std::size_t channels_before =
       obs::read_channel_trace_file(g_trace_path).channels.size();
 
@@ -156,6 +159,7 @@ TEST(TraceReader, ConservationFailsAgainstForeignReport) {
   const comm::BitVec input = layout.encode(random_entries(2, 1, rng));
   (void)comm::execute(proto::make_send_half_singularity(layout), input, pi);
 
+  obs::flush_trace_sink();
   const obs::ChannelTrace trace =
       obs::read_channel_trace_file(g_trace_path);
   // An untraced report has no comm.* counters at all.
@@ -171,6 +175,7 @@ TEST(TraceReader, ConservationFailsAgainstForeignReport) {
 TEST(TraceReader, SpanEventsRecordStartTimeNotEmissionTime) {
   const TracingOn guard;
   ASSERT_TRUE(obs::event_sink_open());
+  obs::flush_trace_sink();
   const std::size_t spans_before =
       obs::read_channel_trace_file(g_trace_path).spans.size();
 
@@ -182,7 +187,7 @@ TEST(TraceReader, SpanEventsRecordStartTimeNotEmissionTime) {
       (void)inner;
     }
   }
-  obs::flush_thread();
+  obs::flush_trace_sink();
 
   const obs::ChannelTrace trace = obs::read_channel_trace_file(g_trace_path);
   ASSERT_GE(trace.spans.size(), spans_before + 2);
@@ -209,6 +214,7 @@ TEST(TraceReader, SpanEventsRecordStartTimeNotEmissionTime) {
 TEST(TraceReader, SendsCarryEnclosingSpanAndThread) {
   const TracingOn guard;
   ASSERT_TRUE(obs::event_sink_open());
+  obs::flush_trace_sink();
   const std::size_t channels_before =
       obs::read_channel_trace_file(g_trace_path).channels.size();
 
@@ -217,7 +223,7 @@ TEST(TraceReader, SendsCarryEnclosingSpanAndThread) {
   const comm::Partition pi = comm::Partition::pi0(layout);
   const comm::BitVec input = layout.encode(random_entries(2, 1, rng));
   (void)comm::execute(proto::make_send_half_singularity(layout), input, pi);
-  obs::flush_thread();
+  obs::flush_trace_sink();
 
   const obs::ChannelTrace trace = obs::read_channel_trace_file(g_trace_path);
   ASSERT_GT(trace.channels.size(), channels_before);
@@ -388,6 +394,124 @@ TEST(TraceReader, EmptyTraceIsValid) {
   const obs::ChannelTrace trace = obs::parse_channel_trace("");
   EXPECT_EQ(trace.send_events, 0u);
   EXPECT_TRUE(trace.channels.empty());
+}
+
+// ------------------------------------------------------ streaming reader
+
+TEST(TraceStream, ChunkedFeedMatchesSlurp) {
+  const std::string text =
+      "{\"ev\":\"send\",\"ch\":1,\"from\":0,\"bits\":8,\"round\":1,"
+      "\"msg\":1,\"t_us\":1}\n"
+      "{\"ev\":\"span\",\"name\":\"x\",\"t_us\":1,\"dur_us\":2}\n"
+      "{\"ev\":\"send\",\"ch\":1,\"from\":1,\"bits\":1,\"round\":2,"
+      "\"msg\":2,\"t_us\":3}\n";
+  // Worst-case chunking: one byte per feed, so every line is reassembled
+  // through the carry buffer.
+  obs::TraceStream stream;
+  for (const char c : text) stream.feed(std::string_view(&c, 1));
+  stream.finish();
+  EXPECT_EQ(stream.stats().lines, 3u);
+  EXPECT_FALSE(stream.stats().truncated_tail);
+  EXPECT_EQ(stream.stats().gap_events, 0u);
+
+  const obs::ChannelTrace whole = obs::parse_channel_trace(text);
+  const obs::ChannelTrace chunked = stream.take_trace();
+  EXPECT_EQ(chunked.send_events, whole.send_events);
+  EXPECT_EQ(chunked.span_events, whole.span_events);
+  EXPECT_EQ(chunked.total_bits(), whole.total_bits());
+  ASSERT_EQ(chunked.channels.size(), whole.channels.size());
+  EXPECT_EQ(chunked.channels[0].rounds.size(), whole.channels[0].rounds.size());
+}
+
+TEST(TraceStream, ToleratesTruncatedFinalLineWhenAsked) {
+  const std::string good =
+      "{\"ev\":\"send\",\"ch\":1,\"from\":0,\"bits\":4,\"round\":1,"
+      "\"msg\":1,\"t_us\":0}\n";
+  const std::string truncated =
+      good + "{\"ev\":\"send\",\"ch\":1,\"from\":0,\"bi";  // writer killed
+
+  obs::TraceReadOptions options;
+  options.tolerate_truncated_tail = true;
+  obs::TraceStream stream(options);
+  stream.feed(truncated);
+  stream.finish();
+  // The complete line parsed; the torn tail is one tolerated truncation.
+  EXPECT_TRUE(stream.stats().truncated_tail);
+  EXPECT_EQ(stream.stats().lines, 1u);
+  EXPECT_EQ(stream.take_trace().send_events, 1u);
+
+  // Strict mode still throws on the same bytes.
+  obs::TraceStream strict;
+  strict.feed(truncated);
+  EXPECT_THROW(strict.finish(), util::contract_error);
+}
+
+TEST(TraceStream, ToleratedGapsFallBackToRecordedRounds) {
+  // msg 2 of a 4-message conversation was dropped by backpressure; with
+  // tolerate_gaps the remaining events still fold, using the recorded
+  // round numbers once the channel is gapped.
+  const std::string text =
+      "{\"ev\":\"send\",\"ch\":9,\"from\":0,\"bits\":8,\"round\":1,"
+      "\"msg\":1,\"t_us\":0}\n"
+      "{\"ev\":\"send\",\"ch\":9,\"from\":1,\"bits\":2,\"round\":2,"
+      "\"msg\":3,\"t_us\":2}\n"
+      "{\"ev\":\"send\",\"ch\":9,\"from\":1,\"bits\":1,\"round\":2,"
+      "\"msg\":4,\"t_us\":3}\n";
+  obs::TraceReadOptions options;
+  options.tolerate_gaps = true;
+  obs::TraceStream stream(options);
+  stream.feed(text);
+  stream.finish();
+  EXPECT_EQ(stream.stats().gap_events, 1u);
+  EXPECT_EQ(stream.stats().gapped_channels, 1u);
+  const obs::ChannelTrace trace = stream.take_trace();
+  EXPECT_EQ(trace.send_events, 3u);
+  ASSERT_EQ(trace.channels.size(), 1u);
+  ASSERT_EQ(trace.channels[0].rounds.size(), 2u);
+  EXPECT_EQ(trace.channels[0].rounds[1].round, 2u);
+  EXPECT_EQ(trace.channels[0].rounds[1].bits, 3u);
+
+  // A round number running backwards is corruption even on a gapped
+  // channel.
+  obs::TraceStream bad(options);
+  bad.feed(
+      "{\"ev\":\"send\",\"ch\":9,\"from\":0,\"bits\":8,\"round\":3,"
+      "\"msg\":5,\"t_us\":0}\n");
+  EXPECT_THROW(bad.feed("{\"ev\":\"send\",\"ch\":9,\"from\":1,\"bits\":1,"
+                        "\"round\":2,\"msg\":7,\"t_us\":1}\n"),
+               util::contract_error);
+}
+
+TEST(TraceStream, DropStorageStillFoldsAggregates) {
+  const std::string text =
+      "{\"ev\":\"send\",\"ch\":3,\"from\":0,\"bits\":5,\"round\":1,"
+      "\"msg\":1,\"t_us\":0}\n"
+      "{\"ev\":\"span\",\"id\":1,\"parent\":0,\"tid\":1,\"name\":\"s\","
+      "\"t_us\":0,\"dur_us\":4}\n"
+      "{\"ev\":\"send\",\"ch\":3,\"from\":1,\"bits\":2,\"round\":2,"
+      "\"msg\":2,\"t_us\":1}\n";
+  obs::TraceReadOptions options;
+  options.keep_sends = false;
+  options.keep_spans = false;
+  obs::TraceStream stream(options);
+  std::size_t sends_seen = 0;
+  std::size_t spans_seen = 0;
+  stream.on_send = [&](const obs::SendEvent&) { ++sends_seen; };
+  stream.on_span = [&](const obs::SpanEvent&) { ++spans_seen; };
+  stream.feed(text);
+  stream.finish();
+  EXPECT_EQ(sends_seen, 2u);
+  EXPECT_EQ(spans_seen, 1u);
+  const obs::ChannelTrace trace = stream.take_trace();
+  // Aggregates fold without the O(events) storage...
+  EXPECT_EQ(trace.send_events, 2u);
+  EXPECT_EQ(trace.span_events, 1u);
+  EXPECT_EQ(trace.total_bits(), 7u);
+  ASSERT_EQ(trace.channels.size(), 1u);
+  EXPECT_EQ(trace.channels[0].rounds.size(), 2u);
+  // ... and the per-event vectors stay empty.
+  EXPECT_TRUE(trace.channels[0].sends.empty());
+  EXPECT_TRUE(trace.spans.empty());
 }
 
 // ----------------------------------------------------------- span trees

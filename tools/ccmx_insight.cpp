@@ -334,18 +334,63 @@ int cmd_trace(Args& args) {
   const auto trace_path = args.positional();
   if (!trace_path) return usage();
 
-  obs::ChannelTrace trace;
+  // Chunked streaming read, tolerant of the two damage shapes a live
+  // async writer legitimately produces: dropped lines (backpressure
+  // under CCMX_TRACE_POLICY=drop) and a torn final line (killed
+  // process).  Anything else is corruption and still fails the parse —
+  // with a diagnostic, not an unhandled exception.  Sends are folded
+  // into aggregates as they stream (and forwarded to the Chrome writer
+  // below), so memory stays bounded by the span count, not the trace.
+  obs::TraceReadOptions options;
+  options.tolerate_gaps = true;
+  options.tolerate_truncated_tail = true;
+  options.keep_sends = false;
+  options.keep_spans = true;
+  obs::TraceStream stream(options);
+
+  std::ofstream chrome_out;
+  std::optional<obs::ChromeTraceWriter> chrome;
+  if (chrome_path) {
+    const std::filesystem::path p(*chrome_path);
+    if (p.has_parent_path()) {
+      std::error_code ec;
+      std::filesystem::create_directories(p.parent_path(), ec);
+    }
+    chrome_out.open(*chrome_path, std::ios::trunc | std::ios::binary);
+    if (!chrome_out.is_open()) {
+      std::cerr << "error: cannot write " << *chrome_path << '\n';
+      return 2;
+    }
+    chrome.emplace(chrome_out);
+    stream.on_span = [&](const obs::SpanEvent& s) { chrome->add_span(s); };
+    stream.on_send = [&](const obs::SendEvent& s) { chrome->add_send(s); };
+  }
+
   try {
-    trace = obs::read_channel_trace_file(*trace_path);
+    stream.consume_file(*trace_path);
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << '\n';
     return 2;
   }
+  const obs::TraceReadStats stats = stream.stats();
+  const obs::ChannelTrace trace = stream.take_trace();
 
   std::cout << "trace: " << *trace_path << " — " << trace.send_events
             << " sends across " << trace.channels.size() << " channel(s), "
             << trace.span_events << " span(s), " << trace.other_events
-            << " other event(s)\n\n";
+            << " other event(s), " << stats.lines << " line(s)\n";
+  if (stats.truncated_tail) {
+    std::cout << "warning: final line is not newline-terminated (writer "
+                 "killed mid-write?); tolerated as 1 truncation\n";
+  }
+  if (stats.gap_events > 0) {
+    std::cout << "warning: " << stats.gap_events
+              << " message-sequence gap(s) across " << stats.gapped_channels
+              << " channel(s) — events were dropped by the writer "
+                 "(CCMX_TRACE_POLICY=drop backpressure); per-round "
+                 "reconstruction uses recorded round numbers there\n";
+  }
+  std::cout << '\n';
   util::TextTable channels(
       {"channel", "rounds", "messages", "agent0 bits", "agent1 bits",
        "total bits"});
@@ -408,9 +453,11 @@ int cmd_trace(Args& args) {
     }
   }
 
-  if (chrome_path) {
-    if (!write_text_file(*chrome_path, obs::render_chrome_trace(trace))) {
-      std::cerr << "error: cannot write " << *chrome_path << '\n';
+  if (chrome) {
+    chrome->finish();
+    chrome_out.flush();
+    if (!chrome_out.good()) {
+      std::cerr << "error: short write on " << *chrome_path << '\n';
       return 2;
     }
     std::cout << "\nchrome trace json: " << *chrome_path
@@ -512,16 +559,26 @@ int cmd_html(Args& args) {
 
   obs::ChannelTrace trace;
   obs::SpanForest forest;
+  obs::TraceReadStats trace_stats;
   if (const auto trace_path = args.option("--trace")) {
+    // Same tolerant chunked read as `trace`: a dashboard over a damaged
+    // trace should render the damage, not die on it.
+    obs::TraceReadOptions options;
+    options.tolerate_gaps = true;
+    options.tolerate_truncated_tail = true;
+    obs::TraceStream stream(options);
     try {
-      trace = obs::read_channel_trace_file(*trace_path);
+      stream.consume_file(*trace_path);
     } catch (const std::exception& e) {
       std::cerr << "error: " << e.what() << '\n';
       return 2;
     }
+    trace_stats = stream.stats();
+    trace = stream.take_trace();
     forest = obs::build_span_forest(trace.spans);
     data.trace = &trace;
     data.forest = &forest;
+    data.trace_stats = &trace_stats;
   }
 
   const std::string html = obs::render_dashboard_html(data);
@@ -569,7 +626,9 @@ int fit_report(const std::string& law, const std::vector<FitPoint>& points,
                const std::string& trace_path, const std::string& x_label,
                double max_dev) {
   // Read the measured bits back out of the JSONL trace: one channel per
-  // protocol execution, in run order.
+  // protocol execution, in run order.  The sweep's events sit in the
+  // async pipeline until flushed.
+  obs::flush_trace_sink();
   const obs::ChannelTrace trace = obs::read_channel_trace_file(trace_path);
   if (trace.channels.size() != points.size()) {
     std::cerr << "error: trace holds " << trace.channels.size()
@@ -685,6 +744,7 @@ int cmd_fit(Args& args) {
            : k_dominant)
           .push_back(p);
     }
+    obs::flush_trace_sink();
     const obs::ChannelTrace trace = obs::read_channel_trace_file(trace_path);
     if (trace.channels.size() != all.size()) {
       std::cerr << "error: trace holds " << trace.channels.size()
