@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "linalg/convert.hpp"
+#include "obs/hwcounters.hpp"
 #include "obs/obs.hpp"
 #include "obs/report.hpp"
 #include "util/rng.hpp"
@@ -47,9 +48,24 @@ inline void print_table(const util::TextTable& table) {
 /// Errored runs are kept (name + error flag, zero timings) so a benchmark
 /// that failed to run shows up in the report — and in bench_main's exit
 /// status — instead of silently disappearing.
+///
+/// Hardware-counter attribution: ReportRuns fires once per finished
+/// benchmark, so the hw delta since the previous call belongs to that
+/// benchmark's batch — measured run plus its warm-up/calibration
+/// iterations, which is why the per-iteration numbers carry a few percent
+/// of calibration overhead (see docs/OBSERVABILITY.md).  A batch with
+/// more than one timing row (repetitions/aggregates) is left
+/// unattributed rather than guessed at.
 class CollectingReporter : public benchmark::ConsoleReporter {
  public:
+  CollectingReporter() : last_hw_(obs::hw_read()) {}
+
   void ReportRuns(const std::vector<Run>& report) override {
+    const obs::HwCounters now = obs::hw_read();
+    const obs::HwCounters batch_hw = obs::hw_delta(last_hw_, now);
+    last_hw_ = now;
+    std::size_t timed_rows = 0;
+    for (const Run& run : report) timed_rows += !run.error_occurred;
     for (const Run& run : report) {
       obs::BenchmarkRun out;
       out.name = run.benchmark_name();
@@ -62,6 +78,7 @@ class CollectingReporter : public benchmark::ConsoleReporter {
         out.real_time = run.GetAdjustedRealTime();
         out.cpu_time = run.GetAdjustedCPUTime();
         out.time_unit = benchmark::GetTimeUnitString(run.time_unit);
+        if (timed_rows == 1) out.hw = batch_hw;
       }
       runs_.push_back(std::move(out));
     }
@@ -76,6 +93,7 @@ class CollectingReporter : public benchmark::ConsoleReporter {
  private:
   std::vector<obs::BenchmarkRun> runs_;
   std::size_t errors_ = 0;
+  obs::HwCounters last_hw_;
 };
 
 /// "path/to/bench_exact_cc" -> "exact_cc" (report key and file stem).
@@ -91,6 +109,11 @@ inline std::string bench_name_from_argv0(std::string_view argv0) {
 /// Boilerplate main body: tables, timings, then the RunReport.
 inline int bench_main(int argc, char** argv, void (*print_tables)()) {
   const util::WallTimer timer;
+  // Open the perf fds (inherit=1 covers pool threads spawned later) and
+  // the optional telemetry sampler before any work runs.
+  const obs::HwRegion process_hw;
+  obs::TelemetrySampler sampler;
+  sampler.start_from_env();
   {
     const obs::ScopedSpan span("bench.tables");
     print_tables();
@@ -109,7 +132,9 @@ inline int bench_main(int argc, char** argv, void (*print_tables)()) {
   for (int i = 0; i < argc; ++i) report.argv.emplace_back(argv[i]);
   report.wall_seconds = timer.seconds();
   report.cpu_seconds = timer.cpu_seconds();
+  report.hw = process_hw.delta();
   report.benchmarks = reporter.runs();
+  sampler.stop();  // final timeseries row before the report is published
   obs::flush_thread();
   const std::string path =
       obs::write_run_report(report, obs::default_report_path(report.name));

@@ -26,6 +26,7 @@
 #include "core/reductions.hpp"
 #include "linalg/det.hpp"
 #include "linalg/rref.hpp"
+#include "obs/hwcounters.hpp"
 #include "obs/obs.hpp"
 #include "obs/report.hpp"
 #include "protocols/fingerprint.hpp"
@@ -175,25 +176,37 @@ void usage() {
 int run_command(const std::string& cmd, std::size_t n, std::size_t arg3,
                 std::uint64_t seed) {
   // Root of the run's span tree: every protocol execution (comm.execute)
-  // and core-layer span nests under this in the JSONL trace.
+  // and core-layer span nests under this in the JSONL trace.  The
+  // HwRegion attributes the command's hardware-counter delta to the root
+  // span (args stay absent on degraded machines, hw.available=false).
+  const obs::HwRegion hw;
   obs::ScopedSpan span("cli." + cmd);
   span.arg("n", static_cast<std::uint64_t>(n));
   span.arg(cmd == "rank" ? "r" : "k", static_cast<std::uint64_t>(arg3));
+  const auto annotated = [&](int rc) {
+    obs::hw_annotate_span(span, hw.delta());
+    return rc;
+  };
   if (cmd == "singularity") {
-    return cmd_singularity(n, static_cast<unsigned>(arg3), seed);
+    return annotated(cmd_singularity(n, static_cast<unsigned>(arg3), seed));
   }
   if (cmd == "solvable") {
-    return cmd_solvable(n, static_cast<unsigned>(arg3), seed);
+    return annotated(cmd_solvable(n, static_cast<unsigned>(arg3), seed));
   }
-  if (cmd == "hard") return cmd_hard(n, static_cast<unsigned>(arg3), seed);
-  if (cmd == "rank") return cmd_rank(n, arg3, seed);
-  if (cmd == "mesh") return cmd_mesh(n, static_cast<unsigned>(arg3));
+  if (cmd == "hard") {
+    return annotated(cmd_hard(n, static_cast<unsigned>(arg3), seed));
+  }
+  if (cmd == "rank") return annotated(cmd_rank(n, arg3, seed));
+  if (cmd == "mesh") {
+    return annotated(cmd_mesh(n, static_cast<unsigned>(arg3)));
+  }
   usage();
   return 2;
 }
 
 /// Writes a ccmx.run_report/1 summary when CCMX_REPORT names a path.
-void maybe_write_report(int argc, char** argv, const util::WallTimer& timer) {
+void maybe_write_report(int argc, char** argv, const util::WallTimer& timer,
+                        const obs::HwRegion& process_hw) {
   const char* path = std::getenv("CCMX_REPORT");
   if (path == nullptr || path[0] == '\0') return;
   obs::RunReport report;
@@ -201,6 +214,7 @@ void maybe_write_report(int argc, char** argv, const util::WallTimer& timer) {
   for (int i = 0; i < argc; ++i) report.argv.emplace_back(argv[i]);
   report.wall_seconds = timer.seconds();
   report.cpu_seconds = timer.cpu_seconds();
+  report.hw = process_hw.delta();
   obs::flush_thread();
   obs::write_run_report(report, path);
   std::cerr << "run report: " << path << "\n";
@@ -214,6 +228,12 @@ int main(int argc, char** argv) {
     return 2;
   }
   const util::WallTimer timer;
+  // Process-wide hardware-counter window plus the background telemetry
+  // sampler (CCMX_SAMPLE_FILE / CCMX_SAMPLE_MS); both degrade to no-ops
+  // where perf_event_open is unavailable.
+  const obs::HwRegion process_hw;
+  obs::TelemetrySampler sampler;
+  sampler.start_from_env();
   const std::string cmd = argv[1];
   const std::size_t n = std::strtoul(argv[2], nullptr, 10);
   const std::size_t arg3 = std::strtoul(argv[3], nullptr, 10);
@@ -227,9 +247,11 @@ int main(int argc, char** argv) {
   obs::set_attribute(cmd == "rank" ? "r" : "k", std::to_string(arg3));
   try {
     const int rc = run_command(cmd, n, arg3, seed);
-    maybe_write_report(argc, argv, timer);
+    sampler.stop();
+    maybe_write_report(argc, argv, timer, process_hw);
     return rc;
   } catch (const std::exception& e) {
+    sampler.stop();
     std::cerr << "error: " << e.what() << "\n";
     return 1;
   }

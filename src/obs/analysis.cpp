@@ -76,6 +76,12 @@ struct BenchRow {
   double cpu_time = 0.0;
   std::int64_t iterations = 0;
   std::string time_unit;
+  /// Per-row hardware attribution; absent (has_hw=false) on reports from
+  /// degraded machines or predating hw counters — the differ degrades to
+  /// "no hw verdict" for such rows instead of erroring.
+  bool has_hw = false;
+  double insn_per_iter = 0.0;
+  double ipc = 0.0;
 };
 
 std::map<std::string, BenchRow> benchmark_map(const json::Value& doc) {
@@ -97,6 +103,19 @@ std::map<std::string, BenchRow> benchmark_map(const json::Value& doc) {
     row.iterations =
         static_cast<std::int64_t>(number_or(run, "iterations", 0.0));
     row.time_unit = string_or(run, "time_unit", "ns");
+    if (const json::Value* hw = run.find("hw");
+        hw != nullptr && hw->is_object()) {
+      const json::Value* avail = hw->find("available");
+      if (avail != nullptr && avail->is_bool() && avail->boolean) {
+        row.insn_per_iter = number_or(run, "insn_per_iteration", 0.0);
+        if (row.insn_per_iter <= 0.0 && row.iterations > 0) {
+          row.insn_per_iter = number_or(*hw, "instructions", 0.0) /
+                              static_cast<double>(row.iterations);
+        }
+        row.ipc = number_or(*hw, "ipc", 0.0);
+        row.has_hw = row.insn_per_iter > 0.0;
+      }
+    }
     out[name->string] = row;
   }
   return out;
@@ -117,6 +136,7 @@ void write_verdict_counts(json::Writer& w, const BenchDiff& diff) {
   w.key("only_candidate")
       .value(static_cast<std::uint64_t>(diff.count(Verdict::kOnlyCandidate)));
   w.key("cpu_regression").value(diff.has_cpu_regression());
+  w.key("insn_regression").value(diff.has_insn_regression());
   w.end_object();
 }
 
@@ -215,6 +235,7 @@ std::size_t BenchDiff::count(Verdict v) const noexcept {
   std::size_t n = 0;
   for (const BenchmarkDelta& d : benchmarks) n += d.verdict == v;
   for (const CounterDelta& d : counters) n += d.verdict == v;
+  for (const InsnDelta& d : insn) n += d.verdict == v;
   for (const RssDelta& d : rss) n += d.verdict == v;
   return n;
 }
@@ -224,6 +245,12 @@ bool BenchDiff::has_cpu_regression() const noexcept {
                      [](const BenchmarkDelta& d) {
                        return d.verdict == Verdict::kRegression;
                      });
+}
+
+bool BenchDiff::has_insn_regression() const noexcept {
+  return std::any_of(insn.begin(), insn.end(), [](const InsnDelta& d) {
+    return d.verdict == Verdict::kRegression;
+  });
 }
 
 BenchDiff diff_reports(const LoadResult& baseline, const LoadResult& candidate,
@@ -312,6 +339,47 @@ BenchDiff diff_reports(const LoadResult& baseline, const LoadResult& candidate,
       diff.benchmarks.push_back(std::move(d));
     }
 
+    // Instruction counts: only rows where BOTH sides carry an available
+    // hw block are judged.  One-sided hw (old baseline vs new candidate,
+    // or a degraded machine on one side) degrades to "no hw verdict"
+    // with a diagnostic note — never an error.
+    {
+      const auto any_hw = [](const std::map<std::string, BenchRow>& rows) {
+        return std::any_of(rows.begin(), rows.end(), [](const auto& entry) {
+          return entry.second.has_hw;
+        });
+      };
+      const bool base_hw = any_hw(base_rows);
+      const bool cand_hw = any_hw(cand_rows);
+      if (base_hw != cand_hw) {
+        diff.problems.push_back(
+            name + ": hw counters available on only one side (degraded "
+                   "machine or pre-hw report?); instruction diff skipped");
+      }
+      for (const auto& [bench, brow] : base_rows) {
+        if (!brow.has_hw) continue;
+        const auto crow_it = cand_rows.find(bench);
+        if (crow_it == cand_rows.end() || !crow_it->second.has_hw) continue;
+        const BenchRow& crow = crow_it->second;
+        InsnDelta d;
+        d.report = name;
+        d.benchmark = bench;
+        d.baseline_insn = brow.insn_per_iter;
+        d.candidate_insn = crow.insn_per_iter;
+        d.baseline_ipc = brow.ipc;
+        d.candidate_ipc = crow.ipc;
+        d.ratio = safe_ratio(brow.insn_per_iter, crow.insn_per_iter);
+        if (brow.iterations < thresholds.min_iterations ||
+            crow.iterations < thresholds.min_iterations) {
+          d.verdict = Verdict::kLowIterations;
+        } else {
+          d.verdict = classify(brow.insn_per_iter, crow.insn_per_iter,
+                               thresholds.insn_rel_tol);
+        }
+        diff.insn.push_back(std::move(d));
+      }
+    }
+
     // Counters: only meaningful when both runs were traced — an untraced
     // run has an empty counter map, and flagging every counter as
     // "disappeared" would be pure noise.
@@ -382,6 +450,7 @@ std::string render_bench_diff_json(const BenchDiff& diff) {
   w.key("cpu_rel_tol").value(diff.thresholds.cpu_rel_tol);
   w.key("counter_rel_tol").value(diff.thresholds.counter_rel_tol);
   w.key("rss_rel_tol").value(diff.thresholds.rss_rel_tol);
+  w.key("insn_rel_tol").value(diff.thresholds.insn_rel_tol);
   w.key("min_iterations").value(diff.thresholds.min_iterations);
   w.end_object();
   write_verdict_counts(w, diff);
@@ -407,6 +476,20 @@ std::string render_bench_diff_json(const BenchDiff& diff) {
     w.key("counter").value(d.counter);
     w.key("baseline").value(d.baseline);
     w.key("candidate").value(d.candidate);
+    w.key("ratio").value(d.ratio);
+    w.key("verdict").value(verdict_name(d.verdict));
+    w.end_object();
+  }
+  w.end_array();
+  w.key("insn").begin_array();
+  for (const InsnDelta& d : diff.insn) {
+    w.begin_object();
+    w.key("report").value(d.report);
+    w.key("benchmark").value(d.benchmark);
+    w.key("baseline_insn").value(d.baseline_insn);
+    w.key("candidate_insn").value(d.candidate_insn);
+    w.key("baseline_ipc").value(d.baseline_ipc);
+    w.key("candidate_ipc").value(d.candidate_ipc);
     w.key("ratio").value(d.ratio);
     w.key("verdict").value(verdict_name(d.verdict));
     w.end_object();
@@ -443,6 +526,7 @@ std::string render_bench_diff_markdown(const BenchDiff& diff) {
   os << "- thresholds: cpu ±" << fmt_num(diff.thresholds.cpu_rel_tol * 100)
      << "%, counters ±" << fmt_num(diff.thresholds.counter_rel_tol * 100)
      << "%, rss ±" << fmt_num(diff.thresholds.rss_rel_tol * 100)
+     << "%, instructions ±" << fmt_num(diff.thresholds.insn_rel_tol * 100)
      << "%, min iterations " << diff.thresholds.min_iterations << "\n\n";
 
   const auto interesting = [](Verdict v) {
@@ -465,6 +549,32 @@ std::string render_bench_diff_markdown(const BenchDiff& diff) {
   } else {
     os << "All " << diff.benchmarks.size()
        << " benchmark timings within noise.\n\n";
+  }
+
+  if (diff.insn.empty()) {
+    os << "Instruction counts: no benchmark carried hw counters on both "
+          "sides — no hw verdict.\n\n";
+  } else {
+    bool any_insn = std::any_of(
+        diff.insn.begin(), diff.insn.end(),
+        [&](const InsnDelta& d) { return interesting(d.verdict); });
+    if (any_insn) {
+      os << "| report | benchmark | baseline insn/iter | candidate "
+            "insn/iter | ratio | IPC (b → c) | verdict |\n"
+            "|---|---|---|---|---|---|---|\n";
+      for (const InsnDelta& d : diff.insn) {
+        if (!interesting(d.verdict)) continue;
+        os << "| " << d.report << " | " << d.benchmark << " | "
+           << fmt_num(d.baseline_insn) << " | " << fmt_num(d.candidate_insn)
+           << " | " << fmt_ratio(d.ratio) << " | " << fmt_num(d.baseline_ipc)
+           << " → " << fmt_num(d.candidate_ipc) << " | "
+           << verdict_name(d.verdict) << " |\n";
+      }
+      os << '\n';
+    } else {
+      os << "All " << diff.insn.size()
+         << " instruction counts within tolerance.\n\n";
+    }
   }
 
   bool any_counter = std::any_of(
@@ -565,6 +675,11 @@ std::vector<std::string> validate_bench_diff(const json::Value& doc) {
                            std::string(field) + '"');
       }
     }
+    // Optional: diffs predating the instruction gate carry no insn_rel_tol.
+    if (const json::Value* v = thresholds->find("insn_rel_tol");
+        v != nullptr && !v->is_number()) {
+      problems.emplace_back("thresholds member \"insn_rel_tol\" has wrong type");
+    }
   }
   const json::Value* summary = doc.find("summary");
   if (summary == nullptr || !summary->is_object()) {
@@ -582,6 +697,11 @@ std::vector<std::string> validate_bench_diff(const json::Value& doc) {
     if (gate == nullptr || !gate->is_bool()) {
       problems.emplace_back("summary missing bool \"cpu_regression\"");
     }
+    // Optional: diffs predating the instruction gate carry no insn gate.
+    if (const json::Value* insn_gate = summary->find("insn_regression");
+        insn_gate != nullptr && !insn_gate->is_bool()) {
+      problems.emplace_back("summary member \"insn_regression\" has wrong type");
+    }
   }
   check_delta_array(doc, "benchmarks",
                     {"baseline_cpu", "candidate_cpu", "baseline_iterations",
@@ -590,6 +710,13 @@ std::vector<std::string> validate_bench_diff(const json::Value& doc) {
   check_delta_array(doc, "counters",
                     {"baseline", "candidate", "ratio"},
                     {"report", "counter", "verdict"}, problems);
+  // Optional array: diffs predating the instruction gate carry none.
+  if (doc.find("insn") != nullptr) {
+    check_delta_array(doc, "insn",
+                      {"baseline_insn", "candidate_insn", "baseline_ipc",
+                       "candidate_ipc", "ratio"},
+                      {"report", "benchmark", "verdict"}, problems);
+  }
   check_delta_array(doc, "rss", {"baseline_bytes", "candidate_bytes", "ratio"},
                     {"report", "verdict"}, problems);
   if (const json::Value* probs = doc.find("problems");

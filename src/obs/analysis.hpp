@@ -70,6 +70,13 @@ struct DiffThresholds {
   double counter_rel_tol = 0.25;
   /// Relative max_rss change beyond which memory is flagged.
   double rss_rel_tol = 0.30;
+  /// Relative change of retired instructions per iteration beyond which
+  /// a benchmark is flagged.  Instruction counts are near-deterministic
+  /// (unlike cpu_time), so this gate is far tighter than the cpu one —
+  /// but per-row attribution includes the calibration iterations of the
+  /// batch, which adds a few percent of run-to-run wobble on top of the
+  /// true count (see bench_common.hpp); CI loosens it accordingly.
+  double insn_rel_tol = 0.02;
   /// A benchmark timed with fewer iterations than this (on either side)
   /// is reported but never judged: too few samples to call noise.
   std::int64_t min_iterations = 3;
@@ -110,6 +117,21 @@ struct CounterDelta {
   Verdict verdict = Verdict::kWithinNoise;
 };
 
+/// Retired instructions per iteration compared across the two runs.
+/// Emitted only when BOTH sides carry an available hw block for the
+/// benchmark — reports from degraded machines or predating hw counters
+/// simply produce no row ("no hw verdict"), never an error.
+struct InsnDelta {
+  std::string report;
+  std::string benchmark;
+  double baseline_insn = 0.0;   // instructions per iteration
+  double candidate_insn = 0.0;
+  double baseline_ipc = 0.0;
+  double candidate_ipc = 0.0;
+  double ratio = 0.0;  // candidate / baseline insn per iteration
+  Verdict verdict = Verdict::kWithinNoise;
+};
+
 /// Peak-RSS comparison for one report pair (skipped when either side
 /// predates max_rss_bytes).
 struct RssDelta {
@@ -126,6 +148,7 @@ struct BenchDiff {
   std::string candidate_dir;
   std::vector<BenchmarkDelta> benchmarks;
   std::vector<CounterDelta> counters;
+  std::vector<InsnDelta> insn;
   std::vector<RssDelta> rss;
   /// Load/validation problems from either side (diagnostic, not gating).
   std::vector<std::string> problems;
@@ -134,6 +157,10 @@ struct BenchDiff {
   /// The CI gate: true when any benchmark cpu_time regressed beyond
   /// tolerance.  Counter and RSS regressions are surfaced but advisory.
   [[nodiscard]] bool has_cpu_regression() const noexcept;
+  /// The second gate: true when any benchmark's instructions-per-
+  /// iteration regressed beyond insn_rel_tol.  Vacuously false when no
+  /// benchmark carried hw on both sides.
+  [[nodiscard]] bool has_insn_regression() const noexcept;
 };
 
 /// Diffs candidate against baseline.  Reports are matched by name;

@@ -244,6 +244,7 @@ class Dashboard {
     w_.open("main");
     header();
     reports_section();
+    timeseries_section();
     trajectory_section();
     diff_section();
     traffic_section();
@@ -342,6 +343,7 @@ class Dashboard {
         w_.close();  // tr
       }
       w_.close().close();  // tbody, table
+      hw_table(loaded);
     }
     for (const std::string& problem : loaded.problems) {
       w_.element("p", {{"class", "problems"}}, "\xE2\x9A\xA0 " + problem);
@@ -349,13 +351,187 @@ class Dashboard {
     w_.close();  // section
   }
 
+  /// Hardware-counter attribution per report.  Degraded machines render
+  /// the reason, never zeros masquerading as measurements; reports from
+  /// before the hw block get an em-dash row.
+  void hw_table(const LoadResult& loaded) {
+    bool any_hw_block = false;
+    for (const LoadedReport& report : loaded.reports) {
+      const json::Value* hw = report.doc.find("hw");
+      if (hw != nullptr && hw->is_object()) any_hw_block = true;
+    }
+    if (!any_hw_block) {
+      w_.element("p", {{"class", "note"}},
+                 "No report carries an hw block (pre-hw reports).");
+      return;
+    }
+    w_.element("p", {{"class", "legend"}},
+               "Hardware counters over the whole process "
+               "(perf_event_open, multiplex-scaled).");
+    w_.open("table");
+    w_.open("thead").open("tr");
+    w_.element("th", {}, "report");
+    for (const char* h :
+         {"instructions", "cycles", "IPC", "cache miss", "task clock"}) {
+      w_.element("th", {{"class", "num"}}, h);
+    }
+    w_.close().close();  // tr, thead
+    w_.open("tbody");
+    for (const LoadedReport& report : loaded.reports) {
+      w_.open("tr");
+      w_.element("td", {}, report.name);
+      const json::Value* hw = report.doc.find("hw");
+      const json::Value* avail =
+          hw != nullptr && hw->is_object() ? hw->find("available") : nullptr;
+      if (avail != nullptr && avail->is_bool() && avail->boolean) {
+        w_.element("td", {{"class", "num"}},
+                   fmt_count(static_cast<std::uint64_t>(
+                       number_or(*hw, "instructions", 0.0))));
+        w_.element("td", {{"class", "num"}},
+                   fmt_count(static_cast<std::uint64_t>(
+                       number_or(*hw, "cycles", 0.0))));
+        w_.element("td", {{"class", "num"}},
+                   fmt_fixed(number_or(*hw, "ipc", 0.0), 2));
+        w_.element("td", {{"class", "num"}},
+                   fmt_fixed(number_or(*hw, "cache_miss_rate", 0.0) * 100.0,
+                             1) + " %");
+        w_.element("td", {{"class", "num"}},
+                   fmt_us(static_cast<std::int64_t>(
+                       number_or(*hw, "task_clock_ns", 0.0) / 1000.0)));
+      } else {
+        const bool has_block = hw != nullptr && hw->is_object();
+        w_.open("td",
+                {{"class", "num verdict-neutral"}, {"colspan", "5"}});
+        w_.text(has_block
+                    ? "unavailable \xE2\x80\x94 " +
+                          string_or(*hw, "reason", "no reason recorded")
+                    : "no hw block (pre-hw report)");
+        w_.close();
+      }
+      w_.close();  // tr
+    }
+    w_.close().close();  // tbody, table
+  }
+
+  // ---- telemetry timeseries --------------------------------------------
+
+  void timeseries_section() {
+    w_.open("section", {{"class", "card"}});
+    w_.element("h2", {}, "Telemetry over the run");
+    if (data_.timeseries == nullptr) {
+      w_.element("p", {{"class", "note"}},
+                 "No telemetry series provided (set CCMX_SAMPLE_FILE on the "
+                 "run, then pass --timeseries).");
+      w_.close();
+      return;
+    }
+    const TimeseriesResult& ts = *data_.timeseries;
+    if (ts.rows.empty()) {
+      w_.element("p", {{"class", "note"}},
+                 "No " + std::string(kTimeseriesSchema) + " rows in " +
+                     ts.path + ".");
+      for (const std::string& problem : ts.problems) {
+        w_.element("p", {{"class", "problems"}}, "\xE2\x9A\xA0 " + problem);
+      }
+      w_.close();
+      return;
+    }
+
+    // One point per sampler tick; hw-derived series only exist where the
+    // machine exposed counters (degraded runs still get the RSS line).
+    std::vector<std::pair<double, double>> rss;
+    std::vector<std::pair<double, double>> ipc;
+    std::vector<std::pair<double, double>> insn_rate;
+    for (const TimeseriesRow& row : ts.rows) {
+      const double t = static_cast<double>(row.t_us) / 1e6;
+      rss.emplace_back(t, static_cast<double>(row.rss_bytes) /
+                              (1024.0 * 1024.0));
+      if (row.hw_available && row.cycles > 0) {
+        ipc.emplace_back(t, static_cast<double>(row.instructions) /
+                                static_cast<double>(row.cycles));
+      }
+      if (row.hw_available && row.dt_us > 0) {
+        insn_rate.emplace_back(
+            t, static_cast<double>(row.instructions) /
+                   (static_cast<double>(row.dt_us) / 1e6));
+      }
+    }
+    std::string legend = std::to_string(ts.rows.size()) +
+                         " sample(s) over " +
+                         fmt_fixed(ts.span_seconds(), 2) + " s from " +
+                         ts.path;
+    if (ts.skipped > 0) {
+      legend += " (" + std::to_string(ts.skipped) + " line(s) skipped)";
+    }
+    w_.element("p", {{"class", "legend"}}, legend);
+
+    w_.open("table");
+    w_.open("thead").open("tr");
+    w_.element("th", {}, "metric");
+    w_.element("th", {}, "over the run");
+    w_.element("th", {{"class", "num"}}, "min");
+    w_.element("th", {{"class", "num"}}, "max");
+    w_.element("th", {{"class", "num"}}, "last");
+    w_.close().close();  // tr, thead
+    w_.open("tbody");
+    timeseries_metric_row("RSS (MiB)", rss, 1);
+    if (ipc.empty() && insn_rate.empty()) {
+      w_.open("tr");
+      w_.element("td", {}, "hardware counters");
+      w_.open("td", {{"class", "verdict-neutral"}, {"colspan", "4"}});
+      w_.text("unavailable on this machine (see the hw table above)");
+      w_.close();
+      w_.close();  // tr
+    } else {
+      timeseries_metric_row("IPC", ipc, 2);
+      timeseries_metric_row("instructions / s", insn_rate, 0);
+    }
+    w_.close().close();  // tbody, table
+    for (const std::string& problem : ts.problems) {
+      w_.element("p", {{"class", "problems"}}, "\xE2\x9A\xA0 " + problem);
+    }
+    w_.close();  // section
+  }
+
+  void timeseries_metric_row(const std::string& label,
+                             const std::vector<std::pair<double, double>>& pts,
+                             int digits) {
+    w_.open("tr");
+    w_.element("td", {}, label);
+    if (pts.empty()) {
+      w_.open("td", {{"class", "verdict-neutral"}, {"colspan", "4"}});
+      w_.text("\xE2\x80\x94");
+      w_.close();
+      w_.close();  // tr
+      return;
+    }
+    double y_min = pts.front().second;
+    double y_max = y_min;
+    for (const auto& [t, y] : pts) {
+      y_min = std::min(y_min, y);
+      y_max = std::max(y_max, y);
+    }
+    w_.open("td");
+    spark(pts, label + ": " + std::to_string(pts.size()) + " samples, " +
+                   fmt_fixed(y_min, digits) + " .. " +
+                   fmt_fixed(y_max, digits));
+    w_.close();
+    w_.element("td", {{"class", "num"}}, fmt_fixed(y_min, digits));
+    w_.element("td", {{"class", "num"}}, fmt_fixed(y_max, digits));
+    w_.element("td", {{"class", "num"}},
+               fmt_fixed(pts.back().second, digits));
+    w_.close();  // tr
+  }
+
   // ---- trajectory sparklines -------------------------------------------
 
-  void sparkline(const TrajectorySeries& series) {
+  /// One 220x40 sparkline over (x, y) points with a hover title; shared
+  /// by the trajectory and telemetry sections.
+  void spark(const std::vector<std::pair<double, double>>& pts,
+             const std::string& tooltip) {
     constexpr double kW = 220.0;
     constexpr double kH = 40.0;
     constexpr double kPad = 3.0;
-    const std::vector<std::pair<double, double>>& pts = series.points;
     double t_min = pts.front().first;
     double t_max = pts.back().first;
     double y_min = pts.front().second;
@@ -377,11 +553,7 @@ class Dashboard {
                     {"width", "220"},
                     {"height", "40"},
                     {"role", "img"}});
-    w_.element("title", {},
-               series.report + "/" + series.benchmark + ": " +
-                   std::to_string(pts.size()) + " runs, cpu_time " +
-                   fmt_fixed(y_min, 3) + " .. " +
-                   fmt_fixed(y_max, 3));
+    w_.element("title", {}, tooltip);
     // Hairline baseline so a flat series still reads as "on the floor".
     w_.leaf("line", {{"x1", fmt_svg(kPad)},
                      {"y1", fmt_svg(kH - kPad)},
@@ -409,6 +581,19 @@ class Dashboard {
                        {"r", "3"},
                        {"fill", "var(--s1)"}});
     w_.close();  // svg
+  }
+
+  void sparkline(const TrajectorySeries& series) {
+    double y_min = series.points.front().second;
+    double y_max = y_min;
+    for (const auto& [t, y] : series.points) {
+      y_min = std::min(y_min, y);
+      y_max = std::max(y_max, y);
+    }
+    spark(series.points,
+          series.report + "/" + series.benchmark + ": " +
+              std::to_string(series.points.size()) + " runs, cpu_time " +
+              fmt_fixed(y_min, 3) + " .. " + fmt_fixed(y_max, 3));
   }
 
   void trajectory_section() {

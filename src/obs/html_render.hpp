@@ -47,6 +47,9 @@ struct DashboardData {
   /// Stats from the streaming read of `trace` (lines, tolerated gaps,
   /// torn tail) for the trace-pipeline panel.
   const TraceReadStats* trace_stats = nullptr;
+  /// A loaded ccmx.timeseries/1 series (background telemetry sampler)
+  /// for the RSS / IPC / instruction-rate sparklines.
+  const TimeseriesResult* timeseries = nullptr;
 };
 
 /// Renders the dashboard.  Throws util::contract_error when `reports` is

@@ -1,0 +1,217 @@
+// Hardware-counter attribution and the background telemetry sampler.
+//
+// Why: every perf claim in this repo rests on cpu_time, which is noisy on
+// shared CI runners (the regression gate needs a ±50% tolerance there).
+// Retired-instruction counts are near-deterministic run to run and
+// separate "doing more work" from "doing the same work with worse IPC",
+// so the diff gate can be far tighter on them.
+//
+// The counter set is fixed: instructions, cycles, cache-references,
+// cache-misses, branches, branch-misses (PERF_TYPE_HARDWARE) plus
+// task-clock (PERF_TYPE_SOFTWARE), each opened as its own perf fd with
+// inherit=1 so threads spawned later (the worker pool) are included —
+// PERF_FORMAT_GROUP and inherit do not combine, which is why there is no
+// counter *group* fd.  Counts are scaled by time_enabled/time_running, so
+// they stay meaningful when the PMU multiplexes.
+//
+// Graceful degradation is a first-class mode, not an error: EPERM/EACCES
+// (perf_event_paranoid too strict), ENOSYS/ENOENT (no PMU — common in
+// containers and VMs), `CCMX_HW=off`, and non-Linux builds all yield
+// hw_available()==false with a once-per-probe stderr diagnostic, and
+// every snapshot carries available=false so downstream consumers render
+// "unavailable" instead of zeros.
+//
+// TelemetrySampler is a background std::jthread (same shape as the trace
+// drainer: stop_token, explicit lifecycle) that appends one
+// ccmx.timeseries/1 JSONL row every CCMX_SAMPLE_MS: RSS and utime/stime
+// from /proc/self, obs counter deltas, and hw deltas over the interval.
+//
+// Defining CCMX_OBS_DISABLED (CMake CCMX_OBS=OFF) compiles all of this
+// down to inline no-ops, like the rest of the obs layer.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "obs/obs.hpp"
+
+namespace ccmx::obs {
+
+/// One snapshot (or delta) of the fixed hardware-counter set.  A plain
+/// value type in every build mode; `available` is false when the
+/// numbers mean nothing (counters degraded or never opened) and
+/// consumers must render "unavailable", never the zeros.
+struct HwCounters {
+  bool available = false;
+  std::uint64_t instructions = 0;
+  std::uint64_t cycles = 0;
+  std::uint64_t cache_references = 0;
+  std::uint64_t cache_misses = 0;
+  std::uint64_t branches = 0;
+  std::uint64_t branch_misses = 0;
+  std::uint64_t task_clock_ns = 0;
+
+  /// Instructions per cycle; 0 when unavailable or no cycles elapsed.
+  [[nodiscard]] double ipc() const noexcept {
+    return available && cycles > 0
+               ? static_cast<double>(instructions) / static_cast<double>(cycles)
+               : 0.0;
+  }
+  /// cache_misses / cache_references; 0 when unavailable or unreferenced.
+  [[nodiscard]] double cache_miss_rate() const noexcept {
+    return available && cache_references > 0
+               ? static_cast<double>(cache_misses) /
+                     static_cast<double>(cache_references)
+               : 0.0;
+  }
+  /// branch_misses / branches; 0 when unavailable or branch-free.
+  [[nodiscard]] double branch_miss_rate() const noexcept {
+    return available && branches > 0
+               ? static_cast<double>(branch_misses) /
+                     static_cast<double>(branches)
+               : 0.0;
+  }
+};
+
+/// end - start, field by field, saturating at 0 (multiplex scaling can
+/// make totals regress by a rounding error).  The result is available
+/// only when both operands are.
+[[nodiscard]] inline HwCounters hw_delta(const HwCounters& start,
+                                         const HwCounters& end) noexcept {
+  const auto sub = [](std::uint64_t a, std::uint64_t b) noexcept {
+    return b > a ? b - a : std::uint64_t{0};
+  };
+  HwCounters d;
+  d.available = start.available && end.available;
+  d.instructions = sub(start.instructions, end.instructions);
+  d.cycles = sub(start.cycles, end.cycles);
+  d.cache_references = sub(start.cache_references, end.cache_references);
+  d.cache_misses = sub(start.cache_misses, end.cache_misses);
+  d.branches = sub(start.branches, end.branches);
+  d.branch_misses = sub(start.branch_misses, end.branch_misses);
+  d.task_clock_ns = sub(start.task_clock_ns, end.task_clock_ns);
+  return d;
+}
+
+/// Explicit sampler configuration (CLIs and tests; normal runs configure
+/// through CCMX_SAMPLE_FILE / CCMX_SAMPLE_MS instead).
+struct SamplerOptions {
+  std::string path;
+  /// Milliseconds between rows; values below 1 are clamped to 1.
+  std::int64_t interval_ms = 100;
+};
+
+#ifndef CCMX_OBS_DISABLED
+
+/// True when the perf counter set is open and counting.  The first call
+/// probes: honors CCMX_HW=off, opens the fds (instructions and cycles
+/// are required, the rest optional — some hypervisors expose only a
+/// partial PMU), and on failure reports the reason to stderr once and
+/// latches unavailable for the rest of the process.
+[[nodiscard]] bool hw_available() noexcept;
+
+/// Human-readable reason counters are unavailable ("" when available):
+/// "CCMX_HW=off", "perf_event_open failed: EPERM (perf_event_paranoid=N;
+/// lower it or run privileged)", "not a Linux build", ...
+[[nodiscard]] std::string hw_unavailable_reason();
+
+/// Current counter totals since the probe opened the fds (multiplex
+/// scaled).  available=false snapshot when degraded.
+[[nodiscard]] HwCounters hw_read() noexcept;
+
+/// RAII scoped measurement: snapshots at construction, delta() reads the
+/// distance travelled since.  Cheap when unavailable (no syscalls).
+class HwRegion {
+ public:
+  HwRegion() : start_(hw_read()) {}
+
+  [[nodiscard]] bool available() const noexcept { return start_.available; }
+  [[nodiscard]] HwCounters delta() const noexcept {
+    return hw_delta(start_, hw_read());
+  }
+
+ private:
+  HwCounters start_;
+};
+
+/// Attaches a delta's headline numbers to a span as args
+/// ("hw.instructions", "hw.cycles", "hw.cache_misses", "hw.branch_misses",
+/// "hw.task_clock_ns").  Emits "hw.available"="false" instead when the
+/// delta is degraded, so traces never show silent zeros.
+void hw_annotate_span(ScopedSpan& span, const HwCounters& delta);
+
+/// Test hooks.  hw_reset_for_testing() closes the fds and forgets the
+/// probe result so the next hw_available() re-reads the environment;
+/// hw_force_unavailable_for_testing() latches the degraded mode with a
+/// given reason (simulating EPERM without needing a locked-down kernel).
+void hw_reset_for_testing() noexcept;
+void hw_force_unavailable_for_testing(std::string_view reason);
+
+/// Background telemetry sampler.  start() spawns a std::jthread that
+/// appends one ccmx.timeseries/1 JSONL row to the file every interval
+/// and a final row at stop(), so even a run shorter than one interval
+/// produces a usable series.  stop() is idempotent and implied by the
+/// destructor; start() while running is refused.
+class TelemetrySampler {
+ public:
+  TelemetrySampler();
+  ~TelemetrySampler();
+
+  TelemetrySampler(const TelemetrySampler&) = delete;
+  TelemetrySampler& operator=(const TelemetrySampler&) = delete;
+
+  /// False (with a one-line stderr diagnostic) when the file cannot be
+  /// opened or the sampler is already running.
+  bool start(const SamplerOptions& options);
+
+  /// Reads CCMX_SAMPLE_FILE (+ CCMX_SAMPLE_MS, default 100); false
+  /// without starting when CCMX_SAMPLE_FILE is unset or empty.
+  bool start_from_env();
+
+  /// Writes the final row, joins the thread, flushes, and closes.
+  void stop();
+
+  [[nodiscard]] bool running() const noexcept;
+
+  /// Rows written so far (final row included after stop()); for tests.
+  [[nodiscard]] std::uint64_t rows_written() const noexcept;
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+#else  // CCMX_OBS_DISABLED: inline no-ops, like the rest of the layer.
+
+[[nodiscard]] inline bool hw_available() noexcept { return false; }
+[[nodiscard]] inline std::string hw_unavailable_reason() {
+  return "observability compiled out (CCMX_OBS=OFF)";
+}
+[[nodiscard]] inline HwCounters hw_read() noexcept { return {}; }
+
+class HwRegion {
+ public:
+  HwRegion() = default;
+  [[nodiscard]] bool available() const noexcept { return false; }
+  [[nodiscard]] HwCounters delta() const noexcept { return {}; }
+};
+
+inline void hw_annotate_span(ScopedSpan&, const HwCounters&) {}
+inline void hw_reset_for_testing() noexcept {}
+inline void hw_force_unavailable_for_testing(std::string_view) {}
+
+class TelemetrySampler {
+ public:
+  TelemetrySampler() = default;
+  bool start(const SamplerOptions&) { return false; }
+  bool start_from_env() { return false; }
+  void stop() {}
+  [[nodiscard]] bool running() const noexcept { return false; }
+  [[nodiscard]] std::uint64_t rows_written() const noexcept { return 0; }
+};
+
+#endif  // CCMX_OBS_DISABLED
+
+}  // namespace ccmx::obs

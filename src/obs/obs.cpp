@@ -38,11 +38,6 @@ std::size_t bucket_of(double value) noexcept {
   return static_cast<std::size_t>(b);
 }
 
-/// Geometric midpoint of bucket b (inverse of bucket_of up to factor 2).
-double bucket_mid(std::size_t b) noexcept {
-  return std::ldexp(1.5, util::narrow_cast<int>(b) - 65);
-}
-
 struct HistData {
   std::uint64_t count = 0;
   double min = 0.0;
@@ -626,10 +621,20 @@ HistSummary summarize(const HistData& h) {
         std::ceil(p * static_cast<double>(h.count)));
     std::uint64_t cumulative = 0;
     for (std::size_t b = 0; b < kBuckets; ++b) {
-      cumulative += h.buckets[b];
-      if (cumulative >= target) {
-        return std::clamp(bucket_mid(b), h.min, h.max);
+      if (h.buckets[b] == 0) continue;
+      if (cumulative + h.buckets[b] < target) {
+        cumulative += h.buckets[b];
+        continue;
       }
+      // Linear interpolation inside the log2 bucket [lo, 2*lo): assume
+      // the bucket's samples are spread uniformly, place the target at
+      // its rank fraction.  Factor-of-2 boundary accuracy becomes
+      // width-proportional accuracy; the clamp keeps one-bucket
+      // histograms inside the observed [min, max].
+      const double lo = std::ldexp(1.0, util::narrow_cast<int>(b) - 65);
+      const double fraction = static_cast<double>(target - cumulative) /
+                              static_cast<double>(h.buckets[b]);
+      return std::clamp(lo + fraction * lo, h.min, h.max);
     }
     return h.max;
   };

@@ -24,7 +24,8 @@
 namespace ccmx::obs {
 
 /// Summary of one histogram: streaming moments plus quantiles estimated
-/// from power-of-two buckets (accurate to a factor of 2).
+/// from power-of-two buckets, linearly interpolated within the target
+/// bucket (error bounded by the bucket width, not a factor of 2).
 struct HistSummary {
   std::uint64_t count = 0;
   double min = 0.0;

@@ -46,6 +46,46 @@ std::int64_t current_max_rss_bytes() noexcept {
 #endif
 }
 
+RusageExtras current_rusage_extras() noexcept {
+  RusageExtras extras;
+#if defined(__unix__) || defined(__APPLE__)
+  struct rusage usage{};
+  if (getrusage(RUSAGE_SELF, &usage) != 0) return extras;
+  extras.minor_faults = static_cast<std::int64_t>(usage.ru_minflt);
+  extras.major_faults = static_cast<std::int64_t>(usage.ru_majflt);
+  extras.voluntary_ctx_switches = static_cast<std::int64_t>(usage.ru_nvcsw);
+  extras.involuntary_ctx_switches = static_cast<std::int64_t>(usage.ru_nivcsw);
+#endif
+  return extras;
+}
+
+namespace {
+
+/// The shared hw sub-object shape: full numbers + derived rates when the
+/// delta is live, an explicit {"available": false} otherwise so readers
+/// can tell "degraded" from "zeros".
+void write_hw_object(json::Writer& w, const HwCounters& hw,
+                     bool with_reason) {
+  w.begin_object();
+  w.key("available").value(hw.available);
+  if (hw.available) {
+    w.key("instructions").value(hw.instructions);
+    w.key("cycles").value(hw.cycles);
+    w.key("ipc").value(hw.ipc());
+    w.key("cache_references").value(hw.cache_references);
+    w.key("cache_misses").value(hw.cache_misses);
+    w.key("cache_miss_rate").value(hw.cache_miss_rate());
+    w.key("branches").value(hw.branches);
+    w.key("branch_misses").value(hw.branch_misses);
+    w.key("task_clock_ns").value(hw.task_clock_ns);
+  } else if (with_reason) {
+    w.key("reason").value(hw_unavailable_reason());
+  }
+  w.end_object();
+}
+
+}  // namespace
+
 std::string render_run_report(const RunReport& report) {
   // Settle the async trace pipeline first so the obs.trace.* counters
   // below agree with what actually reached the trace file.
@@ -74,6 +114,16 @@ std::string render_run_report(const RunReport& report) {
   w.key("max_rss_bytes")
       .value(report.max_rss_bytes > 0 ? report.max_rss_bytes
                                       : current_max_rss_bytes());
+  const RusageExtras extras = current_rusage_extras();
+  w.key("minor_faults").value(extras.minor_faults);
+  w.key("major_faults").value(extras.major_faults);
+  w.key("voluntary_ctx_switches").value(extras.voluntary_ctx_switches);
+  w.key("involuntary_ctx_switches").value(extras.involuntary_ctx_switches);
+  // Same at-render-time capture rule as max_rss_bytes: a report that
+  // never measured its own hw region gets the process totals.
+  w.key("hw");
+  write_hw_object(w, report.hw.available ? report.hw : hw_read(),
+                  /*with_reason=*/true);
   w.key("argv").begin_array();
   for (const std::string& arg : report.argv) w.value(arg);
   w.end_array();
@@ -107,6 +157,16 @@ std::string render_run_report(const RunReport& report) {
     if (run.error) {
       w.key("error").value(true);
       w.key("error_message").value(run.error_message);
+    }
+    if (run.hw.available) {
+      w.key("hw");
+      write_hw_object(w, run.hw, /*with_reason=*/false);
+      if (run.iterations > 0) {
+        // The near-deterministic number the diff gate compares.
+        w.key("insn_per_iteration")
+            .value(static_cast<double>(run.hw.instructions) /
+                   static_cast<double>(run.iterations));
+      }
     }
     w.end_object();
   }
@@ -216,6 +276,43 @@ std::vector<std::string> validate_run_report(const json::Value& doc) {
       trunc != nullptr && !trunc->is_bool()) {
     problems.emplace_back("member \"trace_truncated\" has wrong type");
   }
+  // Optional rusage extras (reports predating them stay valid); typed
+  // and non-negative when present.
+  for (const char* field : {"minor_faults", "major_faults",
+                            "voluntary_ctx_switches",
+                            "involuntary_ctx_switches"}) {
+    if (const json::Value* v = doc.find(field); v != nullptr) {
+      if (!v->is_number()) {
+        problems.push_back("member \"" + std::string(field) +
+                           "\" has wrong type");
+      } else if (v->number < 0.0) {
+        problems.push_back("\"" + std::string(field) + "\" must be >= 0");
+      }
+    }
+  }
+  // Optional hw block; when present it must carry a bool "available",
+  // and an available block must carry the counter numbers.
+  if (const json::Value* hw = doc.find("hw"); hw != nullptr) {
+    if (!hw->is_object()) {
+      problems.emplace_back("member \"hw\" has wrong type");
+    } else {
+      const json::Value* avail = hw->find("available");
+      if (avail == nullptr || !avail->is_bool()) {
+        problems.emplace_back("\"hw\" missing bool \"available\"");
+      } else if (avail->boolean) {
+        for (const char* field :
+             {"instructions", "cycles", "ipc", "cache_references",
+              "cache_misses", "cache_miss_rate", "branches", "branch_misses",
+              "task_clock_ns"}) {
+          const json::Value* f = hw->find(field);
+          if (f == nullptr || !f->is_number()) {
+            problems.push_back("\"hw\" missing numeric \"" +
+                               std::string(field) + '"');
+          }
+        }
+      }
+    }
+  }
   check_member(doc, "argv", Kind::kArray, problems);
   check_member(doc, "attributes", Kind::kObject, problems);
   if (const json::Value* attrs = doc.find("attributes");
@@ -273,6 +370,15 @@ std::vector<std::string> validate_run_report(const json::Value& doc) {
           problems.push_back(where + " member \"error\" has wrong type");
         } else if (err->boolean) {
           check_member(run, "error_message", Kind::kString, problems);
+        }
+      }
+      // Optional per-row hw attribution (absent on degraded machines and
+      // on reports predating the field).
+      if (const json::Value* hw = run.find("hw"); hw != nullptr) {
+        const json::Value* avail =
+            hw->is_object() ? hw->find("available") : nullptr;
+        if (avail == nullptr || !avail->is_bool()) {
+          problems.push_back(where + " \"hw\" missing bool \"available\"");
         }
       }
     }

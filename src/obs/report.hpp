@@ -15,6 +15,7 @@
 #include <string_view>
 #include <vector>
 
+#include "obs/hwcounters.hpp"
 #include "obs/json.hpp"
 #include "obs/schemas.hpp"
 
@@ -32,6 +33,19 @@ struct BenchmarkRun {
   std::string time_unit = "ns";
   bool error = false;
   std::string error_message;
+  /// Hardware-counter delta attributed to this row's benchmark batch
+  /// (warm-up/calibration iterations included — see bench_common.hpp).
+  /// Rendered only when available.
+  HwCounters hw;
+};
+
+/// Process-wide rusage deltas beyond max RSS — page faults diagnose
+/// memory behaviour, context switches diagnose trace-sink `block` stalls.
+struct RusageExtras {
+  std::int64_t minor_faults = 0;
+  std::int64_t major_faults = 0;
+  std::int64_t voluntary_ctx_switches = 0;
+  std::int64_t involuntary_ctx_switches = 0;
 };
 
 struct RunReport {
@@ -42,6 +56,10 @@ struct RunReport {
   /// Peak resident set size; <= 0 means "capture via getrusage at render
   /// time" (the report is written at process exit, so that is the peak).
   std::int64_t max_rss_bytes = 0;
+  /// Process-total hardware counters; when not available at render time
+  /// the renderer captures hw_read() itself (same rule as max_rss_bytes)
+  /// and degrades to {"available": false, "reason": ...}.
+  HwCounters hw;
   std::vector<BenchmarkRun> benchmarks;
 };
 
@@ -52,6 +70,10 @@ struct RunReport {
 /// Peak resident set size of this process in bytes (getrusage), 0 when
 /// the platform cannot report it.
 [[nodiscard]] std::int64_t current_max_rss_bytes() noexcept;
+
+/// Fault and context-switch totals of this process (getrusage), zeros
+/// when the platform cannot report them.
+[[nodiscard]] RusageExtras current_rusage_extras() noexcept;
 
 /// Renders the report plus the current obs snapshot as a JSON document.
 [[nodiscard]] std::string render_run_report(const RunReport& report);

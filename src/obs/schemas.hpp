@@ -47,12 +47,22 @@ inline constexpr std::string_view kChromeTraceSchema = "ccmx.chrome_trace/1";
 inline constexpr std::string_view kDashboardDataSchema =
     "ccmx.dashboard_data/1";
 
+/// One JSONL row per sampler tick — RSS, utime/stime, obs counter
+/// deltas, and hardware-counter deltas over the interval, written by the
+/// background telemetry sampler (see obs/hwcounters.hpp).
+inline constexpr std::string_view kTimeseriesSchema = "ccmx.timeseries/1";
+
+/// Whole-series rollup of a timeseries file — `ccmx_insight timeseries
+/// --json` (sample count, wall span, RSS range, aggregate IPC).
+inline constexpr std::string_view kTimeseriesSummarySchema =
+    "ccmx.timeseries_summary/1";
+
 /// Every schema id this repo may stamp into a document, for validators
 /// that only need to know "is this one of ours".
 inline constexpr std::string_view kRegisteredSchemas[] = {
-    kRunReportSchema,   kBenchDiffSchema,     kTrajectorySchema,
-    kTrendSchema,       kLintReportSchema,    kChromeTraceSchema,
-    kDashboardDataSchema,
+    kRunReportSchema,     kBenchDiffSchema,  kTrajectorySchema,
+    kTrendSchema,         kLintReportSchema, kChromeTraceSchema,
+    kDashboardDataSchema, kTimeseriesSchema, kTimeseriesSummarySchema,
 };
 
 [[nodiscard]] constexpr bool is_registered_schema(

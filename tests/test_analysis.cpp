@@ -212,6 +212,124 @@ TEST(DiffReports, UnmatchedReportsAndBenchmarks) {
   EXPECT_FALSE(diff.has_cpu_regression());
 }
 
+/// Like make_report, but every benchmark row carries an hw block whose
+/// instruction counts scale by `insn_scale` — so an instruction
+/// regression can be staged with zero noise.
+std::string make_hw_report(const std::string& name, double insn_scale = 1.0,
+                           std::int64_t iterations = 100) {
+  std::ostringstream out;
+  out << "{\"schema\":\"ccmx.run_report/1\",\"name\":\"" << name << "\","
+      << "\"git_sha\":\"cafe0123\",\"build_type\":\"Release\","
+      << "\"unix_time\":1754500000,"
+      << "\"hardware_parallelism\":4,\"trace_enabled\":false,"
+      << "\"wall_seconds\":1.5,\"cpu_seconds\":1.4,"
+      << "\"max_rss_bytes\":1048576,"
+      << "\"argv\":[\"bench\"],\"attributes\":{},"
+      << "\"counters\":{},\"histograms\":{},"
+      << "\"benchmarks\":[";
+  const struct {
+    const char* bench;
+    double insn_per_iter;
+  } rows[] = {{"BM_Fast/1", 1000.0}, {"BM_Slow/8", 5000.0}};
+  for (std::size_t i = 0; i < 2; ++i) {
+    const double insn = rows[i].insn_per_iter * insn_scale;
+    if (i != 0) out << ",";
+    out << "{\"name\":\"" << rows[i].bench << "\","
+        << "\"iterations\":" << iterations << ","
+        << "\"real_time\":10.0,\"cpu_time\":10.0,\"time_unit\":\"us\","
+        << "\"hw\":{\"available\":true,"
+        << "\"instructions\":" << insn * static_cast<double>(iterations)
+        << ",\"cycles\":" << insn * static_cast<double>(iterations) / 2.0
+        << ",\"ipc\":2.0},"
+        << "\"insn_per_iteration\":" << insn << "}";
+  }
+  out << "]}\n";
+  return out.str();
+}
+
+TEST(DiffReports, InsnGateFlagsInstructionRegression) {
+  // +10% retired instructions per iteration on both benchmarks; cpu_time
+  // identical, so only the instruction gate can fire.
+  const LoadResult base = load_one("hb1", make_hw_report("exact_cc", 1.0));
+  const LoadResult cand = load_one("hc1", make_hw_report("exact_cc", 1.10));
+  const BenchDiff diff = diff_reports(base, cand, DiffThresholds{});
+  EXPECT_FALSE(diff.has_cpu_regression());
+  ASSERT_EQ(diff.insn.size(), 2u);
+  for (const InsnDelta& d : diff.insn) {
+    EXPECT_NEAR(d.ratio, 1.10, 1e-9) << d.benchmark;
+    EXPECT_EQ(d.verdict, Verdict::kRegression) << d.benchmark;
+  }
+  EXPECT_TRUE(diff.has_insn_regression());
+
+  // The same drift passes a loosened gate (CI on a shared runner).
+  DiffThresholds loose;
+  loose.insn_rel_tol = 0.5;
+  const BenchDiff ok = diff_reports(base, cand, loose);
+  EXPECT_FALSE(ok.has_insn_regression());
+  for (const InsnDelta& d : ok.insn) {
+    EXPECT_EQ(d.verdict, Verdict::kWithinNoise) << d.benchmark;
+  }
+}
+
+TEST(DiffReports, InsnImprovementNeverGates) {
+  const LoadResult base = load_one("hb2", make_hw_report("exact_cc", 1.0));
+  const LoadResult cand = load_one("hc2", make_hw_report("exact_cc", 0.80));
+  const BenchDiff diff = diff_reports(base, cand, DiffThresholds{});
+  ASSERT_EQ(diff.insn.size(), 2u);
+  EXPECT_EQ(diff.insn[0].verdict, Verdict::kImprovement);
+  EXPECT_FALSE(diff.has_insn_regression());
+}
+
+TEST(DiffReports, MixedOldAndNewReportsDegradeToNoHwVerdict) {
+  // Baseline predates hw counters (or ran degraded); candidate has them.
+  // The diff must note the asymmetry and skip the gate — never error,
+  // never fabricate a verdict from one side's numbers.
+  const LoadResult base = load_one("hb3", make_report("exact_cc"));
+  const LoadResult cand = load_one("hc3", make_hw_report("exact_cc", 5.0));
+  const BenchDiff diff = diff_reports(base, cand, DiffThresholds{});
+  EXPECT_TRUE(diff.insn.empty());
+  EXPECT_FALSE(diff.has_insn_regression());
+  bool noted = false;
+  for (const std::string& p : diff.problems) {
+    noted = noted ||
+            p.find("hw counters available on only one side") !=
+                std::string::npos;
+  }
+  EXPECT_TRUE(noted);
+  const std::string md = render_bench_diff_markdown(diff);
+  EXPECT_NE(md.find("no hw verdict"), std::string::npos);
+
+  // Two hw-less sides (both old, or both on a degraded machine): not
+  // even a problem note — nothing to compare is the normal state there.
+  const LoadResult base2 = load_one("hb4", make_report("exact_cc"));
+  const LoadResult cand2 = load_one("hc4", make_report("exact_cc"));
+  const BenchDiff quiet = diff_reports(base2, cand2, DiffThresholds{});
+  EXPECT_TRUE(quiet.insn.empty());
+  EXPECT_FALSE(quiet.has_insn_regression());
+  for (const std::string& p : quiet.problems) {
+    EXPECT_EQ(p.find("hw counters"), std::string::npos) << p;
+  }
+}
+
+TEST(BenchDiffJson, InsnRowsRoundTripThroughTheSchemaCheck) {
+  const LoadResult base = load_one("hb5", make_hw_report("exact_cc", 1.0));
+  const LoadResult cand = load_one("hc5", make_hw_report("exact_cc", 1.10));
+  const BenchDiff diff = diff_reports(base, cand, DiffThresholds{});
+  const std::string text = render_bench_diff_json(diff);
+  const ccmx::obs::json::Value doc = ccmx::obs::json::parse(text);
+  const std::vector<std::string> problems = validate_bench_diff(doc);
+  EXPECT_TRUE(problems.empty())
+      << (problems.empty() ? "" : problems.front());
+  EXPECT_DOUBLE_EQ(doc.find("thresholds")->find("insn_rel_tol")->number,
+                   0.02);
+  EXPECT_TRUE(doc.find("summary")->find("insn_regression")->boolean);
+  const ccmx::obs::json::Value* insn = doc.find("insn");
+  ASSERT_NE(insn, nullptr);
+  ASSERT_EQ(insn->array.size(), 2u);
+  EXPECT_EQ(insn->array[0].find("verdict")->string, "regression");
+  EXPECT_NEAR(insn->array[0].find("ratio")->number, 1.10, 1e-9);
+}
+
 TEST(BenchDiffJson, RoundTripsThroughTheSchemaCheck) {
   const LoadResult base = load_one("b7", make_report("exact_cc", 1.0));
   const LoadResult cand = load_one("c7", make_report("exact_cc", 1.25));

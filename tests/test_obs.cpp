@@ -124,10 +124,35 @@ TEST(ObsHistogram, SummarizesMomentsAndQuantiles) {
   EXPECT_DOUBLE_EQ(summary->min, 1.0);
   EXPECT_DOUBLE_EQ(summary->max, 100.0);
   EXPECT_DOUBLE_EQ(summary->mean(), 50.5);
-  // Quantiles come from power-of-two buckets: factor-2 accuracy.
-  EXPECT_GE(summary->p50, 25.0);
-  EXPECT_LE(summary->p50, 100.0);
+  // Quantiles interpolate within the power-of-two bucket: accuracy is
+  // bounded by the bucket width, not a factor of 2.  Exact p50 of
+  // 1..100 is 50; the target rank (50) sits 19/32 into bucket [32,64),
+  // giving 32 + 19/32*32 = 51.
+  EXPECT_NEAR(summary->p50, 51.0, 1e-9);
   EXPECT_GE(summary->p99, summary->p50);
+  EXPECT_LE(summary->p99, 100.0);  // clamped to the observed max
+}
+
+TEST(ObsHistogram, QuantilesInterpolateWithinBucket) {
+  const TracingOn guard;
+  // All 32 samples land in one bucket [32, 64); before interpolation
+  // every quantile collapsed to the same bucket boundary.  With the
+  // uniform-spread assumption the estimates track the exact
+  // nearest-rank quantiles to within one sample spacing.
+  const obs::Histogram hist("test.hist_interp");
+  for (int v = 32; v < 64; ++v) hist.record(static_cast<double>(v));
+  const obs::Snapshot snap = obs::snapshot();
+  const obs::HistSummary* summary = nullptr;
+  for (const auto& [name, h] : snap.histograms) {
+    if (name == "test.hist_interp") summary = &h;
+  }
+  ASSERT_NE(summary, nullptr);
+  EXPECT_EQ(summary->count, 32u);
+  EXPECT_NEAR(summary->p50, 48.0, 1e-9);  // exact nearest-rank: 47
+  EXPECT_NEAR(summary->p90, 61.0, 1e-9);  // exact nearest-rank: 60
+  EXPECT_NEAR(summary->p99, 63.0, 1e-9);  // clamped to max
+  EXPECT_LT(summary->p50, summary->p90);
+  EXPECT_LT(summary->p90, summary->p99 + 1e-9);
 }
 
 TEST(ObsSpan, RecordsIntoSpanHistogram) {
@@ -177,7 +202,9 @@ TEST(ObsProgress, ConcurrentBatchedTicksCountExactly) {
   // relaxed-atomic counter must still total exactly.
   const TracingOn guard;
   obs::ProgressMeter meter("test.batched", 256 * 1000);
-  ASSERT_TRUE(meter.active());
+  if (!meter.active()) {
+    GTEST_SKIP() << "observability compiled out (CCMX_OBS=OFF)";
+  }
   util::parallel_for(0, 256, [&](std::size_t i) {
     meter.tick(i % 2 == 0 ? 999 : 1001);  // uneven batches
   });

@@ -23,8 +23,13 @@
 //       counters.  --chrome converts the whole trace to Chrome
 //       trace-event JSON (ccmx.chrome_trace/1) for Perfetto /
 //       chrome://tracing.  Exit 1 on conservation mismatch.
+//   timeseries FILE [--json PATH]
+//       Summarize a ccmx.timeseries/1 JSONL file written by the
+//       background telemetry sampler (CCMX_SAMPLE_FILE): sample count,
+//       wall span, RSS range, CPU time, and — when the machine exposes
+//       hardware counters — aggregate IPC and instruction rate.
 //   html --reports DIR [--trajectory FILE] [--diff DIFF.json]
-//       [--trace FILE] [--out FILE] [--title S]
+//       [--trace FILE] [--timeseries FILE] [--out FILE] [--title S]
 //       Render the observability artifacts into ONE self-contained HTML
 //       dashboard (inline SVG/CSS, no scripts, no network) with the
 //       run-report JSON embedded as a ccmx.dashboard_data/1 island.
@@ -61,7 +66,9 @@
 #include "lint/lint.hpp"
 #include "obs/analysis.hpp"
 #include "obs/html_render.hpp"
+#include "obs/json.hpp"
 #include "obs/obs.hpp"
+#include "obs/schemas.hpp"
 #include "obs/trace_reader.hpp"
 #include "protocols/fingerprint.hpp"
 #include "protocols/send_half.hpp"
@@ -74,16 +81,20 @@ using namespace ccmx;
 
 int usage() {
   std::cerr <<
-      "usage: ccmx_insight <diff|trajectory|trend|trace|html|fit|lint> ...\n"
+      "usage: ccmx_insight "
+      "<diff|trajectory|trend|trace|timeseries|html|fit|lint> ...\n"
       "  diff --baseline DIR --candidate DIR [--json PATH] [--md PATH]\n"
       "       [--cpu-tol F=0.20] [--counter-tol F=0.25] [--rss-tol F=0.30]\n"
-      "       [--min-iters N=3] [--allow-missing-baseline]\n"
+      "       [--insn-tol F=0.02] [--min-iters N=3]\n"
+      "       [--allow-missing-baseline]\n"
       "  trajectory --reports DIR [--out FILE=bench/out/trajectory.jsonl]\n"
       "  trend [--trajectory FILE=bench/out/trajectory.jsonl]\n"
       "       [--min-points N=3] [--json PATH] [--md PATH]\n"
       "  trace FILE [--report BENCH.json] [--chrome OUT.json]\n"
+      "  timeseries FILE [--json PATH]\n"
       "  html --reports DIR [--trajectory FILE] [--diff DIFF.json]\n"
-      "       [--trace FILE] [--out FILE=dashboard.html] [--title S]\n"
+      "       [--trace FILE] [--timeseries FILE]\n"
+      "       [--out FILE=dashboard.html] [--title S]\n"
       "  fit --law send-half|fingerprint [--seed N=7] [--max-dev F]\n"
       "  lint FILE\n";
   return 2;
@@ -170,6 +181,9 @@ int cmd_diff(Args& args) {
   if (const auto v = args.option("--rss-tol")) {
     thresholds.rss_rel_tol = parse_double(*v, thresholds.rss_rel_tol);
   }
+  if (const auto v = args.option("--insn-tol")) {
+    thresholds.insn_rel_tol = parse_double(*v, thresholds.insn_rel_tol);
+  }
   if (const auto v = args.option("--min-iters")) {
     thresholds.min_iterations = std::strtol(v->c_str(), nullptr, 10);
   }
@@ -217,7 +231,7 @@ int cmd_diff(Args& args) {
       return 2;
     }
   }
-  return diff.has_cpu_regression() ? 1 : 0;
+  return diff.has_cpu_regression() || diff.has_insn_regression() ? 1 : 0;
 }
 
 // ---------------------------------------------------------- trajectory
@@ -495,6 +509,111 @@ int cmd_trace(Args& args) {
   return 0;
 }
 
+// ---------------------------------------------------------- timeseries
+
+int cmd_timeseries(Args& args) {
+  const auto path = args.positional();
+  if (!path) return usage();
+
+  const obs::TimeseriesResult series = obs::load_timeseries(*path);
+  for (const std::string& p : series.problems) {
+    std::cerr << "warning: " << p << '\n';
+  }
+  if (series.rows.empty()) {
+    std::cerr << "error: no " << obs::kTimeseriesSchema << " rows in "
+              << *path << '\n';
+    return 2;
+  }
+
+  // Aggregate the interval deltas: hw numbers in each row cover that
+  // row's dt, so summing them and dividing by the wall span gives the
+  // sampled-run averages.
+  std::int64_t rss_min = series.rows.front().rss_bytes;
+  std::int64_t rss_max = rss_min;
+  std::uint64_t insn = 0;
+  std::uint64_t cycles = 0;
+  std::size_t hw_rows = 0;
+  for (const obs::TimeseriesRow& row : series.rows) {
+    rss_min = std::min(rss_min, row.rss_bytes);
+    rss_max = std::max(rss_max, row.rss_bytes);
+    if (row.hw_available) {
+      ++hw_rows;
+      insn += row.instructions;
+      cycles += row.cycles;
+    }
+  }
+  const obs::TimeseriesRow& last = series.rows.back();
+  const double span = series.span_seconds();
+  const double ipc =
+      cycles > 0 ? static_cast<double>(insn) / static_cast<double>(cycles)
+                 : 0.0;
+
+  std::cout << "timeseries: " << *path << " — " << series.rows.size()
+            << " sample(s) over " << util::fmt_double(span, 3) << " s";
+  if (series.skipped > 0) {
+    std::cout << " (" << series.skipped << " line(s) skipped)";
+  }
+  std::cout << '\n';
+  util::TextTable table({"metric", "value"});
+  table.row("rss min (bytes)", rss_min);
+  table.row("rss max (bytes)", rss_max);
+  table.row("rss final (bytes)", last.rss_bytes);
+  table.row("utime final (s)", util::fmt_double(last.utime_s, 3));
+  table.row("stime final (s)", util::fmt_double(last.stime_s, 3));
+  table.row("minor faults", last.minor_faults);
+  table.row("major faults", last.major_faults);
+  if (hw_rows > 0) {
+    table.row("hw samples", hw_rows);
+    table.row("instructions", insn);
+    table.row("cycles", cycles);
+    table.row("ipc", util::fmt_double(ipc, 3));
+    if (span > 0.0) {
+      table.row("insn/sec",
+                util::fmt_double(static_cast<double>(insn) / span, 0));
+    }
+  } else {
+    table.row("hw counters", "unavailable");
+  }
+  table.print(std::cout);
+
+  if (const auto json_path = args.option("--json")) {
+    std::ostringstream os;
+    obs::json::Writer w(os);
+    w.begin_object();
+    w.key("schema").value(obs::kTimeseriesSummarySchema);
+    w.key("path").value(*path);
+    w.key("samples").value(static_cast<std::uint64_t>(series.rows.size()));
+    w.key("skipped").value(static_cast<std::uint64_t>(series.skipped));
+    w.key("span_seconds").value(span);
+    w.key("rss_min_bytes").value(rss_min);
+    w.key("rss_max_bytes").value(rss_max);
+    w.key("rss_final_bytes").value(last.rss_bytes);
+    w.key("utime_s").value(last.utime_s);
+    w.key("stime_s").value(last.stime_s);
+    w.key("minor_faults").value(last.minor_faults);
+    w.key("major_faults").value(last.major_faults);
+    w.key("hw").begin_object();
+    w.key("available").value(hw_rows > 0);
+    if (hw_rows > 0) {
+      w.key("samples").value(static_cast<std::uint64_t>(hw_rows));
+      w.key("instructions").value(insn);
+      w.key("cycles").value(cycles);
+      w.key("ipc").value(ipc);
+      w.key("insn_per_second")
+          .value(span > 0.0 ? static_cast<double>(insn) / span : 0.0);
+    }
+    w.end_object();
+    w.end_object();
+    os << '\n';
+    if (!write_text_file(*json_path, os.str())) {
+      std::cerr << "error: cannot write " << *json_path << '\n';
+      return 2;
+    }
+    std::cout << "timeseries summary json: " << *json_path << '\n';
+  }
+  return 0;
+}
+
 // ---------------------------------------------------------------- html
 
 int cmd_html(Args& args) {
@@ -579,6 +698,17 @@ int cmd_html(Args& args) {
     data.trace = &trace;
     data.forest = &forest;
     data.trace_stats = &trace_stats;
+  }
+
+  obs::TimeseriesResult timeseries;
+  if (const auto ts_path = args.option("--timeseries")) {
+    // Tolerant like the other optional sections: a sampler killed
+    // mid-row still renders; only a fully missing/empty series warns.
+    timeseries = obs::load_timeseries(*ts_path);
+    for (const std::string& p : timeseries.problems) {
+      std::cerr << "warning: " << p << '\n';
+    }
+    data.timeseries = &timeseries;
   }
 
   const std::string html = obs::render_dashboard_html(data);
@@ -807,6 +937,7 @@ int main(int argc, char** argv) {
     if (cmd == "trajectory") return cmd_trajectory(args);
     if (cmd == "trend") return cmd_trend(args);
     if (cmd == "trace") return cmd_trace(args);
+    if (cmd == "timeseries") return cmd_timeseries(args);
     if (cmd == "html") return cmd_html(args);
     if (cmd == "fit") return cmd_fit(args);
     if (cmd == "lint") return cmd_lint(args);
