@@ -6,7 +6,6 @@
 // computation differs.
 #include "bench_common.hpp"
 #include "core/reductions.hpp"
-#include "linalg/det.hpp"
 #include "protocols/send_half.hpp"
 
 namespace {

@@ -5,7 +5,6 @@
 // sampled distinctness at larger parameters.
 #include "bench_common.hpp"
 #include "core/census.hpp"
-#include "linalg/rref.hpp"
 
 namespace {
 

@@ -7,8 +7,6 @@
 // measured success rates.
 #include "bench_common.hpp"
 #include "core/rank_spectrum.hpp"
-#include "linalg/det.hpp"
-#include "linalg/rref.hpp"
 
 namespace {
 

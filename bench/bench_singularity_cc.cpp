@@ -13,7 +13,6 @@
 #include "comm/bounds.hpp"
 #include "core/census.hpp"
 #include "core/truth_sampling.hpp"
-#include "linalg/det.hpp"
 #include "protocols/send_half.hpp"
 
 namespace {

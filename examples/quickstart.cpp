@@ -10,7 +10,6 @@
 // Build & run:  ./build/examples/quickstart
 #include <iostream>
 
-#include "comm/bounds.hpp"
 #include "comm/channel.hpp"
 #include "linalg/det.hpp"
 #include "protocols/fingerprint.hpp"

@@ -40,6 +40,7 @@ class BigInt {
   // --- observers ---
   [[nodiscard]] bool is_zero() const noexcept { return sign_ == 0; }
   [[nodiscard]] bool is_negative() const noexcept { return sign_ < 0; }
+  // ccmx-lint: allow(dead-export) — numeric API surface kept with is_zero
   [[nodiscard]] bool is_odd() const noexcept {
     return sign_ != 0 && (limbs_[0] & 1u) != 0;
   }

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "comm/rectangles.hpp"
+
 namespace ccmx::comm {
 
 LowerBoundCertificate certificate(const TruthMatrix& m,

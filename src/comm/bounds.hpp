@@ -12,8 +12,8 @@
 
 #include <string>
 
-#include "comm/rectangles.hpp"
 #include "comm/truth_matrix.hpp"
+#include "util/rng.hpp"
 
 namespace ccmx::comm {
 

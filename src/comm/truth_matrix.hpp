@@ -13,7 +13,6 @@
 #include <vector>
 
 #include "util/require.hpp"
-#include "util/rng.hpp"
 
 namespace ccmx::comm {
 

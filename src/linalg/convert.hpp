@@ -18,6 +18,7 @@ using ModMatrix = Matrix<std::uint64_t>;
       m, [](const num::BigInt& v) { return num::Rational(v); });
 }
 
+// ccmx-lint: allow(dead-export) — conversion kept symmetric with to_rational
 [[nodiscard]] inline IntMatrix from_int64(
     const Matrix<std::int64_t>& m) {
   return map_matrix<num::BigInt>(

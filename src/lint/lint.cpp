@@ -2,7 +2,7 @@
 
 #include <algorithm>
 #include <array>
-#include <cctype>
+#include <chrono>
 #include <filesystem>
 #include <fstream>
 #include <map>
@@ -10,235 +10,53 @@
 #include <set>
 #include <sstream>
 
+#include "lint/arch.hpp"
+#include "lint/scan.hpp"
 #include "obs/schemas.hpp"
+#include "util/parallel.hpp"
 #include "util/require.hpp"
 
 namespace ccmx::lint {
 
 namespace fs = std::filesystem;
 
+using detail::is_blank;
+using detail::ScannedLine;
+using detail::squash;
+using detail::trim;
+
 namespace {
 
-// ------------------------------------------------------------- lexing
-
-/// One physical source line split into the three streams the rules care
-/// about: code (string contents blanked, comments removed), comment text,
-/// and the contents of string literals that start on this line.
-struct ScannedLine {
-  std::string code;
-  std::string comment;
-  std::vector<std::string> strings;
-};
-
-bool is_blank(std::string_view s) {
-  return std::all_of(s.begin(), s.end(),
-                     [](unsigned char c) { return std::isspace(c) != 0; });
-}
-
-std::string trim(std::string_view s) {
-  std::size_t b = 0;
-  std::size_t e = s.size();
-  while (b < e && std::isspace(static_cast<unsigned char>(s[b])) != 0) ++b;
-  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1])) != 0) --e;
-  return std::string(s.substr(b, e - b));
-}
-
-/// Collapses runs of whitespace to single spaces (fingerprint
-/// normalization, so re-indentation does not invalidate a baseline).
-std::string squash(std::string_view s) {
-  std::string out;
-  bool pending_space = false;
-  for (const char c : trim(s)) {
-    if (std::isspace(static_cast<unsigned char>(c)) != 0) {
-      pending_space = true;
-      continue;
-    }
-    if (pending_space && !out.empty()) out.push_back(' ');
-    pending_space = false;
-    out.push_back(c);
-  }
-  return out;
-}
-
-/// Lexes C++ text into per-line code/comment/string streams.  Handles
-/// //, /* */, "..." with escapes, '...' char literals, and R"tag(...)tag"
-/// raw strings (content attributed to the line the literal starts on).
-std::vector<ScannedLine> scan(std::string_view text) {
-  std::vector<ScannedLine> lines(1);
-  enum class State {
-    kCode,
-    kLineComment,
-    kBlockComment,
-    kString,
-    kChar,
-    kRawString
-  };
-  State state = State::kCode;
-  std::string raw_tag;          // for kRawString: the )tag" terminator
-  std::string* literal = nullptr;  // current string literal sink
-
-  const auto newline = [&] { lines.emplace_back(); };
-
-  for (std::size_t i = 0; i < text.size(); ++i) {
-    const char c = text[i];
-    const char next = i + 1 < text.size() ? text[i + 1] : '\0';
-    ScannedLine& line = lines.back();
-    switch (state) {
-      case State::kCode:
-        if (c == '\n') {
-          newline();
-        } else if (c == '/' && next == '/') {
-          state = State::kLineComment;
-          ++i;
-        } else if (c == '/' && next == '*') {
-          state = State::kBlockComment;
-          ++i;
-        } else if (c == 'R' && next == '"' &&
-                   (line.code.empty() ||
-                    (std::isalnum(static_cast<unsigned char>(
-                         line.code.back())) == 0 &&
-                     line.code.back() != '_'))) {
-          // R"tag( ... )tag"
-          std::size_t open = text.find('(', i + 2);
-          if (open == std::string_view::npos) {
-            line.code.push_back(c);
-            break;
-          }
-          raw_tag = ")" + std::string(text.substr(i + 2, open - (i + 2))) +
-                    "\"";
-          line.code += "\"\"";
-          line.strings.emplace_back();
-          literal = &line.strings.back();
-          state = State::kRawString;
-          i = open;  // consume through the opening parenthesis
-        } else if (c == '"') {
-          line.code += "\"\"";
-          line.strings.emplace_back();
-          literal = &line.strings.back();
-          state = State::kString;
-        } else if (c == '\'') {
-          line.code += "''";
-          state = State::kChar;
-        } else {
-          line.code.push_back(c);
-        }
-        break;
-      case State::kLineComment:
-        if (c == '\n') {
-          newline();
-          state = State::kCode;
-        } else {
-          line.comment.push_back(c);
-        }
-        break;
-      case State::kBlockComment:
-        if (c == '*' && next == '/') {
-          state = State::kCode;
-          ++i;
-        } else if (c == '\n') {
-          newline();
-        } else {
-          line.comment.push_back(c);
-        }
-        break;
-      case State::kString:
-        if (c == '\\' && next != '\0') {
-          literal->push_back(c);
-          literal->push_back(next);
-          ++i;
-        } else if (c == '"') {
-          state = State::kCode;
-          literal = nullptr;
-        } else if (c == '\n') {  // unterminated; recover per line
-          newline();
-          state = State::kCode;
-          literal = nullptr;
-        } else {
-          literal->push_back(c);
-        }
-        break;
-      case State::kChar:
-        if (c == '\\' && next != '\0') {
-          ++i;
-        } else if (c == '\'') {
-          state = State::kCode;
-        } else if (c == '\n') {
-          newline();
-          state = State::kCode;
-        }
-        break;
-      case State::kRawString:
-        if (c == '\n') {
-          newline();
-          // keep accumulating into the literal of the starting line
-        } else if (text.compare(i, raw_tag.size(), raw_tag) == 0) {
-          i += raw_tag.size() - 1;
-          state = State::kCode;
-          literal = nullptr;
-        } else {
-          literal->push_back(c);
-        }
-        break;
-    }
-  }
-  return lines;
-}
+using detail::thread_cpu_seconds;
 
 // ------------------------------------------------------- rule registry
 
 const std::vector<RuleInfo>& all_rules() {
+  // All six lexical rules are at fingerprint v2: v1 fingerprints did not
+  // carry a rule version at all, so every pre-existing baseline entry was
+  // invalidated by the format change — which is the point of the bump.
   static const std::vector<RuleInfo> kRules = {
       {"narrow", "r1",
        "no raw narrowing static_cast between integer types in src/ — use "
-       "util/narrow.hpp"},
+       "util/narrow.hpp",
+       2},
       {"require", "r2",
        "documented preconditions on inline header functions must be "
-       "enforced with CCMX_REQUIRE"},
+       "enforced with CCMX_REQUIRE",
+       2},
       {"schema", "r3",
        "ccmx.<name>/<version> schema strings must come from "
-       "src/obs/schemas.hpp"},
+       "src/obs/schemas.hpp",
+       2},
       {"bench-main", "r4",
-       "bench binaries register through CCMX_BENCH_MAIN only"},
+       "bench binaries register through CCMX_BENCH_MAIN only", 2},
       {"rng", "r5",
        "no rand()/std::mt19937/random_device outside util/rng — use seeded "
-       "util::Xoshiro256"},
-      {"include-hygiene", "r6", "every header declares #pragma once"},
+       "util::Xoshiro256",
+       2},
+      {"include-hygiene", "r6", "every header declares #pragma once", 2},
   };
   return kRules;
-}
-
-/// Canonical rule name for an allow() token; empty when unknown.
-std::string canonical_rule(std::string_view token) {
-  std::string t = trim(token);
-  std::transform(t.begin(), t.end(), t.begin(),
-                 [](unsigned char c) { return std::tolower(c); });
-  if (t == "all") return "all";
-  for (const RuleInfo& rule : all_rules()) {
-    if (t == rule.name || t == rule.alias) return std::string(rule.name);
-  }
-  return {};
-}
-
-/// Per-line suppression sets from `ccmx-lint: allow(a, b)` comments.
-std::vector<std::set<std::string>> suppressions(
-    const std::vector<ScannedLine>& lines) {
-  static const std::regex kAllow(R"(ccmx-lint:\s*allow\(([^)]*)\))");
-  std::vector<std::set<std::string>> allow(lines.size());
-  for (std::size_t i = 0; i < lines.size(); ++i) {
-    if (lines[i].comment.empty()) continue;
-    std::smatch m;
-    std::string comment = lines[i].comment;
-    while (std::regex_search(comment, m, kAllow)) {
-      std::stringstream list(m[1].str());
-      std::string token;
-      while (std::getline(list, token, ',')) {
-        const std::string rule = canonical_rule(token);
-        if (!rule.empty()) allow[i].insert(rule);
-      }
-      comment = m.suffix();
-    }
-  }
-  return allow;
 }
 
 // --------------------------------------------------------- rule engine
@@ -253,13 +71,7 @@ struct FileContext {
   /// file-wide allow on line 1) silences the rule.
   void report(std::string_view rule, std::size_t line_no,
               std::string message) {
-    const auto allows = [&](std::size_t idx) {
-      if (idx >= allow.size()) return false;
-      return allow[idx].count(std::string(rule)) != 0 ||
-             allow[idx].count("all") != 0;
-    };
-    const std::size_t idx = line_no - 1;  // line_no is 1-based
-    if (allows(idx) || (idx > 0 && allows(idx - 1))) {
+    if (detail::is_suppressed(allow, line_no, rule)) {
       ++out.suppressed;
       return;
     }
@@ -268,6 +80,7 @@ struct FileContext {
     f.file = path;
     f.line = line_no;
     f.message = std::move(message);
+    const std::size_t idx = line_no - 1;
     f.snippet = idx < lines.size() ? trim(lines[idx].code) : std::string();
     out.findings.push_back(std::move(f));
   }
@@ -471,27 +284,60 @@ void rule_include_hygiene(FileContext& ctx) {
   ctx.report("include-hygiene", 1, "header is missing #pragma once");
 }
 
-std::string normalize_path(std::string path) {
-  std::replace(path.begin(), path.end(), '\\', '/');
-  while (path.rfind("./", 0) == 0) path.erase(0, 2);
-  return path;
+/// Merges per-file timing rows into an aggregate table, preserving the
+/// first-seen rule order (R1..R6 for lint, scan-then-A1..A6 for arch).
+void accumulate_timings(std::vector<RuleTiming>& total,
+                        const std::vector<RuleTiming>& delta) {
+  for (const RuleTiming& t : delta) {
+    auto it = std::find_if(total.begin(), total.end(), [&](const RuleTiming& r) {
+      return r.rule == t.rule;
+    });
+    if (it == total.end()) {
+      total.push_back(t);
+    } else {
+      it->wall_seconds += t.wall_seconds;
+      it->cpu_seconds += t.cpu_seconds;
+    }
+  }
 }
 
 }  // namespace
 
 const std::vector<RuleInfo>& rules() { return all_rules(); }
 
+unsigned rule_version(std::string_view rule) {
+  for (const RuleInfo& info : all_rules()) {
+    if (rule == info.name) return info.version;
+  }
+  for (const RuleInfo& info : arch_rules()) {
+    if (rule == info.name) return info.version;
+  }
+  return 1;
+}
+
 FileLint lint_text(std::string_view rel_path, std::string_view text) {
   FileLint out;
-  const std::vector<ScannedLine> lines = scan(text);
-  const std::vector<std::set<std::string>> allow = suppressions(lines);
-  FileContext ctx{normalize_path(std::string(rel_path)), lines, allow, out};
-  rule_narrow(ctx);
-  rule_require(ctx);
-  rule_schema(ctx);
-  rule_bench_main(ctx);
-  rule_rng(ctx);
-  rule_include_hygiene(ctx);
+  const std::vector<ScannedLine> lines = detail::scan(text);
+  const std::vector<std::set<std::string>> allow =
+      detail::suppressions(lines);
+  FileContext ctx{detail::normalize_path(std::string(rel_path)), lines, allow,
+                  out};
+  const std::array<std::pair<std::string_view, void (*)(FileContext&)>, 6>
+      kPasses = {{{"narrow", rule_narrow},
+                  {"require", rule_require},
+                  {"schema", rule_schema},
+                  {"bench-main", rule_bench_main},
+                  {"rng", rule_rng},
+                  {"include-hygiene", rule_include_hygiene}}};
+  for (const auto& [name, pass] : kPasses) {
+    const auto wall0 = std::chrono::steady_clock::now();
+    const double cpu0 = thread_cpu_seconds();
+    pass(ctx);
+    const std::chrono::duration<double> wall =
+        std::chrono::steady_clock::now() - wall0;
+    out.timings.push_back(
+        {std::string(name), wall.count(), thread_cpu_seconds() - cpu0});
+  }
   std::sort(out.findings.begin(), out.findings.end(),
             [](const Finding& a, const Finding& b) {
               return std::tie(a.line, a.rule) < std::tie(b.line, b.rule);
@@ -500,7 +346,54 @@ FileLint lint_text(std::string_view rel_path, std::string_view text) {
 }
 
 std::string finding_fingerprint(const Finding& finding) {
-  return finding.rule + "|" + finding.file + "|" + squash(finding.snippet);
+  return finding.rule + "@v" + std::to_string(rule_version(finding.rule)) +
+         "|" + finding.file + "|" + squash(finding.snippet);
+}
+
+FixOutcome fix_pragma_once(std::string_view text) {
+  const std::vector<ScannedLine> lines = detail::scan(text);
+  for (const ScannedLine& line : lines) {
+    if (line.code.find("#pragma once") != std::string::npos) {
+      return {FixOutcome::Status::kAlreadyClean, {}};
+    }
+  }
+  for (const std::set<std::string>& allow : detail::suppressions(lines)) {
+    if (allow.count("include-hygiene") != 0 || allow.count("all") != 0) {
+      return {FixOutcome::Status::kRefused, {}};
+    }
+  }
+  // Insert after the leading doc-comment block (comment-only or blank
+  // lines), matching the file-header-then-pragma layout of every header
+  // in the repo.  `lines` has a trailing sentinel entry when the text
+  // ends in '\n', so count physical lines from the text itself.
+  std::vector<std::string> physical;
+  std::size_t start = 0;
+  for (std::size_t i = 0; i <= text.size(); ++i) {
+    if (i == text.size() || text[i] == '\n') {
+      physical.emplace_back(text.substr(start, i - start));
+      start = i + 1;
+    }
+  }
+  if (!physical.empty() && physical.back().empty() && !text.empty() &&
+      text.back() == '\n') {
+    physical.pop_back();
+  }
+  std::size_t insert_at = 0;
+  while (insert_at < physical.size() && insert_at < lines.size() &&
+         is_blank(lines[insert_at].code)) {
+    ++insert_at;
+  }
+  std::string out;
+  for (std::size_t i = 0; i < physical.size(); ++i) {
+    if (i == insert_at) {
+      out += "#pragma once\n";
+      if (!is_blank(physical[i])) out += "\n";
+    }
+    out += physical[i];
+    out += '\n';
+  }
+  if (insert_at >= physical.size()) out += "#pragma once\n";
+  return {FixOutcome::Status::kFixed, std::move(out)};
 }
 
 Baseline Baseline::load(const std::string& path) {
@@ -534,8 +427,8 @@ Baseline Baseline::from_findings(const std::vector<Finding>& findings) {
 std::string Baseline::render() const {
   std::string out =
       "# ccmx_lint baseline — tolerated legacy findings, one fingerprint\n"
-      "# (rule|file|squashed snippet) per line.  Regenerate with\n"
-      "# `ccmx_lint --write-baseline`; shrink it, never grow it.\n";
+      "# (rule@v<version>|file|squashed snippet) per line.  Regenerate\n"
+      "# with `ccmx_lint --write-baseline`; shrink it, never grow it.\n";
   for (const std::string& key : keys_) {
     out += key;
     out += '\n';
@@ -548,16 +441,12 @@ bool Baseline::contains(const Finding& finding) const {
                             finding_fingerprint(finding));
 }
 
-RunResult run_lint(const RunOptions& options) {
-  const fs::path root(options.root);
-  CCMX_REQUIRE(fs::is_directory(root),
-               "lint root is not a directory: " + options.root);
-  const Baseline baseline = options.baseline_path.empty()
-                                ? Baseline{}
-                                : Baseline::load(options.baseline_path);
+namespace detail {
 
+std::vector<fs::path> collect_files(const fs::path& root,
+                                    const std::vector<std::string>& subdirs) {
   std::vector<fs::path> files;
-  for (const std::string& subdir : options.subdirs) {
+  for (const std::string& subdir : subdirs) {
     const fs::path dir = root / subdir;
     if (!fs::is_directory(dir)) continue;
     auto it = fs::recursive_directory_iterator(dir);
@@ -578,18 +467,45 @@ RunResult run_lint(const RunOptions& options) {
     }
   }
   std::sort(files.begin(), files.end());
+  return files;
+}
+
+std::string read_file(const fs::path& file) {
+  std::ifstream in(file, std::ios::binary);
+  CCMX_REQUIRE(in.is_open(), "cannot read " + file.string());
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+}  // namespace detail
+
+RunResult run_lint(const RunOptions& options) {
+  const fs::path root(options.root);
+  CCMX_REQUIRE(fs::is_directory(root),
+               "lint root is not a directory: " + options.root);
+  const Baseline baseline = options.baseline_path.empty()
+                                ? Baseline{}
+                                : Baseline::load(options.baseline_path);
+
+  const std::vector<fs::path> files =
+      detail::collect_files(root, options.subdirs);
+
+  // Files are linted concurrently into per-index slots; the merge below
+  // walks the slots in sorted path order, so findings, counts, and
+  // timing aggregation order are independent of the parallel degree.
+  std::vector<FileLint> lints(files.size());
+  util::parallel_for(0, files.size(), [&](std::size_t i) {
+    const std::string rel = detail::normalize_path(
+        fs::relative(files[i], root).generic_string());
+    lints[i] = lint_text(rel, detail::read_file(files[i]));
+  });
 
   RunResult result;
-  for (const fs::path& file : files) {
-    std::ifstream in(file, std::ios::binary);
-    CCMX_REQUIRE(in.is_open(), "cannot read " + file.string());
-    std::ostringstream buffer;
-    buffer << in.rdbuf();
-    const std::string rel =
-        normalize_path(fs::relative(file, root).generic_string());
-    FileLint lint = lint_text(rel, buffer.str());
+  for (FileLint& lint : lints) {
     ++result.files_scanned;
     result.suppressed += lint.suppressed;
+    accumulate_timings(result.timings, lint.timings);
     for (Finding& f : lint.findings) {
       (baseline.contains(f) ? result.baselined : result.findings)
           .push_back(std::move(f));
@@ -597,6 +513,23 @@ RunResult run_lint(const RunOptions& options) {
   }
   return result;
 }
+
+namespace detail {
+
+void write_timings_json(obs::json::Writer& w,
+                        const std::vector<RuleTiming>& timings) {
+  w.key("timings").begin_array();
+  for (const RuleTiming& t : timings) {
+    w.begin_object();
+    w.key("rule").value(t.rule);
+    w.key("wall_seconds").value(t.wall_seconds);
+    w.key("cpu_seconds").value(t.cpu_seconds);
+    w.end_object();
+  }
+  w.end_array();
+}
+
+}  // namespace detail
 
 std::string render_lint_report_json(const RunResult& result,
                                     const RunOptions& options) {
@@ -617,6 +550,7 @@ std::string render_lint_report_json(const RunResult& result,
   w.key("counts").begin_object();
   for (const auto& [rule, count] : counts) w.key(rule).value(count);
   w.end_object();
+  detail::write_timings_json(w, result.timings);
   w.key("findings").begin_array();
   for (const Finding& f : result.findings) {
     w.begin_object();

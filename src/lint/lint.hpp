@@ -54,15 +54,32 @@ struct RuleInfo {
   std::string_view name;   // canonical name, used in allow(...) and reports
   std::string_view alias;  // short id: "r1".."r6", also accepted in allow()
   std::string_view summary;
+  /// Fingerprint version: bumped whenever the rule tightens, so stale
+  /// baseline entries written against the looser rule stop matching.
+  unsigned version = 1;
 };
 
 /// The six rules, in R1..R6 order.
 [[nodiscard]] const std::vector<RuleInfo>& rules();
 
+/// Fingerprint version of a rule by canonical name (lexical and arch
+/// rules both); unknown names report version 1.
+[[nodiscard]] unsigned rule_version(std::string_view rule);
+
+/// Accumulated cost of one rule (or scan phase) across a run.  Wall and
+/// CPU are summed per file across workers, so with a parallel scan the
+/// wall column reads as worker-seconds of attribution, not elapsed time.
+struct RuleTiming {
+  std::string rule;
+  double wall_seconds = 0.0;
+  double cpu_seconds = 0.0;
+};
+
 /// Result of linting one file.
 struct FileLint {
   std::vector<Finding> findings;
   std::size_t suppressed = 0;  // findings silenced by allow(...) comments
+  std::vector<RuleTiming> timings;  // one row per rule, R1..R6 order
 };
 
 /// Lints one file's text.  `rel_path` is the repo-relative path and
@@ -72,10 +89,31 @@ struct FileLint {
 [[nodiscard]] FileLint lint_text(std::string_view rel_path,
                                  std::string_view text);
 
-/// Content-addressed identity of a finding: rule, file, and the
-/// whitespace-squashed snippet — deliberately not the line number, so a
-/// baselined finding stays baselined when unrelated lines move.
+/// Content-addressed identity of a finding: versioned rule
+/// ("<rule>@v<version>"), file, and the whitespace-squashed snippet —
+/// deliberately not the line number, so a baselined finding stays
+/// baselined when unrelated lines move, but NOT when the rule itself
+/// tightens (the version bump invalidates the stale entry).
 [[nodiscard]] std::string finding_fingerprint(const Finding& finding);
+
+/// Outcome of the one mechanical fix ccmx_lint knows how to apply
+/// (`--fix`): inserting a missing #pragma once (rule R6).
+struct FixOutcome {
+  enum class Status {
+    kFixed,         // text holds the rewritten file
+    kAlreadyClean,  // header already declares #pragma once
+    kRefused        // file carries an allow(include-hygiene) suppression
+  };
+  Status status = Status::kAlreadyClean;
+  std::string text;  // only meaningful for kFixed
+};
+
+/// Computes the R6 fix for one header: inserts `#pragma once` after the
+/// leading comment block (matching the repo's file-doc-then-pragma
+/// style).  Idempotent — text that already contains the pragma reports
+/// kAlreadyClean — and refuses files that suppress the rule, since a
+/// deliberate `allow(include-hygiene)` means the author opted out.
+[[nodiscard]] FixOutcome fix_pragma_once(std::string_view text);
 
 /// A committed set of tolerated legacy findings (one fingerprint per
 /// line; '#' comments and blank lines ignored).
@@ -109,11 +147,14 @@ struct RunResult {
   std::vector<Finding> baselined;  // matched the baseline, tolerated
   std::size_t files_scanned = 0;
   std::size_t suppressed = 0;
+  std::vector<RuleTiming> timings;  // summed across files, R1..R6 order
 };
 
 /// Walks the tree and lints every .hpp/.cpp file.  Directories named
 /// "lint_fixtures" (deliberately-violating test inputs), "build", and
-/// hidden directories are skipped.  Throws util::contract_error when
+/// hidden directories are skipped.  Files are linted in parallel over
+/// util::parallel_for and merged in sorted path order, so the result is
+/// deterministic regardless of degree.  Throws util::contract_error when
 /// `root` is not a directory.
 [[nodiscard]] RunResult run_lint(const RunOptions& options);
 

@@ -9,6 +9,7 @@
 #include <sstream>
 
 #include "obs/report.hpp"
+#include "obs/schemas.hpp"
 #include "util/require.hpp"
 
 namespace ccmx::obs {

@@ -18,7 +18,6 @@
 #include <vector>
 
 #include "obs/json.hpp"
-#include "obs/schemas.hpp"
 
 namespace ccmx::obs {
 

@@ -247,6 +247,7 @@ class Dashboard {
     timeseries_section();
     trajectory_section();
     diff_section();
+    arch_section();
     traffic_section();
     pipeline_section();
     flame_section();
@@ -726,6 +727,96 @@ class Dashboard {
     }
     w_.close().close();  // tbody, table
     w_.close();          // section
+  }
+
+  // ---- architecture ------------------------------------------------------
+
+  void arch_section() {
+    w_.open("section", {{"class", "card"}});
+    w_.element("h2", {}, "Architecture (include graph)");
+    if (data_.arch == nullptr) {
+      w_.element("p", {{"class", "note"}},
+                 "No architecture report provided (pass --arch "
+                 "arch_report.json from ccmx_lint arch --json).");
+      w_.close();
+      return;
+    }
+    const json::Value& arch = *data_.arch;
+    w_.element(
+        "p", {{"class", "legend"}},
+        fmt_count(static_cast<std::uint64_t>(
+            number_or(arch, "files_scanned", 0.0))) +
+            " file(s), " +
+            fmt_count(static_cast<std::uint64_t>(
+                number_or(arch, "include_edges", 0.0))) +
+            " include edge(s); modules sorted by declared layer.");
+    const json::Value* modules = arch.find("modules");
+    if (modules != nullptr && modules->is_array() &&
+        !modules->array.empty()) {
+      w_.open("table");
+      w_.open("thead").open("tr");
+      w_.element("th", {}, "module");
+      w_.element("th", {{"class", "num"}}, "layer");
+      w_.element("th", {{"class", "num"}}, "files");
+      w_.element("th", {{"class", "num"}}, "fan-out");
+      w_.element("th", {{"class", "num"}}, "fan-in");
+      w_.element("th", {}, "depends on");
+      w_.close().close();  // tr, thead
+      w_.open("tbody");
+      for (const json::Value& row : modules->array) {
+        if (!row.is_object()) continue;
+        w_.open("tr");
+        w_.element("td", {}, string_or(row, "name", "?"));
+        w_.element("td", {{"class", "num"}},
+                   fmt_fixed(number_or(row, "layer", -1.0), 0));
+        w_.element("td", {{"class", "num"}},
+                   fmt_count(static_cast<std::uint64_t>(
+                       number_or(row, "files", 0.0))));
+        w_.element("td", {{"class", "num"}},
+                   fmt_count(static_cast<std::uint64_t>(
+                       number_or(row, "fan_out", 0.0))));
+        w_.element("td", {{"class", "num"}},
+                   fmt_count(static_cast<std::uint64_t>(
+                       number_or(row, "fan_in", 0.0))));
+        std::string deps;
+        const json::Value* dep_list = row.find("deps");
+        if (dep_list != nullptr && dep_list->is_array()) {
+          for (const json::Value& dep : dep_list->array) {
+            if (!dep.is_string()) continue;
+            if (!deps.empty()) deps += ", ";
+            deps += dep.string;
+          }
+        }
+        w_.element("td", {},
+                   deps.empty() ? std::string("\xE2\x80\x94") : deps);
+        w_.close();  // tr
+      }
+      w_.close().close();  // tbody, table
+    }
+    const json::Value* findings = arch.find("findings");
+    const std::size_t open_count =
+        findings != nullptr && findings->is_array() ? findings->array.size()
+                                                    : 0;
+    if (open_count == 0) {
+      w_.element("p", {{"class", "note"}},
+                 "No open architecture violations \xE2\x80\x94 the include "
+                 "graph matches the declared layering.");
+    } else {
+      w_.element("p", {{"class", "legend verdict-regression"}},
+                 "\xE2\x96\xB2 " + std::to_string(open_count) +
+                     " open violation(s):");
+      w_.open("ul", {{"class", "problems"}});
+      for (const json::Value& f : findings->array) {
+        if (!f.is_object()) continue;
+        w_.element("li", {},
+                   string_or(f, "file", "?") + ":" +
+                       fmt_fixed(number_or(f, "line", 0.0), 0) + " [" +
+                       string_or(f, "rule", "?") + "] " +
+                       string_or(f, "message", ""));
+      }
+      w_.close();  // ul
+    }
+    w_.close();  // section
   }
 
   // ---- channel traffic --------------------------------------------------

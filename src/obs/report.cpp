@@ -13,6 +13,7 @@
 #endif
 
 #include "obs/obs.hpp"
+#include "obs/schemas.hpp"
 #include "util/require.hpp"
 
 #ifndef CCMX_GIT_SHA

@@ -17,7 +17,6 @@
 
 #include "obs/hwcounters.hpp"
 #include "obs/json.hpp"
-#include "obs/schemas.hpp"
 
 namespace ccmx::obs {
 

@@ -35,6 +35,11 @@ inline constexpr std::string_view kTrendSchema = "ccmx.trend/1";
 /// (see lint/lint.hpp).
 inline constexpr std::string_view kLintReportSchema = "ccmx.lint_report/1";
 
+/// Findings of the whole-repo architecture analysis — module include
+/// graph vs the declared layering plus the symbol cross-reference —
+/// `ccmx_lint arch` (see lint/arch.hpp).
+inline constexpr std::string_view kArchReportSchema = "ccmx.arch_report/1";
+
 /// Chrome trace-event JSON converted from a ccmx JSONL trace —
 /// `ccmx_insight trace --chrome` (see obs/trace_reader.hpp).  The
 /// document is the trace-event "object format" with this schema id as an
@@ -61,8 +66,9 @@ inline constexpr std::string_view kTimeseriesSummarySchema =
 /// that only need to know "is this one of ours".
 inline constexpr std::string_view kRegisteredSchemas[] = {
     kRunReportSchema,     kBenchDiffSchema,  kTrajectorySchema,
-    kTrendSchema,         kLintReportSchema, kChromeTraceSchema,
-    kDashboardDataSchema, kTimeseriesSchema, kTimeseriesSummarySchema,
+    kTrendSchema,         kLintReportSchema, kArchReportSchema,
+    kChromeTraceSchema,   kDashboardDataSchema, kTimeseriesSchema,
+    kTimeseriesSummarySchema,
 };
 
 [[nodiscard]] constexpr bool is_registered_schema(

@@ -74,6 +74,7 @@ class Xoshiro256 {
   [[nodiscard]] bool coin() { return ((*this)() & 1u) != 0; }
 
   /// An independent child generator (for per-thread streams).
+  // ccmx-lint: allow(dead-export) — per-thread stream hook for future use
   [[nodiscard]] Xoshiro256 fork() { return Xoshiro256((*this)()); }
 
  private:

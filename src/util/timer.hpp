@@ -22,6 +22,7 @@ class WallTimer {
     return std::chrono::duration<double>(clock::now() - start_).count();
   }
 
+  // ccmx-lint: allow(dead-export) — unit convenience paired with seconds()
   [[nodiscard]] double millis() const { return seconds() * 1e3; }
 
   /// Process CPU seconds (all threads) since construction/reset.

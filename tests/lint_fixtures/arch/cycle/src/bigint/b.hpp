@@ -1,0 +1,4 @@
+// Fixture: the other half of the util <-> bigint cycle (bigint -> util
+// is a declared edge, so only the cycle rule fires here).
+#pragma once
+#include "util/u.hpp"

@@ -1,0 +1,4 @@
+// Fixture: back edge of the suppressed core <-> comm cycle.  comm ->
+// core is same-layer but undeclared, hence the extra allow.
+#pragma once
+#include "core/x.hpp"  // ccmx-lint: allow(cycle, undeclared-edge)

@@ -1,0 +1,4 @@
+// Fixture: a second, fully suppressed cycle (core <-> comm).  core ->
+// comm is declared; the back edge carries its own allow below.
+#pragma once
+#include "comm/c.hpp"  // ccmx-lint: allow(cycle)

@@ -1,0 +1,5 @@
+// Fixture: half of the util <-> bigint cycle.  The upward half of the
+// edge pair would also fire layering; that half is allowed so the test
+// sees the cycle finding in isolation.
+#pragma once
+#include "bigint/b.hpp"  // ccmx-lint: allow(layering)

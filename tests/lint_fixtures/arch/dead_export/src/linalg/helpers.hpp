@@ -1,0 +1,22 @@
+// Fixture: one live export, one dead one, one tolerated one, and a
+// private member that must never count as an export.
+#pragma once
+
+namespace fx {
+
+inline int used_helper(int v) { return v + 1; }
+
+inline int dead_helper(int v) { return v - 1; }
+
+// ccmx-lint: allow(dead-export) — kept for illustration
+inline int tolerated_helper(int v) { return v * 2; }
+
+class Widget {
+ public:
+  int visible() const { return 1; }
+
+ private:
+  int hidden_helper() const { return 2; }
+};
+
+}  // namespace fx

@@ -1,0 +1,7 @@
+// Fixture: the TU that keeps used_helper and Widget::visible alive.
+#include "linalg/helpers.hpp"
+
+int main() {
+  fx::Widget w;
+  return fx::used_helper(w.visible());
+}

@@ -1,0 +1,4 @@
+// Fixture: bigint (layer 1) -> linalg (layer 2), an upward edge whose
+// every occurrence is allowed in place — suppressed, not reported.
+#pragma once
+#include "linalg/l.hpp"  // ccmx-lint: allow(layering)

@@ -1,0 +1,6 @@
+// Fixture: comm (layer 3) touching obs (layer 5) two ways: via the
+// compile-out macro surface (exempt) and via a non-surface header
+// (violation).
+#pragma once
+#include "obs/obs.hpp"
+#include "obs/trace.hpp"

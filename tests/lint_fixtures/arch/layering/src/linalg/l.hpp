@@ -1,0 +1,2 @@
+// Fixture: empty target header for the layering fixture.
+#pragma once

@@ -1,0 +1,2 @@
+// Fixture: stands in for the real macro surface header (same rel path).
+#pragma once

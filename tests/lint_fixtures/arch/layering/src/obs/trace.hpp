@@ -1,0 +1,2 @@
+// Fixture: a non-macro-surface obs header.
+#pragma once

@@ -1,0 +1,4 @@
+// Fixture: util (layer 0) reaching up into linalg (layer 2) — a
+// layering violation with no cycle.
+#pragma once
+#include "linalg/l.hpp"

@@ -1,0 +1,30 @@
+// Fixture: a file-scope counter and four documented functions — one
+// racy (fires), one racy-but-allowed, one with a synchronization token
+// (silent), and one undocumented (out of the rule's scope).
+#pragma once
+
+#include <cstddef>
+#include <mutex>
+
+namespace fx {
+
+std::size_t g_calls = 0;
+std::mutex g_calls_mutex;
+
+/// Thread-safe: may be called concurrently.
+inline void bump() { g_calls += 1; }
+
+/// Thread-safe (reviewed by hand; the race is benign here).
+// ccmx-lint: allow(thread-safety)
+inline void bump_tolerated() { g_calls += 2; }
+
+/// Thread-safe: guarded by g_calls_mutex.
+inline void bump_guarded() {
+  const std::lock_guard<std::mutex> lock(g_calls_mutex);
+  g_calls += 3;
+}
+
+/// Bumps the counter; callers must serialize.
+inline void bump_undocumented_unsafe() { g_calls += 4; }
+
+}  // namespace fx

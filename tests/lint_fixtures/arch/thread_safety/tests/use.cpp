@@ -1,0 +1,10 @@
+// Fixture: keeps every counter function alive for the dead-export rule.
+#include "util/counter.hpp"
+
+int main() {
+  fx::bump();
+  fx::bump_tolerated();
+  fx::bump_guarded();
+  fx::bump_undocumented_unsafe();
+  return 0;
+}

@@ -1,0 +1,2 @@
+// Fixture: empty target header.
+#pragma once

@@ -1,0 +1,4 @@
+// Fixture: lint (layer 6) -> linalg (layer 2), undeclared but
+// suppressed in place.
+#pragma once
+#include "linalg/m.hpp"  // ccmx-lint: allow(undeclared-edge)

@@ -1,0 +1,3 @@
+// Fixture: a module that is absent from the layering table entirely.
+#pragma once
+#include "util/u.hpp"

@@ -1,0 +1,4 @@
+// Fixture: vlsi (layer 4) -> core (layer 3) is direction-legal but not
+// in the declared dependency table.
+#pragma once
+#include "core/x.hpp"

@@ -1,0 +1,7 @@
+// Fixture: uses alpha but not beta — the beta include is dead weight.
+#include "linalg/alpha.hpp"
+#include "linalg/beta.hpp"
+
+namespace fx {
+int consume_alpha(int v) { return alpha(v); }
+}  // namespace fx

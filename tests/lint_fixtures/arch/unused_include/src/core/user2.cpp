@@ -1,0 +1,7 @@
+// Fixture: uses beta but not alpha; the alpha include is tolerated.
+#include "linalg/alpha.hpp"  // ccmx-lint: allow(unused-include)
+#include "linalg/beta.hpp"
+
+namespace fx {
+int consume_beta(int v) { return beta(v); }
+}  // namespace fx

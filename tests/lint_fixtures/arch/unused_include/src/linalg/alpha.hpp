@@ -1,0 +1,5 @@
+// Fixture: exports alpha().
+#pragma once
+namespace fx {
+inline int alpha(int v) { return v; }
+}  // namespace fx

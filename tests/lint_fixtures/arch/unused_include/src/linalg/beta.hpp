@@ -1,0 +1,5 @@
+// Fixture: exports beta().
+#pragma once
+namespace fx {
+inline int beta(int v) { return v + 1; }
+}  // namespace fx

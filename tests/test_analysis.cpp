@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "obs/analysis.hpp"
+#include "obs/schemas.hpp"
 #include "obs/json.hpp"
 #include "obs/report.hpp"
 

@@ -5,7 +5,6 @@
 
 #include "comm/channel.hpp"
 #include "comm/cover.hpp"
-#include "core/rank_spectrum.hpp"
 #include "linalg/rref.hpp"
 #include "protocols/fingerprint.hpp"
 #include "util/rng.hpp"

@@ -10,6 +10,7 @@
 #include "obs/analysis.hpp"
 #include "obs/html_render.hpp"
 #include "obs/json.hpp"
+#include "obs/schemas.hpp"
 #include "obs/report.hpp"
 #include "obs/trace_reader.hpp"
 #include "util/require.hpp"
@@ -232,6 +233,49 @@ TEST(HtmlRender, RendersAllSectionsWhenEverythingIsProvided) {
   // its arrow marker, and the flame view ships a table twin.
   EXPECT_NE(html.find("\xE2\x96\xB2 regression"), std::string::npos);
   EXPECT_NE(html.find("Top spans by self time"), std::string::npos);
+}
+
+TEST(HtmlRender, ArchPanelRendersModulesAndViolations) {
+  const obs::LoadResult reports = make_reports();
+
+  // A hand-written ccmx.arch_report/1 document: two modules, one open
+  // layering violation.  The panel must surface all three.
+  const obs::json::Value arch = obs::json::parse(
+      "{\"schema\":\"ccmx.arch_report/1\",\"files_scanned\":42,"
+      "\"include_edges\":17,"
+      "\"modules\":[{\"name\":\"util\",\"layer\":0,\"files\":12,"
+      "\"fan_out\":0,\"fan_in\":9,\"deps\":[]},"
+      "{\"name\":\"linalg\",\"layer\":2,\"files\":8,\"fan_out\":2,"
+      "\"fan_in\":5,\"deps\":[\"util\",\"bigint\"]}],"
+      "\"findings\":[{\"rule\":\"layering\",\"file\":\"src/util/u.hpp\","
+      "\"line\":3,\"message\":\"util (layer 0) must not include linalg "
+      "(layer 2)\"}]}");
+
+  obs::DashboardData data;
+  data.reports = &reports;
+  data.arch = &arch;
+  const std::string html = obs::render_dashboard_html(data);
+
+  check_balanced(html);
+  EXPECT_NE(html.find("Architecture (include graph)"), std::string::npos);
+  EXPECT_EQ(html.find("No architecture report provided"), std::string::npos);
+  // Module table rows with their declared dependencies.
+  EXPECT_NE(html.find("linalg"), std::string::npos);
+  EXPECT_NE(html.find("util, bigint"), std::string::npos);
+  // The violation list carries file:line provenance and the rule name.
+  EXPECT_NE(html.find("1 open violation(s)"), std::string::npos);
+  EXPECT_NE(html.find("src/util/u.hpp:3 [layering]"), std::string::npos);
+  EXPECT_EQ(html.find("No open architecture violations"), std::string::npos);
+
+  // Without a report the panel falls back to its note and never claims
+  // the repo is clean.
+  obs::DashboardData bare;
+  bare.reports = &reports;
+  const std::string fallback = obs::render_dashboard_html(bare);
+  EXPECT_NE(fallback.find("No architecture report provided"),
+            std::string::npos);
+  EXPECT_EQ(fallback.find("No open architecture violations"),
+            std::string::npos);
 }
 
 TEST(HtmlRender, RequiresReports) {

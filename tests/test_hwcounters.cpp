@@ -23,7 +23,6 @@
 #include "obs/json.hpp"
 #include "obs/obs.hpp"
 #include "obs/report.hpp"
-#include "obs/schemas.hpp"
 #include "obs/trace_reader.hpp"
 
 namespace {

@@ -6,6 +6,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <filesystem>
 #include <fstream>
 #include <sstream>
@@ -158,6 +159,60 @@ TEST(LintRules, SuppressionsSilenceSameLineAndLineAbove) {
       rules_of(result));
   EXPECT_EQ(result.findings[0].line, 19u);  // allow(rng) names the wrong rule
   EXPECT_EQ(result.suppressed, 3u);         // allow(narrow), allow(r1), allow(all)
+}
+
+TEST(LintBaseline, FingerprintEmbedsTheRuleVersion) {
+  // S3 bugfix: two different rules (or two versions of one rule) can
+  // flag the same squashed snippet in the same file; the fingerprint
+  // must keep them distinct.  Every lexical rule is at v2 now.
+  for (const lint::RuleInfo& rule : lint::rules()) {
+    EXPECT_EQ(rule.version, 2u) << rule.name;
+    EXPECT_EQ(lint::rule_version(rule.name), 2u) << rule.name;
+  }
+  EXPECT_EQ(lint::rule_version("no-such-rule"), 1u);  // default
+  const lint::Finding narrow{"narrow", "src/x.cpp", 3, "m", "int y = f(v);"};
+  lint::Finding rng = narrow;
+  rng.rule = "rng";
+  EXPECT_NE(lint::finding_fingerprint(narrow), lint::finding_fingerprint(rng));
+  EXPECT_NE(lint::finding_fingerprint(narrow).find("narrow@v2|"),
+            std::string::npos);
+}
+
+TEST(LintFix, PragmaOnceInsertionIsIdempotentAndRespectsAllows) {
+  const std::string bare = "// header comment\n\nint value();\n";
+  const lint::FixOutcome fixed = lint::fix_pragma_once(bare);
+  ASSERT_EQ(fixed.status, lint::FixOutcome::Status::kFixed);
+  // Inserted after the leading comment block, before the first code.
+  EXPECT_NE(fixed.text.find("#pragma once"), std::string::npos);
+  EXPECT_LT(fixed.text.find("// header comment"),
+            fixed.text.find("#pragma once"));
+  EXPECT_LT(fixed.text.find("#pragma once"), fixed.text.find("int value"));
+  // The fixed text now passes R6 and a second fix is a no-op.
+  EXPECT_EQ(count_rule(lint::lint_text("src/h.hpp", fixed.text),
+                       "include-hygiene"),
+            0u);
+  EXPECT_EQ(lint::fix_pragma_once(fixed.text).status,
+            lint::FixOutcome::Status::kAlreadyClean);
+  // A header that opted out via allow(include-hygiene) is refused.
+  const std::string opted_out =
+      "// ccmx-lint: allow(include-hygiene)\nint value();\n";
+  EXPECT_EQ(lint::fix_pragma_once(opted_out).status,
+            lint::FixOutcome::Status::kRefused);
+}
+
+TEST(LintRun, PerRuleTimingsCoverEveryRule) {
+  const lint::FileLint file =
+      lint::lint_text("src/t.cpp", "int f(long v) { return 0; }\n");
+  std::vector<std::string> timed;
+  for (const lint::RuleTiming& t : file.timings) {
+    timed.push_back(t.rule);
+    EXPECT_GE(t.wall_seconds, 0.0);
+    EXPECT_GE(t.cpu_seconds, 0.0);
+  }
+  for (const lint::RuleInfo& rule : lint::rules()) {
+    EXPECT_NE(std::find(timed.begin(), timed.end(), rule.name), timed.end())
+        << rule.name;
+  }
 }
 
 TEST(LintBaseline, FingerprintIgnoresLineNumbers) {

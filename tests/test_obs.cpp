@@ -11,6 +11,7 @@
 #include "comm/channel.hpp"
 #include "obs/json.hpp"
 #include "obs/obs.hpp"
+#include "obs/schemas.hpp"
 #include "obs/progress.hpp"
 #include "obs/report.hpp"
 #include "util/parallel.hpp"

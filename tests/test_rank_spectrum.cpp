@@ -3,7 +3,6 @@
 #include <gtest/gtest.h>
 
 #include "core/rank_spectrum.hpp"
-#include "linalg/det.hpp"
 #include "linalg/rref.hpp"
 #include "util/rng.hpp"
 

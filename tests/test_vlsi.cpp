@@ -4,7 +4,6 @@
 
 #include <cmath>
 
-#include "linalg/det.hpp"
 #include "linalg/fp.hpp"
 #include "vlsi/mesh.hpp"
 #include "vlsi/tradeoffs.hpp"

@@ -16,6 +16,11 @@
 //   lint FILE
 //       Validate and summarize a ccmx_lint JSON report (exit 1 when it
 //       carries non-baselined findings).
+//   arch FILE
+//       Validate and summarize a `ccmx_lint arch --json` report: the
+//       module table (layer, files, fan-in/fan-out) plus any open
+//       findings (exit 1 when the report carries non-baselined
+//       findings).
 //   trace FILE [--report BENCH.json] [--chrome OUT.json]
 //       Parse a JSONL channel trace, print per-channel / per-round /
 //       per-agent traffic plus the reconstructed span trees, and (with
@@ -29,7 +34,8 @@
 //       wall span, RSS range, CPU time, and — when the machine exposes
 //       hardware counters — aggregate IPC and instruction rate.
 //   html --reports DIR [--trajectory FILE] [--diff DIFF.json]
-//       [--trace FILE] [--timeseries FILE] [--out FILE] [--title S]
+//       [--arch ARCH.json] [--trace FILE] [--timeseries FILE]
+//       [--out FILE] [--title S]
 //       Render the observability artifacts into ONE self-contained HTML
 //       dashboard (inline SVG/CSS, no scripts, no network) with the
 //       run-report JSON embedded as a ccmx.dashboard_data/1 island.
@@ -63,6 +69,7 @@
 #include "comm/channel.hpp"
 #include "comm/partition.hpp"
 #include "linalg/convert.hpp"
+#include "lint/arch.hpp"
 #include "lint/lint.hpp"
 #include "obs/analysis.hpp"
 #include "obs/html_render.hpp"
@@ -82,7 +89,7 @@ using namespace ccmx;
 int usage() {
   std::cerr <<
       "usage: ccmx_insight "
-      "<diff|trajectory|trend|trace|timeseries|html|fit|lint> ...\n"
+      "<diff|trajectory|trend|trace|timeseries|html|fit|lint|arch> ...\n"
       "  diff --baseline DIR --candidate DIR [--json PATH] [--md PATH]\n"
       "       [--cpu-tol F=0.20] [--counter-tol F=0.25] [--rss-tol F=0.30]\n"
       "       [--insn-tol F=0.02] [--min-iters N=3]\n"
@@ -93,10 +100,11 @@ int usage() {
       "  trace FILE [--report BENCH.json] [--chrome OUT.json]\n"
       "  timeseries FILE [--json PATH]\n"
       "  html --reports DIR [--trajectory FILE] [--diff DIFF.json]\n"
-      "       [--trace FILE] [--timeseries FILE]\n"
+      "       [--arch ARCH.json] [--trace FILE] [--timeseries FILE]\n"
       "       [--out FILE=dashboard.html] [--title S]\n"
       "  fit --law send-half|fingerprint [--seed N=7] [--max-dev F]\n"
-      "  lint FILE\n";
+      "  lint FILE\n"
+      "  arch FILE\n";
   return 2;
 }
 
@@ -336,6 +344,82 @@ int cmd_lint(Args& args) {
     std::cout << "  " << file->string << ":"
               << static_cast<std::uint64_t>(line->number) << " ["
               << rule->string << "] " << message->string << '\n';
+  }
+  return findings->array.empty() ? 0 : 1;
+}
+
+// ---------------------------------------------------------------- arch
+
+/// Parses PATH as JSON and checks it against ccmx.arch_report/1;
+/// prints the problems and returns nullopt when it does not conform.
+std::optional<obs::json::Value> load_arch_report(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in.is_open()) {
+    std::cerr << "error: cannot open " << path << '\n';
+    return std::nullopt;
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  obs::json::Value doc;
+  try {
+    doc = obs::json::parse(buffer.str());
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << path << ": " << e.what() << '\n';
+    return std::nullopt;
+  }
+  const std::vector<std::string> problems = lint::validate_arch_report(doc);
+  if (!problems.empty()) {
+    std::cerr << "error: " << path << " is not a valid arch report\n";
+    for (const std::string& p : problems) std::cerr << "  " << p << '\n';
+    return std::nullopt;
+  }
+  return doc;
+}
+
+int cmd_arch(Args& args) {
+  const auto report_path = args.positional();
+  if (!report_path) return usage();
+  const std::optional<obs::json::Value> doc = load_arch_report(*report_path);
+  if (!doc) return 2;
+
+  const obs::json::Value* findings = doc->find("findings");
+  std::cout << "arch report: " << *report_path << " — "
+            << static_cast<std::uint64_t>(doc->find("files_scanned")->number)
+            << " file(s), "
+            << static_cast<std::uint64_t>(doc->find("include_edges")->number)
+            << " include edge(s), " << findings->array.size()
+            << " finding(s)\n";
+
+  const obs::json::Value* modules = doc->find("modules");
+  if (modules != nullptr && modules->is_array() && !modules->array.empty()) {
+    util::TextTable table(
+        {"module", "layer", "files", "fan-out", "fan-in", "depends on"});
+    for (const obs::json::Value& row : modules->array) {
+      if (!row.is_object()) continue;
+      std::string deps;
+      const obs::json::Value* dep_list = row.find("deps");
+      if (dep_list != nullptr && dep_list->is_array()) {
+        for (const obs::json::Value& dep : dep_list->array) {
+          if (!dep.is_string()) continue;
+          if (!deps.empty()) deps += ", ";
+          deps += dep.string;
+        }
+      }
+      table.row(row.find("name")->string,
+                static_cast<std::int64_t>(row.find("layer")->number),
+                static_cast<std::uint64_t>(row.find("files")->number),
+                static_cast<std::uint64_t>(row.find("fan_out")->number),
+                static_cast<std::uint64_t>(row.find("fan_in")->number),
+                deps.empty() ? "—" : deps);
+    }
+    table.print(std::cout);
+  }
+
+  for (const obs::json::Value& f : findings->array) {
+    std::cout << "  " << f.find("file")->string << ":"
+              << static_cast<std::uint64_t>(f.find("line")->number) << " ["
+              << f.find("rule")->string << "] " << f.find("message")->string
+              << '\n';
   }
   return findings->array.empty() ? 0 : 1;
 }
@@ -676,6 +760,13 @@ int cmd_html(Args& args) {
     data.diff = &diff_doc;
   }
 
+  std::optional<obs::json::Value> arch_doc;
+  if (const auto arch_path = args.option("--arch")) {
+    arch_doc = load_arch_report(*arch_path);
+    if (!arch_doc) return 2;
+    data.arch = &*arch_doc;
+  }
+
   obs::ChannelTrace trace;
   obs::SpanForest forest;
   obs::TraceReadStats trace_stats;
@@ -941,6 +1032,7 @@ int main(int argc, char** argv) {
     if (cmd == "html") return cmd_html(args);
     if (cmd == "fit") return cmd_fit(args);
     if (cmd == "lint") return cmd_lint(args);
+    if (cmd == "arch") return cmd_arch(args);
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << '\n';
     return 2;

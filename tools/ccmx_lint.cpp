@@ -1,34 +1,49 @@
-// ccmx_lint — CLI for the project-invariant static-analysis pass.
+// ccmx_lint — CLI for the project-invariant static-analysis passes.
 //
-//   ccmx_lint [--root DIR] [--subdir D ...] [--baseline FILE]
-//             [--write-baseline] [--json PATH] [--list-rules] [--quiet]
+//   ccmx_lint      [--root DIR] [--subdir D ...] [--baseline FILE]
+//                  [--write-baseline] [--fix] [--json PATH]
+//                  [--list-rules] [--quiet]
+//   ccmx_lint arch [--root DIR] [--subdir D ...] [--baseline FILE]
+//                  [--write-baseline] [--json PATH] [--list-rules]
+//                  [--quiet]
 //
-// Exit status: 0 = clean (no non-baselined findings), 1 = findings,
-// 2 = usage or I/O error.  The default baseline is <root>/tools/
-// lint_baseline.txt (a missing file is an empty baseline), so CI can run
-// plain `ccmx_lint` from the repo root.
+// The bare form runs the per-file lexical rules R1–R6 (lint/lint.hpp);
+// `ccmx_lint arch` runs the whole-repo architecture pass A1–A6
+// (lint/arch.hpp) — include graph vs the declared layering plus the
+// symbol cross-reference.  Exit status for both: 0 = clean (no
+// non-baselined findings), 1 = findings, 2 = usage or I/O error.  The
+// default baselines are <root>/tools/lint_baseline.txt and
+// <root>/tools/arch_baseline.txt (a missing file is an empty baseline),
+// so CI can run both modes from the repo root with no flags.
 #include <cstring>
 #include <exception>
 #include <fstream>
 #include <iostream>
+#include <sstream>
 #include <string>
 #include <vector>
 
+#include "lint/arch.hpp"
 #include "lint/lint.hpp"
 
 namespace {
 
 void print_usage(std::ostream& os) {
-  os << "usage: ccmx_lint [options]\n"
+  os << "usage: ccmx_lint [arch] [options]\n"
+        "  arch               run the whole-repo architecture pass (A1-A6)\n"
+        "                     instead of the per-file lexical rules (R1-R6)\n"
         "  --root DIR         repo root to lint (default: .)\n"
         "  --subdir D         scan only this subdir; repeatable\n"
-        "                     (default: src bench tools tests)\n"
-        "  --baseline FILE    baseline file (default: <root>/tools/"
-        "lint_baseline.txt)\n"
+        "                     (default: src bench tools tests; arch mode\n"
+        "                     adds examples)\n"
+        "  --baseline FILE    baseline file (default: <root>/tools/\n"
+        "                     lint_baseline.txt, arch_baseline.txt for arch)\n"
         "  --no-baseline      ignore any baseline file\n"
         "  --write-baseline   rewrite the baseline from current findings\n"
-        "  --json PATH        also write the machine-readable lint report\n"
-        "                     (schema: obs::kLintReportSchema)\n"
+        "  --fix              lexical mode only: insert missing #pragma\n"
+        "                     once into offending headers (rule R6)\n"
+        "  --json PATH        also write the machine-readable report\n"
+        "                     (obs::kLintReportSchema / kArchReportSchema)\n"
         "  --list-rules       print the rule table and exit\n"
         "  --quiet            summary line only, no per-finding output\n";
 }
@@ -42,17 +57,27 @@ void print_findings(const std::vector<ccmx::lint::Finding>& findings,
   }
 }
 
-}  // namespace
+void print_rules(const std::vector<ccmx::lint::RuleInfo>& rules) {
+  for (const ccmx::lint::RuleInfo& rule : rules) {
+    std::cout << rule.alias << "  " << rule.name << " (v" << rule.version
+              << ")\n    " << rule.summary << "\n";
+  }
+}
 
-int main(int argc, char** argv) {
-  ccmx::lint::RunOptions options;
-  bool explicit_subdirs = false;
+struct CommonArgs {
+  std::string root = ".";
+  std::vector<std::string> subdirs;  // empty = mode default
+  std::string baseline_path;
   bool no_baseline = false;
   bool write_baseline = false;
+  bool fix = false;
   bool quiet = false;
+  bool list_rules = false;
   std::string json_path;
+};
 
-  for (int i = 1; i < argc; ++i) {
+int parse_args(int argc, char** argv, int first, CommonArgs& args) {
+  for (int i = first; i < argc; ++i) {
     const std::string_view arg = argv[i];
     const auto next = [&]() -> std::string {
       if (i + 1 >= argc) {
@@ -62,80 +87,210 @@ int main(int argc, char** argv) {
       return argv[++i];
     };
     if (arg == "--root") {
-      options.root = next();
+      args.root = next();
     } else if (arg == "--subdir") {
-      if (!explicit_subdirs) options.subdirs.clear();
-      explicit_subdirs = true;
-      options.subdirs.push_back(next());
+      args.subdirs.push_back(next());
     } else if (arg == "--baseline") {
-      options.baseline_path = next();
+      args.baseline_path = next();
     } else if (arg == "--no-baseline") {
-      no_baseline = true;
+      args.no_baseline = true;
     } else if (arg == "--write-baseline") {
-      write_baseline = true;
+      args.write_baseline = true;
+    } else if (arg == "--fix") {
+      args.fix = true;
     } else if (arg == "--json") {
-      json_path = next();
+      args.json_path = next();
     } else if (arg == "--quiet") {
-      quiet = true;
+      args.quiet = true;
     } else if (arg == "--list-rules") {
-      for (const ccmx::lint::RuleInfo& rule : ccmx::lint::rules()) {
-        std::cout << rule.alias << "  " << rule.name << "\n    "
-                  << rule.summary << "\n";
-      }
-      return 0;
+      args.list_rules = true;
     } else if (arg == "--help" || arg == "-h") {
       print_usage(std::cout);
-      return 0;
+      std::exit(0);
     } else {
       std::cerr << "ccmx_lint: unknown argument " << arg << "\n";
       print_usage(std::cerr);
       return 2;
     }
   }
+  return 0;
+}
 
-  if (options.baseline_path.empty() && !no_baseline) {
+int write_baseline_file(const std::string& path, const std::string& content,
+                        std::size_t count) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out.is_open()) {
+    std::cerr << "ccmx_lint: cannot write " << path << "\n";
+    return 2;
+  }
+  out << content;
+  std::cout << "ccmx_lint: wrote " << count << " fingerprint(s) to " << path
+            << "\n";
+  return 0;
+}
+
+int write_json_file(const std::string& path, const std::string& content) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out.is_open()) {
+    std::cerr << "ccmx_lint: cannot write " << path << "\n";
+    return 2;
+  }
+  out << content;
+  return 0;
+}
+
+/// Applies the R6 fix to every offending header in `result` (active and
+/// baselined alike — the fix is mechanical) and reports what happened.
+/// Returns the number of files rewritten.
+std::size_t apply_pragma_fixes(const ccmx::lint::RunResult& result,
+                               const std::string& root) {
+  std::size_t fixed = 0;
+  std::vector<ccmx::lint::Finding> all = result.findings;
+  all.insert(all.end(), result.baselined.begin(), result.baselined.end());
+  for (const ccmx::lint::Finding& f : all) {
+    if (f.rule != "include-hygiene") continue;
+    const std::string path = root + "/" + f.file;
+    std::ifstream in(path, std::ios::binary);
+    if (!in.is_open()) {
+      std::cerr << "ccmx_lint: --fix cannot read " << path << "\n";
+      continue;
+    }
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    in.close();
+    const ccmx::lint::FixOutcome outcome =
+        ccmx::lint::fix_pragma_once(buffer.str());
+    switch (outcome.status) {
+      case ccmx::lint::FixOutcome::Status::kFixed: {
+        std::ofstream out(path, std::ios::trunc | std::ios::binary);
+        if (!out.is_open()) {
+          std::cerr << "ccmx_lint: --fix cannot write " << path << "\n";
+          break;
+        }
+        out << outcome.text;
+        std::cout << "ccmx_lint: fixed " << f.file
+                  << " (inserted #pragma once)\n";
+        ++fixed;
+        break;
+      }
+      case ccmx::lint::FixOutcome::Status::kRefused:
+        std::cout << "ccmx_lint: refusing to fix " << f.file
+                  << " — it carries an allow(include-hygiene) suppression\n";
+        break;
+      case ccmx::lint::FixOutcome::Status::kAlreadyClean:
+        break;
+    }
+  }
+  return fixed;
+}
+
+int run_lexical_mode(const CommonArgs& args) {
+  if (args.list_rules) {
+    print_rules(ccmx::lint::rules());
+    return 0;
+  }
+  ccmx::lint::RunOptions options;
+  options.root = args.root;
+  if (!args.subdirs.empty()) options.subdirs = args.subdirs;
+  options.baseline_path = args.baseline_path;
+  if (options.baseline_path.empty() && !args.no_baseline) {
     options.baseline_path = options.root + "/tools/lint_baseline.txt";
   }
-  if (no_baseline) options.baseline_path.clear();
+  if (args.no_baseline) options.baseline_path.clear();
 
+  ccmx::lint::RunResult result = ccmx::lint::run_lint(options);
+
+  if (args.fix) {
+    const std::size_t fixed = apply_pragma_fixes(result, options.root);
+    if (fixed > 0) result = ccmx::lint::run_lint(options);  // re-lint
+  }
+
+  if (args.write_baseline) {
+    std::vector<ccmx::lint::Finding> all = result.findings;
+    all.insert(all.end(), result.baselined.begin(), result.baselined.end());
+    const std::string path = options.baseline_path.empty()
+                                 ? options.root + "/tools/lint_baseline.txt"
+                                 : options.baseline_path;
+    return write_baseline_file(
+        path, ccmx::lint::Baseline::from_findings(all).render(), all.size());
+  }
+
+  if (!args.json_path.empty()) {
+    const int rc = write_json_file(
+        args.json_path, ccmx::lint::render_lint_report_json(result, options));
+    if (rc != 0) return rc;
+  }
+
+  if (!args.quiet) {
+    print_findings(result.findings, "");
+    print_findings(result.baselined, " (baselined)");
+  }
+  std::cout << "ccmx_lint: " << result.files_scanned << " file(s), "
+            << result.findings.size() << " finding(s), "
+            << result.baselined.size() << " baselined, " << result.suppressed
+            << " suppressed\n";
+  return result.findings.empty() ? 0 : 1;
+}
+
+int run_arch_mode(const CommonArgs& args) {
+  if (args.list_rules) {
+    print_rules(ccmx::lint::arch_rules());
+    return 0;
+  }
+  if (args.fix) {
+    std::cerr << "ccmx_lint: --fix applies to the lexical mode only\n";
+    return 2;
+  }
+  ccmx::lint::ArchOptions options;
+  options.root = args.root;
+  if (!args.subdirs.empty()) options.subdirs = args.subdirs;
+  options.baseline_path = args.baseline_path;
+  if (options.baseline_path.empty() && !args.no_baseline) {
+    options.baseline_path = options.root + "/tools/arch_baseline.txt";
+  }
+  if (args.no_baseline) options.baseline_path.clear();
+
+  const ccmx::lint::ArchResult result = ccmx::lint::run_arch(options);
+
+  if (args.write_baseline) {
+    std::vector<ccmx::lint::Finding> all = result.findings;
+    all.insert(all.end(), result.baselined.begin(), result.baselined.end());
+    const std::string path = options.baseline_path.empty()
+                                 ? options.root + "/tools/arch_baseline.txt"
+                                 : options.baseline_path;
+    return write_baseline_file(
+        path, ccmx::lint::Baseline::from_findings(all).render(), all.size());
+  }
+
+  if (!args.json_path.empty()) {
+    const int rc = write_json_file(
+        args.json_path, ccmx::lint::render_arch_report_json(result, options));
+    if (rc != 0) return rc;
+  }
+
+  if (!args.quiet) {
+    print_findings(result.findings, "");
+    print_findings(result.baselined, " (baselined)");
+  }
+  std::cout << "ccmx_lint arch: " << result.files_scanned << " file(s), "
+            << result.include_edges << " include edge(s), "
+            << result.modules.size() << " module(s), "
+            << result.findings.size() << " finding(s), "
+            << result.baselined.size() << " baselined, " << result.suppressed
+            << " suppressed\n";
+  return result.findings.empty() ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool arch_mode =
+      argc > 1 && std::strcmp(argv[1], "arch") == 0;
+  CommonArgs args;
+  const int parse_rc = parse_args(argc, argv, arch_mode ? 2 : 1, args);
+  if (parse_rc != 0) return parse_rc;
   try {
-    const ccmx::lint::RunResult result = ccmx::lint::run_lint(options);
-
-    if (write_baseline) {
-      std::vector<ccmx::lint::Finding> all = result.findings;
-      all.insert(all.end(), result.baselined.begin(), result.baselined.end());
-      const std::string path = options.baseline_path.empty()
-                                   ? options.root + "/tools/lint_baseline.txt"
-                                   : options.baseline_path;
-      std::ofstream out(path, std::ios::trunc);
-      if (!out.is_open()) {
-        std::cerr << "ccmx_lint: cannot write " << path << "\n";
-        return 2;
-      }
-      out << ccmx::lint::Baseline::from_findings(all).render();
-      std::cout << "ccmx_lint: wrote " << all.size() << " fingerprint(s) to "
-                << path << "\n";
-      return 0;
-    }
-
-    if (!json_path.empty()) {
-      std::ofstream out(json_path, std::ios::trunc);
-      if (!out.is_open()) {
-        std::cerr << "ccmx_lint: cannot write " << json_path << "\n";
-        return 2;
-      }
-      out << ccmx::lint::render_lint_report_json(result, options);
-    }
-
-    if (!quiet) {
-      print_findings(result.findings, "");
-      print_findings(result.baselined, " (baselined)");
-    }
-    std::cout << "ccmx_lint: " << result.files_scanned << " file(s), "
-              << result.findings.size() << " finding(s), "
-              << result.baselined.size() << " baselined, "
-              << result.suppressed << " suppressed\n";
-    return result.findings.empty() ? 0 : 1;
+    return arch_mode ? run_arch_mode(args) : run_lexical_mode(args);
   } catch (const std::exception& e) {
     std::cerr << "ccmx_lint: " << e.what() << "\n";
     return 2;
