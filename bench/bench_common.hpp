@@ -19,6 +19,7 @@
 #include "linalg/convert.hpp"
 #include "obs/hwcounters.hpp"
 #include "obs/obs.hpp"
+#include "obs/profiler.hpp"
 #include "obs/report.hpp"
 #include "util/rng.hpp"
 #include "util/table.hpp"
@@ -114,6 +115,9 @@ inline int bench_main(int argc, char** argv, void (*print_tables)()) {
   const obs::HwRegion process_hw;
   obs::TelemetrySampler sampler;
   sampler.start_from_env();
+  // Sampling CPU profiler (CCMX_PROF_HZ / CCMX_PROF_FILE); degrades to
+  // a reasoned no-op when unconfigured or unavailable.
+  obs::profiler_start_from_env();
   {
     const obs::ScopedSpan span("bench.tables");
     print_tables();
@@ -134,6 +138,7 @@ inline int bench_main(int argc, char** argv, void (*print_tables)()) {
   report.cpu_seconds = timer.cpu_seconds();
   report.hw = process_hw.delta();
   report.benchmarks = reporter.runs();
+  obs::profiler_stop();  // drain rings + ledger; folds obs.prof.* counters
   sampler.stop();  // final timeseries row before the report is published
   obs::flush_thread();
   const std::string path =

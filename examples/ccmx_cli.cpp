@@ -28,6 +28,7 @@
 #include "linalg/rref.hpp"
 #include "obs/hwcounters.hpp"
 #include "obs/obs.hpp"
+#include "obs/profiler.hpp"
 #include "obs/report.hpp"
 #include "protocols/fingerprint.hpp"
 #include "protocols/send_half.hpp"
@@ -234,6 +235,9 @@ int main(int argc, char** argv) {
   const obs::HwRegion process_hw;
   obs::TelemetrySampler sampler;
   sampler.start_from_env();
+  // Sampling CPU profiler (CCMX_PROF_HZ / CCMX_PROF_FILE); degrades to
+  // a reasoned no-op when unconfigured or unavailable.
+  obs::profiler_start_from_env();
   const std::string cmd = argv[1];
   const std::size_t n = std::strtoul(argv[2], nullptr, 10);
   const std::size_t arg3 = std::strtoul(argv[3], nullptr, 10);
@@ -247,10 +251,12 @@ int main(int argc, char** argv) {
   obs::set_attribute(cmd == "rank" ? "r" : "k", std::to_string(arg3));
   try {
     const int rc = run_command(cmd, n, arg3, seed);
+    obs::profiler_stop();
     sampler.stop();
     maybe_write_report(argc, argv, timer, process_hw);
     return rc;
   } catch (const std::exception& e) {
+    obs::profiler_stop();
     sampler.stop();
     std::cerr << "error: " << e.what() << "\n";
     return 1;

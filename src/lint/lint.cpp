@@ -32,9 +32,10 @@ using detail::thread_cpu_seconds;
 // ------------------------------------------------------- rule registry
 
 const std::vector<RuleInfo>& all_rules() {
-  // All six lexical rules are at fingerprint v2: v1 fingerprints did not
-  // carry a rule version at all, so every pre-existing baseline entry was
-  // invalidated by the format change — which is the point of the bump.
+  // R1..R6 are at fingerprint v2: v1 fingerprints did not carry a rule
+  // version at all, so every pre-existing baseline entry was invalidated
+  // by the format change — which is the point of the bump.  R7 was born
+  // after the format change and starts at v1.
   static const std::vector<RuleInfo> kRules = {
       {"narrow", "r1",
        "no raw narrowing static_cast between integer types in src/ — use "
@@ -55,6 +56,11 @@ const std::vector<RuleInfo>& all_rules() {
        "util::Xoshiro256",
        2},
       {"include-hygiene", "r6", "every header declares #pragma once", 2},
+      {"signal-safety", "r7",
+       "functions marked `ccmx-lint: signal-context` must not call "
+       "non-async-signal-safe primitives (allocation, stdio, std::string, "
+       "locks)",
+       1},
   };
   return kRules;
 }
@@ -284,6 +290,91 @@ void rule_include_hygiene(FileContext& ctx) {
   ctx.report("include-hygiene", 1, "header is missing #pragma once");
 }
 
+// R7: lexical async-signal-safety.  A `// ccmx-lint: signal-context`
+// marker line annotates the NEXT function as running inside a signal
+// handler (the profiler's SIGPROF path): from the marker, the rule
+// finds the first `{` that follows a parameter list and walks the body
+// to its matching `}`, flagging the classic non-async-signal-safe
+// denylist inside — allocation, stdio formatting, std::string
+// construction, locks.  Lexical by design like every rule here: it
+// cannot see through calls, but it catches the accidental printf
+// debugging or std::string temporary that turns a working handler into
+// a rare deadlock.  The opt-in marker keeps the scope exact, and
+// `ccmx-lint: allow(signal-safety)` still silences a deliberate hit.
+void rule_signal_safety(FileContext& ctx) {
+  // Anchored: the marker is the comment's ENTIRE content, so prose that
+  // merely mentions the marker (this rule's own docs, say) never arms
+  // the rule.
+  static const std::regex kMarker(R"(^\s*ccmx-lint:\s*signal-context\s*$)");
+  struct Banned {
+    const char* what;
+    std::regex re;
+  };
+  static const std::vector<Banned> kDenied = [] {
+    std::vector<Banned> d;
+    d.push_back({"heap allocation",
+                 std::regex(R"(\b(malloc|calloc|realloc|free)\s*\()")});
+    d.push_back({"operator new/delete", std::regex(R"(\bnew\b|\bdelete\b)")});
+    d.push_back(
+        {"stdio formatting",
+         std::regex(R"(\b((v|f|s|sn|vsn)?printf|puts|fputs|fwrite)\s*\()")});
+    d.push_back({"std::string construction",
+                 std::regex(
+                     R"(\bstd\s*::\s*(string|to_string|[io]?stringstream)\b)")});
+    d.push_back(
+        {"locking",
+         std::regex(
+             R"(\b(mutex|lock_guard|unique_lock|scoped_lock|condition_variable)\b|\.lock\s*\(|\.unlock\s*\()")});
+    return d;
+  }();
+
+  const auto& lines = ctx.lines;
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    if (!std::regex_match(lines[i].comment, kMarker)) continue;
+    // Locate the marked function's body: first `{` at paren depth 0
+    // after a parameter list, then brace-match to its close.  The guard
+    // bounds runaway scans over a marker with no function after it.
+    int paren = 0;
+    int brace = 0;
+    bool seen_paren = false;
+    bool in_body = false;
+    std::size_t j = i + 1;
+    for (std::size_t guard = 0; j < lines.size() && guard < 400;
+         ++j, ++guard) {
+      bool line_in_body = in_body;
+      for (const char c : lines[j].code) {
+        if (!in_body) {
+          if (c == '(') {
+            ++paren;
+            seen_paren = true;
+          } else if (c == ')') {
+            --paren;
+          } else if (c == '{' && paren == 0 && seen_paren) {
+            in_body = true;
+            line_in_body = true;
+            brace = 1;
+          }
+        } else {
+          if (c == '{') ++brace;
+          if (c == '}' && --brace == 0) break;
+        }
+      }
+      if (line_in_body) {
+        for (const Banned& banned : kDenied) {
+          if (std::regex_search(lines[j].code, banned.re)) {
+            ctx.report("signal-safety", j + 1,
+                       std::string(banned.what) +
+                           " in a signal-context function is not "
+                           "async-signal-safe");
+          }
+        }
+      }
+      if (in_body && brace == 0) break;
+    }
+    if (j > i) i = j;  // resume after the body; never rescan it
+  }
+}
+
 /// Merges per-file timing rows into an aggregate table, preserving the
 /// first-seen rule order (R1..R6 for lint, scan-then-A1..A6 for arch).
 void accumulate_timings(std::vector<RuleTiming>& total,
@@ -322,13 +413,14 @@ FileLint lint_text(std::string_view rel_path, std::string_view text) {
       detail::suppressions(lines);
   FileContext ctx{detail::normalize_path(std::string(rel_path)), lines, allow,
                   out};
-  const std::array<std::pair<std::string_view, void (*)(FileContext&)>, 6>
+  const std::array<std::pair<std::string_view, void (*)(FileContext&)>, 7>
       kPasses = {{{"narrow", rule_narrow},
                   {"require", rule_require},
                   {"schema", rule_schema},
                   {"bench-main", rule_bench_main},
                   {"rng", rule_rng},
-                  {"include-hygiene", rule_include_hygiene}}};
+                  {"include-hygiene", rule_include_hygiene},
+                  {"signal-safety", rule_signal_safety}}};
   for (const auto& [name, pass] : kPasses) {
     const auto wall0 = std::chrono::steady_clock::now();
     const double cpu0 = thread_cpu_seconds();

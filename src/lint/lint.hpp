@@ -22,6 +22,12 @@
 //   R6 include-hygiene  every header starts with #pragma once (the
 //                       build-side half — each header compiling as its
 //                       own TU — is the ccmx_header_hygiene target).
+//   R7 signal-safety    a function annotated with a
+//                       `// ccmx-lint: signal-context` marker (the
+//                       profiler's SIGPROF path) must not call the
+//                       non-async-signal-safe denylist: allocation,
+//                       stdio formatting, std::string construction,
+//                       locks.
 //
 // Scope rules are lexical by design: they run in milliseconds with zero
 // toolchain dependencies, and the cost of that is a documented set of
@@ -52,14 +58,14 @@ struct Finding {
 
 struct RuleInfo {
   std::string_view name;   // canonical name, used in allow(...) and reports
-  std::string_view alias;  // short id: "r1".."r6", also accepted in allow()
+  std::string_view alias;  // short id: "r1".."r7", also accepted in allow()
   std::string_view summary;
   /// Fingerprint version: bumped whenever the rule tightens, so stale
   /// baseline entries written against the looser rule stop matching.
   unsigned version = 1;
 };
 
-/// The six rules, in R1..R6 order.
+/// The seven rules, in R1..R7 order.
 [[nodiscard]] const std::vector<RuleInfo>& rules();
 
 /// Fingerprint version of a rule by canonical name (lexical and arch
@@ -79,7 +85,7 @@ struct RuleTiming {
 struct FileLint {
   std::vector<Finding> findings;
   std::size_t suppressed = 0;  // findings silenced by allow(...) comments
-  std::vector<RuleTiming> timings;  // one row per rule, R1..R6 order
+  std::vector<RuleTiming> timings;  // one row per rule, R1..R7 order
 };
 
 /// Lints one file's text.  `rel_path` is the repo-relative path and
@@ -147,7 +153,7 @@ struct RunResult {
   std::vector<Finding> baselined;  // matched the baseline, tolerated
   std::size_t files_scanned = 0;
   std::size_t suppressed = 0;
-  std::vector<RuleTiming> timings;  // summed across files, R1..R6 order
+  std::vector<RuleTiming> timings;  // summed across files, R1..R7 order
 };
 
 /// Walks the tree and lints every .hpp/.cpp file.  Directories named

@@ -251,6 +251,7 @@ class Dashboard {
     traffic_section();
     pipeline_section();
     flame_section();
+    profile_section();
     data_island();
     w_.open("footer");
     w_.text(
@@ -1231,6 +1232,279 @@ class Dashboard {
                     {"y", fmt_svg(y + kRow - 8.0)},
                     {"fill", "var(--surface)"}},
                    span.name);
+      }
+    }
+    w_.close();  // svg
+  }
+
+  // ---- sampled CPU profile ---------------------------------------------
+
+  /// The statistical twin of flame_section(): where the span flame view
+  /// draws *instrumented* intervals on a time axis, this draws a classic
+  /// width-proportional flame graph over the SIGPROF *samples* — the
+  /// merged trie of collapsed stacks, root row on top, each rectangle's
+  /// width the fraction of samples that passed through that frame.
+  void profile_section() {
+    w_.open("section", {{"class", "card"}});
+    w_.element("h2", {}, "Sampled CPU profile (flame graph)");
+    if (data_.profile == nullptr) {
+      w_.element("p", {{"class", "note"}},
+                 "No profile provided (run with CCMX_PROF_HZ set and pass "
+                 "--profile).");
+      w_.close();
+      return;
+    }
+    const ProfileData& prof = *data_.profile;
+    for (const std::string& problem : prof.problems) {
+      w_.element("p", {{"class", "problems"}}, "\xE2\x9A\xA0 " + problem);
+    }
+
+    std::string ledger_line =
+        fmt_count(prof.samples.size()) + " sample(s) at " +
+        std::to_string(prof.hz) + " Hz via " +
+        (prof.mechanism.empty() ? std::string("?") : prof.mechanism);
+    if (prof.has_ledger) {
+      ledger_line += " \xE2\x80\x94 ledger: captured " +
+                     fmt_count(prof.ledger.captured) + ", written " +
+                     fmt_count(prof.ledger.written) + ", dropped " +
+                     fmt_count(prof.ledger.dropped) + ", truncated " +
+                     fmt_count(prof.ledger.truncated) + ", " +
+                     fmt_count(prof.ledger.threads) + " thread(s)";
+    }
+    w_.element("p", {{"class", "legend"}}, ledger_line);
+    if (prof.has_ledger && !prof.ledger_balances()) {
+      w_.element("p", {{"class", "problems"}},
+                 "\xE2\x9A\xA0 conservation ledger does not balance "
+                 "(captured != written + dropped) \xE2\x80\x94 samples "
+                 "went missing unaccounted.");
+    }
+    if (prof.samples.empty()) {
+      w_.element("p", {{"class", "note"}},
+                 "The profile contains no samples (workload shorter than "
+                 "one sampling period?).");
+      w_.close();
+      return;
+    }
+
+    // Categorical colors go to the hottest functions by total samples;
+    // everything else shares the muted tone, identity in the tooltip.
+    const std::vector<ProfileHotspot> hotspots = profile_hotspots(prof);
+    std::vector<std::pair<std::string, std::uint64_t>> ranked;
+    ranked.reserve(hotspots.size());
+    for (const ProfileHotspot& spot : hotspots) {
+      ranked.emplace_back(spot.sym, spot.total);
+    }
+    std::sort(ranked.begin(), ranked.end(), [](const auto& a,
+                                               const auto& b) {
+      return a.second != b.second ? a.second > b.second : a.first < b.first;
+    });
+    std::map<std::string, std::size_t> slot_of;
+    for (std::size_t i = 0; i < ranked.size() && i < kCategoricalSlots;
+         ++i) {
+      slot_of[ranked[i].first] = i;
+    }
+    const auto fill_of = [&](const std::string& name) {
+      const auto it = slot_of.find(name);
+      return it != slot_of.end() ? series_var(it->second)
+                                 : std::string("var(--other)");
+    };
+    w_.open("p", {{"class", "legend"}});
+    for (std::size_t i = 0; i < ranked.size() && i < kCategoricalSlots;
+         ++i) {
+      w_.open("span", {{"class", "item"}});
+      w_.leaf("span", {{"class", "chip"},
+                       {"style", "background:" + series_var(i)}});
+      w_.text(ranked[i].first);
+      w_.close();
+    }
+    if (ranked.size() > kCategoricalSlots) {
+      w_.open("span", {{"class", "item"}});
+      w_.leaf("span", {{"class", "chip"},
+                       {"style", "background:var(--other)"}});
+      w_.text("other");
+      w_.close();
+    }
+    w_.close();  // p.legend
+
+    profile_flame_svg(prof, fill_of);
+
+    // The accessible table behind the picture: top functions by self
+    // samples (leaf hits), with each sample counted once per function so
+    // recursion cannot inflate totals.
+    w_.element("h2", {}, "Top functions by self samples");
+    const double total_samples = static_cast<double>(prof.samples.size());
+    w_.open("table");
+    w_.open("thead").open("tr");
+    w_.element("th", {}, "function");
+    w_.element("th", {{"class", "num"}}, "self");
+    w_.element("th", {{"class", "num"}}, "total");
+    w_.element("th", {{"class", "num"}}, "self %");
+    w_.close().close();  // tr, thead
+    w_.open("tbody");
+    constexpr std::size_t kTopFunctions = 12;
+    for (std::size_t i = 0; i < hotspots.size() && i < kTopFunctions; ++i) {
+      const ProfileHotspot& spot = hotspots[i];
+      w_.open("tr");
+      w_.open("td");
+      w_.leaf("span", {{"class", "chip"},
+                       {"style", "background:" + fill_of(spot.sym)}});
+      w_.text(spot.sym);
+      w_.close();
+      w_.element("td", {{"class", "num"}}, fmt_count(spot.self));
+      w_.element("td", {{"class", "num"}}, fmt_count(spot.total));
+      w_.element("td", {{"class", "num"}},
+                 fmt_fixed(100.0 * static_cast<double>(spot.self) /
+                               total_samples,
+                           1) +
+                     "%");
+      w_.close();  // tr
+    }
+    w_.close().close();  // tbody, table
+    if (hotspots.size() > kTopFunctions) {
+      w_.element("p", {{"class", "note"}},
+                 std::to_string(hotspots.size() - kTopFunctions) +
+                     " further function(s) omitted.");
+    }
+
+    // Per-span attribution: join the samples' span ids against the span
+    // forest rendered above, when a trace was provided too.
+    if (data_.forest != nullptr && !data_.forest->spans.empty()) {
+      std::map<std::uint64_t, std::string> span_names;
+      for (const SpanEvent& span : data_.forest->spans) {
+        span_names[span.id] = span.name;
+      }
+      w_.element("h2", {}, "Samples by span");
+      w_.open("table");
+      w_.open("thead").open("tr");
+      w_.element("th", {}, "span");
+      w_.element("th", {{"class", "num"}}, "samples");
+      w_.element("th", {{"class", "num"}}, "share");
+      w_.close().close();  // tr, thead
+      w_.open("tbody");
+      for (const auto& [span_id, count] : samples_by_span(prof)) {
+        const auto it = span_names.find(span_id);
+        std::string label =
+            span_id == 0 ? std::string("(outside any span)")
+            : it != span_names.end()
+                ? it->second + " #" + std::to_string(span_id)
+                : "span #" + std::to_string(span_id) + " (not in trace)";
+        w_.open("tr");
+        w_.element("td", {}, label);
+        w_.element("td", {{"class", "num"}}, fmt_count(count));
+        w_.element("td", {{"class", "num"}},
+                   fmt_fixed(100.0 * static_cast<double>(count) /
+                                 total_samples,
+                             1) +
+                       "%");
+        w_.close();  // tr
+      }
+      w_.close().close();  // tbody, table
+    }
+    w_.close();  // section
+  }
+
+  template <typename FillOf>
+  void profile_flame_svg(const ProfileData& prof, const FillOf& fill_of) {
+    // Merge the collapsed stacks into a trie.  Children are keyed by
+    // symbol, so recursion shows as repeated rows, like flamegraph.pl.
+    struct TrieNode {
+      std::string name;
+      std::uint64_t count = 0;
+      std::map<std::string, std::size_t> kids;
+    };
+    std::vector<TrieNode> trie(1);  // 0 = synthetic root ("all samples")
+    std::uint64_t rooted = 0;
+    std::size_t max_depth = 0;
+    for (const auto& [folded, count] : collapsed_stacks(prof)) {
+      std::size_t at = 0;
+      trie[0].count += count;
+      rooted += count;
+      std::size_t depth = 0;
+      std::size_t begin = 0;
+      while (begin <= folded.size()) {
+        const std::size_t semi = folded.find(';', begin);
+        const std::string sym = folded.substr(
+            begin, semi == std::string::npos ? std::string::npos
+                                             : semi - begin);
+        const auto [it, inserted] =
+            trie[at].kids.emplace(sym, trie.size());
+        if (inserted) {
+          trie.push_back(TrieNode{});
+          trie.back().name = sym;
+        }
+        at = it->second;
+        trie[at].count += count;
+        ++depth;
+        if (semi == std::string::npos) break;
+        begin = semi + 1;
+      }
+      max_depth = std::max(max_depth, depth);
+    }
+    if (rooted == 0) return;
+
+    constexpr double kW = 960.0;
+    constexpr double kRow = 18.0;
+    const double height =
+        (static_cast<double>(max_depth) + 1.0) * kRow + 4.0;
+    w_.open("svg",
+            {{"viewBox", "0 0 " + fmt_svg(kW) + " " + fmt_svg(height)},
+             {"width", "100%"},
+             {"role", "img"},
+             {"preserveAspectRatio", "none"},
+             {"style", "max-width:" + fmt_svg(kW) + "px;margin:4px 0 12px"}});
+    w_.element("title", {},
+               "sampled flame graph \xE2\x80\x94 width is the fraction of "
+               "samples through each frame, depth grows downward");
+
+    // Iterative preorder with explicit x offsets; subtrees narrower than
+    // half a pixel are pruned (their counts still sit in every ancestor).
+    struct Todo {
+      std::size_t node;
+      std::size_t depth;
+      double x;
+    };
+    const double scale = (kW - 8.0) / static_cast<double>(rooted);
+    std::vector<Todo> todo = {{0, 0, 4.0}};
+    while (!todo.empty()) {
+      const Todo item = todo.back();
+      todo.pop_back();
+      const TrieNode& node = trie[item.node];
+      const double w = static_cast<double>(node.count) * scale;
+      if (w < 0.5) continue;
+      const double y = static_cast<double>(item.depth) * kRow + 2.0;
+      const std::string name =
+          item.node == 0 ? std::string("all samples") : node.name;
+      w_.open("rect",
+              {{"x", fmt_svg(item.x)},
+               {"y", fmt_svg(y)},
+               {"width", fmt_svg(std::max(1.0, w))},
+               {"height", fmt_svg(kRow - 4.0)},
+               {"rx", "2"},
+               {"fill", item.node == 0 ? std::string("var(--other)")
+                                       : fill_of(node.name)},
+               {"stroke", "var(--surface)"},
+               {"stroke-width", "1"}});
+      w_.element("title", {},
+                 name + " \xE2\x80\x94 " + fmt_count(node.count) +
+                     " sample(s), " +
+                     fmt_fixed(100.0 * static_cast<double>(node.count) /
+                                   static_cast<double>(rooted),
+                               1) +
+                     "%");
+      w_.close();  // rect
+      if (w >= 70.0) {
+        w_.element("text",
+                   {{"x", fmt_svg(item.x + 4.0)},
+                    {"y", fmt_svg(y + kRow - 7.0)},
+                    {"fill", "var(--surface)"}},
+                   name);
+      }
+      // Children left-to-right by map order (alphabetical — the layout
+      // is deterministic, not time-ordered; samples have no ordering).
+      double child_x = item.x;
+      for (const auto& [sym, child] : node.kids) {
+        todo.push_back({child, item.depth + 1, child_x});
+        child_x += static_cast<double>(trie[child].count) * scale;
       }
     }
     w_.close();  // svg

@@ -3,7 +3,8 @@
 // render_dashboard_html() turns run reports, the perf trajectory, a
 // bench diff, and a channel trace into ONE dependency-free HTML file:
 // every chart is inline SVG rendered here (sparklines per benchmark,
-// per-round/per-agent traffic bars, a span-tree flame view), every color
+// per-round/per-agent traffic bars, a span-tree flame view, a sampled
+// CPU flame graph over the profiler's collapsed stacks), every color
 // and font is inline CSS, and there is no JavaScript and no network
 // fetch of any kind — the file opens identically from a CI artifact, an
 // email attachment, or file://.  The run-report documents the page was
@@ -20,6 +21,7 @@
 
 #include "obs/analysis.hpp"
 #include "obs/json.hpp"
+#include "obs/profile_reader.hpp"
 #include "obs/trace_reader.hpp"
 
 namespace ccmx::obs {
@@ -54,6 +56,9 @@ struct DashboardData {
   /// A loaded ccmx.timeseries/1 series (background telemetry sampler)
   /// for the RSS / IPC / instruction-rate sparklines.
   const TimeseriesResult* timeseries = nullptr;
+  /// A loaded ccmx.profile/1 stream (sampling CPU profiler) for the
+  /// sampled flame graph next to the span-tree flame view.
+  const ProfileData* profile = nullptr;
 };
 
 /// Renders the dashboard.  Throws util::contract_error when `reports` is

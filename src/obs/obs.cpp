@@ -591,6 +591,19 @@ std::vector<std::uint64_t>& span_stack() {
   return stack;
 }
 
+/// Mirror of span_stack().back() (0 when empty) as a thread-local
+/// relaxed atomic.  The SIGPROF sampling profiler attributes each
+/// sample to the enclosing span from its signal handler, which must
+/// never touch the vector (push_back may allocate, and a signal landing
+/// mid-reallocation would read freed memory); ScopedSpan keeps the
+/// mirror in lockstep with every push/pop.  Constant-initialized, so
+/// the TLS slot needs no lazy guard — a plain relaxed load is all the
+/// handler does.
+std::atomic<std::uint64_t>& current_span_cell() noexcept {
+  thread_local std::atomic<std::uint64_t> cell{0};
+  return cell;
+}
+
 std::uint64_t next_span_id() noexcept {
   static std::atomic<std::uint64_t> next{1};
   return next.fetch_add(1, std::memory_order_relaxed);
@@ -704,8 +717,7 @@ std::uint32_t thread_id() noexcept {
 }
 
 std::uint64_t current_span_id() noexcept {
-  const std::vector<std::uint64_t>& stack = span_stack();
-  return stack.empty() ? 0 : stack.back();
+  return current_span_cell().load(std::memory_order_relaxed);
 }
 
 ScopedSpan::ScopedSpan(std::string_view name) {
@@ -714,6 +726,7 @@ ScopedSpan::ScopedSpan(std::string_view name) {
   id_ = next_span_id();
   parent_ = current_span_id();
   span_stack().push_back(id_);
+  current_span_cell().store(id_, std::memory_order_relaxed);
   start_us_ = now_us();
   armed_ = true;
 }
@@ -733,6 +746,7 @@ void ScopedSpan::arg(std::string_view key, std::uint64_t value) {
 ScopedSpan::~ScopedSpan() {
   if (!armed_) return;
   span_stack().pop_back();
+  current_span_cell().store(parent_, std::memory_order_relaxed);
   const std::int64_t end_us = now_us();
   const double secs = static_cast<double>(end_us - start_us_) * 1e-6;
   Histogram("span." + name_).record(secs);

@@ -62,13 +62,19 @@ inline constexpr std::string_view kTimeseriesSchema = "ccmx.timeseries/1";
 inline constexpr std::string_view kTimeseriesSummarySchema =
     "ccmx.timeseries_summary/1";
 
+/// JSONL stream of the sampling CPU profiler (see obs/profiler.hpp):
+/// a "meta" row, interned "frame" rows, leaf-first "sample" rows
+/// referencing frames by id, and a closing "ledger" row whose
+/// conservation invariant is captured == written + dropped.
+inline constexpr std::string_view kProfileSchema = "ccmx.profile/1";
+
 /// Every schema id this repo may stamp into a document, for validators
 /// that only need to know "is this one of ours".
 inline constexpr std::string_view kRegisteredSchemas[] = {
     kRunReportSchema,     kBenchDiffSchema,  kTrajectorySchema,
     kTrendSchema,         kLintReportSchema, kArchReportSchema,
     kChromeTraceSchema,   kDashboardDataSchema, kTimeseriesSchema,
-    kTimeseriesSummarySchema,
+    kTimeseriesSummarySchema, kProfileSchema,
 };
 
 [[nodiscard]] constexpr bool is_registered_schema(

@@ -10,6 +10,7 @@
 #include <thread>
 
 #include "obs/obs.hpp"
+#include "obs/profiler.hpp"
 #include "util/timer.hpp"
 
 namespace ccmx::util {
@@ -172,6 +173,10 @@ class Pool {
   }
 
   void worker_main(std::size_t index, std::stop_token stop) {
+    // Register with the sampling profiler before any work: records this
+    // thread's stack bounds and CPU clock so SIGPROF samples land in its
+    // ring (a no-op when profiling is off or compiled out).
+    obs::profiler_register_thread();
     std::uint64_t seen_generation = 0;
     for (;;) {
       std::shared_ptr<Job> job;

@@ -1,0 +1,30 @@
+// Fixture: violates R7 (signal-safety) inside the marked handler;
+// linted as src/r7_signal_safety.cpp.
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+#include <string>
+
+// Not in a signal context: everything is allowed here.
+void normal_context() {
+  std::string fine = "heap away";
+  std::printf("%s\n", fine.c_str());
+}
+
+// ccmx-lint: signal-context
+void handler(int) {
+  void* p = std::malloc(16);
+  std::printf("tick\n");
+  std::string label = "oops";
+  static std::mutex mu;
+  std::free(p);
+}
+
+// ccmx-lint: signal-context
+void careful_handler(int) {
+  // errno + atomics only; the one deliberate call is suppressed.
+  std::fprintf(stderr, "die\n");  // ccmx-lint: allow(signal-safety)
+}
+
+// After the marked body ends, the rule stops applying.
+void after() { std::string fine2 = "also allowed"; }

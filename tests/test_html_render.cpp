@@ -4,12 +4,14 @@
 // strict JSON parser byte-exactly.
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
 #include "obs/analysis.hpp"
 #include "obs/html_render.hpp"
 #include "obs/json.hpp"
+#include "obs/profile_reader.hpp"
 #include "obs/schemas.hpp"
 #include "obs/report.hpp"
 #include "obs/trace_reader.hpp"
@@ -276,6 +278,70 @@ TEST(HtmlRender, ArchPanelRendersModulesAndViolations) {
             std::string::npos);
   EXPECT_EQ(fallback.find("No open architecture violations"),
             std::string::npos);
+}
+
+TEST(HtmlRender, ProfileSectionRendersFlameGraphAndLedger) {
+  const obs::LoadResult reports = make_reports();
+
+  // An in-memory ccmx.profile/1: two symbolized frames plus one bare
+  // address, three samples (stacks stored leaf-first), balanced ledger.
+  obs::ProfileData prof;
+  prof.hz = 97;
+  prof.mechanism = "timer_create";
+  const auto add_frame = [&](std::uint64_t id, const char* sym,
+                             bool symbolized) {
+    obs::ProfileFrame frame;
+    frame.id = id;
+    frame.pc = 0x1000 + id;
+    frame.sym = sym;
+    frame.symbolized = symbolized;
+    prof.frame_index[id] = prof.frames.size();
+    prof.frames.push_back(std::move(frame));
+  };
+  add_frame(1, "main", true);
+  add_frame(2, "ccmx::num::BigInt::mul", true);
+  add_frame(3, "0x7f0000001234", false);
+  const auto add_sample = [&](std::vector<std::uint64_t> stack) {
+    obs::ProfileSample sample;
+    sample.tid = 1;
+    sample.span = 7;
+    sample.stack = std::move(stack);
+    prof.samples.push_back(std::move(sample));
+  };
+  add_sample({2, 1});
+  add_sample({2, 1});
+  add_sample({3, 1});
+  prof.has_ledger = true;
+  prof.ledger.captured = 3;
+  prof.ledger.written = 3;
+  prof.ledger.threads = 1;
+
+  obs::DashboardData data;
+  data.reports = &reports;
+  data.profile = &prof;
+  const std::string html = obs::render_dashboard_html(data);
+
+  check_balanced(html);
+  EXPECT_EQ(html.find("No profile provided"), std::string::npos);
+  // The flame graph drew rects and the table twin names the hot leaf.
+  EXPECT_NE(html.find("Sampled CPU profile (flame graph)"),
+            std::string::npos);
+  EXPECT_NE(html.find("Top functions by self samples"), std::string::npos);
+  EXPECT_NE(html.find("ccmx::num::BigInt::mul"), std::string::npos);
+  // A balanced ledger renders without the conservation warning.
+  EXPECT_NE(html.find("captured 3"), std::string::npos);
+  EXPECT_EQ(html.find("does not balance"), std::string::npos);
+
+  // An unbalanced ledger must surface the warning.
+  prof.ledger.written = 2;
+  const std::string warned = obs::render_dashboard_html(data);
+  EXPECT_NE(warned.find("does not balance"), std::string::npos);
+
+  // Without a profile the section falls back to its note.
+  obs::DashboardData bare;
+  bare.reports = &reports;
+  const std::string fallback = obs::render_dashboard_html(bare);
+  EXPECT_NE(fallback.find("No profile provided"), std::string::npos);
 }
 
 TEST(HtmlRender, RequiresReports) {

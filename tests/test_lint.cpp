@@ -152,6 +152,44 @@ TEST(LintRules, R6FlagsMissingPragmaOnce) {
   // "#pragma once" inside the fixture's comment must not satisfy it.
 }
 
+TEST(LintRules, R7FlagsDenylistInsideMarkedFunctionsOnly) {
+  const std::string text = read_fixture("r7_signal_safety.cpp");
+  const lint::FileLint result =
+      lint::lint_text("src/r7_signal_safety.cpp", text);
+  ASSERT_EQ(result.findings.size(), 5u) << testing::PrintToString(
+      rules_of(result));
+  for (const lint::Finding& f : result.findings) {
+    EXPECT_EQ(f.rule, "signal-safety");
+  }
+  EXPECT_EQ(result.findings[0].line, 16u);  // std::malloc
+  EXPECT_EQ(result.findings[1].line, 17u);  // std::printf
+  EXPECT_EQ(result.findings[2].line, 18u);  // std::string construction
+  EXPECT_EQ(result.findings[3].line, 19u);  // std::mutex
+  EXPECT_EQ(result.findings[4].line, 20u);  // std::free
+  // The same calls outside a marked body (normal_context, after) never
+  // fire, and the deliberate fprintf carries its allow(signal-safety).
+  EXPECT_EQ(result.suppressed, 1u);
+}
+
+TEST(LintRules, R7RealSignalHandlersInTheRepoAreClean) {
+  // The profiler's actual signal-context functions are the rule's
+  // raison d'être: they must lint clean, unsuppressed.
+#ifndef CCMX_REPO_ROOT
+  GTEST_SKIP() << "CCMX_REPO_ROOT not defined";
+#else
+  const std::string path =
+      std::string(CCMX_REPO_ROOT) + "/src/obs/profiler.cpp";
+  std::ifstream in(path, std::ios::binary);
+  ASSERT_TRUE(in.is_open()) << path;
+  std::ostringstream text;
+  text << in.rdbuf();
+  const lint::FileLint result =
+      lint::lint_text("src/obs/profiler.cpp", text.str());
+  EXPECT_EQ(count_rule(result, "signal-safety"), 0u)
+      << testing::PrintToString(rules_of(result));
+#endif
+}
+
 TEST(LintRules, SuppressionsSilenceSameLineAndLineAbove) {
   const std::string text = read_fixture("suppressed.cpp");
   const lint::FileLint result = lint::lint_text("src/suppressed.cpp", text);
@@ -164,10 +202,12 @@ TEST(LintRules, SuppressionsSilenceSameLineAndLineAbove) {
 TEST(LintBaseline, FingerprintEmbedsTheRuleVersion) {
   // S3 bugfix: two different rules (or two versions of one rule) can
   // flag the same squashed snippet in the same file; the fingerprint
-  // must keep them distinct.  Every lexical rule is at v2 now.
+  // must keep them distinct.  R1..R6 are at v2; R7 (signal-safety) was
+  // born after the fingerprint-format change and starts at v1.
   for (const lint::RuleInfo& rule : lint::rules()) {
-    EXPECT_EQ(rule.version, 2u) << rule.name;
-    EXPECT_EQ(lint::rule_version(rule.name), 2u) << rule.name;
+    const unsigned expected = rule.name == "signal-safety" ? 1u : 2u;
+    EXPECT_EQ(rule.version, expected) << rule.name;
+    EXPECT_EQ(lint::rule_version(rule.name), expected) << rule.name;
   }
   EXPECT_EQ(lint::rule_version("no-such-rule"), 1u);  // default
   const lint::Finding narrow{"narrow", "src/x.cpp", 3, "m", "int y = f(v);"};

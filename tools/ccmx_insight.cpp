@@ -33,9 +33,18 @@
 //       background telemetry sampler (CCMX_SAMPLE_FILE): sample count,
 //       wall span, RSS range, CPU time, and — when the machine exposes
 //       hardware counters — aggregate IPC and instruction rate.
+//   profile FILE [--top N] [--collapsed OUT] [--trace TRACE.jsonl]
+//       Summarize a ccmx.profile/1 JSONL stream written by the sampling
+//       CPU profiler (CCMX_PROF_HZ / CCMX_PROF_FILE): the conservation
+//       ledger, the fraction of samples landing in symbolized frames,
+//       and the top functions by self/total samples.  --collapsed
+//       writes classic folded stacks (flamegraph.pl input); --trace
+//       joins the samples against the span forest of the same run for
+//       per-span attribution.  Exit 1 when the ledger is missing or
+//       does not balance (captured != written + dropped).
 //   html --reports DIR [--trajectory FILE] [--diff DIFF.json]
 //       [--arch ARCH.json] [--trace FILE] [--timeseries FILE]
-//       [--out FILE] [--title S]
+//       [--profile FILE] [--out FILE] [--title S]
 //       Render the observability artifacts into ONE self-contained HTML
 //       dashboard (inline SVG/CSS, no scripts, no network) with the
 //       run-report JSON embedded as a ccmx.dashboard_data/1 island.
@@ -75,6 +84,7 @@
 #include "obs/html_render.hpp"
 #include "obs/json.hpp"
 #include "obs/obs.hpp"
+#include "obs/profile_reader.hpp"
 #include "obs/schemas.hpp"
 #include "obs/trace_reader.hpp"
 #include "protocols/fingerprint.hpp"
@@ -89,7 +99,8 @@ using namespace ccmx;
 int usage() {
   std::cerr <<
       "usage: ccmx_insight "
-      "<diff|trajectory|trend|trace|timeseries|html|fit|lint|arch> ...\n"
+      "<diff|trajectory|trend|trace|timeseries|profile|html|fit|lint|arch>"
+      " ...\n"
       "  diff --baseline DIR --candidate DIR [--json PATH] [--md PATH]\n"
       "       [--cpu-tol F=0.20] [--counter-tol F=0.25] [--rss-tol F=0.30]\n"
       "       [--insn-tol F=0.02] [--min-iters N=3]\n"
@@ -99,9 +110,10 @@ int usage() {
       "       [--min-points N=3] [--json PATH] [--md PATH]\n"
       "  trace FILE [--report BENCH.json] [--chrome OUT.json]\n"
       "  timeseries FILE [--json PATH]\n"
+      "  profile FILE [--top N=15] [--collapsed OUT] [--trace TRACE.jsonl]\n"
       "  html --reports DIR [--trajectory FILE] [--diff DIFF.json]\n"
       "       [--arch ARCH.json] [--trace FILE] [--timeseries FILE]\n"
-      "       [--out FILE=dashboard.html] [--title S]\n"
+      "       [--profile FILE] [--out FILE=dashboard.html] [--title S]\n"
       "  fit --law send-half|fingerprint [--seed N=7] [--max-dev F]\n"
       "  lint FILE\n"
       "  arch FILE\n";
@@ -698,6 +710,135 @@ int cmd_timeseries(Args& args) {
   return 0;
 }
 
+// ------------------------------------------------------------- profile
+
+int cmd_profile(Args& args) {
+  const auto path = args.positional();
+  if (!path) return usage();
+  std::size_t top_n = 15;
+  if (const auto top = args.option("--top")) {
+    top_n = static_cast<std::size_t>(std::strtoul(top->c_str(), nullptr, 10));
+    if (top_n == 0) top_n = 15;
+  }
+  if (std::ifstream probe(*path, std::ios::binary); !probe.is_open()) {
+    std::cerr << "error: cannot open " << *path << '\n';
+    return 2;
+  }
+  const obs::ProfileData prof = obs::load_profile(*path);
+  for (const std::string& p : prof.problems) {
+    std::cerr << "warning: " << p << '\n';
+  }
+
+  std::cout << "profile: " << *path << " \xE2\x80\x94 "
+            << prof.samples.size() << " sample(s) at " << prof.hz
+            << " Hz via "
+            << (prof.mechanism.empty() ? std::string("?") : prof.mechanism)
+            << '\n';
+  // The conservation invariant is the gate: a missing or unbalanced
+  // ledger means samples went missing unaccounted, and CI should say so.
+  int rc = 0;
+  if (prof.has_ledger) {
+    std::cout << "ledger: captured=" << prof.ledger.captured
+              << " written=" << prof.ledger.written
+              << " dropped=" << prof.ledger.dropped
+              << " truncated=" << prof.ledger.truncated
+              << " threads=" << prof.ledger.threads << " \xE2\x80\x94 "
+              << (prof.ledger_balances() ? "balances" : "DOES NOT BALANCE")
+              << '\n';
+    if (!prof.ledger_balances()) rc = 1;
+  } else {
+    rc = 1;  // load_profile already explained which row is missing
+  }
+  if (!prof.samples.empty()) {
+    std::cout << "symbolized: "
+              << util::fmt_double(
+                     100.0 * obs::symbolized_sample_fraction(prof), 1)
+              << "% of samples hit at least one named frame ("
+              << prof.frames.size() << " distinct frame(s))\n";
+  }
+  if (prof.skipped > 0) {
+    std::cout << prof.skipped << " malformed/foreign line(s) skipped\n";
+  }
+
+  const std::vector<obs::ProfileHotspot> hotspots =
+      obs::profile_hotspots(prof);
+  if (!hotspots.empty()) {
+    const double total = static_cast<double>(prof.samples.size());
+    util::TextTable table({"function", "self", "total", "self %"});
+    for (std::size_t i = 0; i < hotspots.size() && i < top_n; ++i) {
+      const obs::ProfileHotspot& spot = hotspots[i];
+      table.row(spot.sym, spot.self, spot.total,
+                util::fmt_double(
+                    100.0 * static_cast<double>(spot.self) / total, 1) +
+                    "%");
+    }
+    table.print(std::cout);
+    if (hotspots.size() > top_n) {
+      std::cout << "(" << hotspots.size() - top_n
+                << " further function(s) omitted; --top N shows more)\n";
+    }
+  }
+
+  if (const auto collapsed_path = args.option("--collapsed")) {
+    // Classic folded stacks, one "frame;frame;frame count" line each —
+    // flamegraph.pl and speedscope both eat this directly.
+    std::ostringstream folded;
+    std::size_t lines = 0;
+    for (const auto& [stack, count] : obs::collapsed_stacks(prof)) {
+      folded << stack << ' ' << count << '\n';
+      ++lines;
+    }
+    if (!write_text_file(*collapsed_path, folded.str())) {
+      std::cerr << "error: cannot write " << *collapsed_path << '\n';
+      return 2;
+    }
+    std::cout << "collapsed stacks: " << lines << " folded line(s) -> "
+              << *collapsed_path << '\n';
+  }
+
+  if (const auto trace_path = args.option("--trace")) {
+    // Join sample span ids against the span forest of the same run: the
+    // instrumented view (span wall time) and the statistical view
+    // (sample counts) land in one table.
+    obs::TraceReadOptions options;
+    options.tolerate_gaps = true;
+    options.tolerate_truncated_tail = true;
+    obs::TraceStream stream(options);
+    try {
+      stream.consume_file(*trace_path);
+    } catch (const std::exception& e) {
+      std::cerr << "error: " << e.what() << '\n';
+      return 2;
+    }
+    const obs::ChannelTrace trace = stream.take_trace();
+    const obs::SpanForest forest = obs::build_span_forest(trace.spans);
+    std::map<std::uint64_t, const obs::SpanEvent*> span_by_id;
+    for (const obs::SpanEvent& span : forest.spans) {
+      span_by_id[span.id] = &span;
+    }
+    const double total =
+        std::max(1.0, static_cast<double>(prof.samples.size()));
+    std::cout << "samples by span (joined with " << *trace_path << "):\n";
+    util::TextTable table({"span", "name", "samples", "share", "span dur"});
+    for (const auto& [span_id, count] : obs::samples_by_span(prof)) {
+      const auto it = span_by_id.find(span_id);
+      const std::string share =
+          util::fmt_double(100.0 * static_cast<double>(count) / total, 1) +
+          "%";
+      if (span_id == 0) {
+        table.row("-", "(outside any span)", count, share, "-");
+      } else if (it == span_by_id.end()) {
+        table.row(span_id, "(not in trace)", count, share, "-");
+      } else {
+        table.row(span_id, it->second->name, count, share,
+                  std::to_string(it->second->dur_us) + " us");
+      }
+    }
+    table.print(std::cout);
+  }
+  return rc;
+}
+
 // ---------------------------------------------------------------- html
 
 int cmd_html(Args& args) {
@@ -800,6 +941,17 @@ int cmd_html(Args& args) {
       std::cerr << "warning: " << p << '\n';
     }
     data.timeseries = &timeseries;
+  }
+
+  obs::ProfileData profile;
+  if (const auto profile_path = args.option("--profile")) {
+    // Tolerant too: a profile with problems renders them as warnings on
+    // the page; only the section's absence needs the note.
+    profile = obs::load_profile(*profile_path);
+    for (const std::string& p : profile.problems) {
+      std::cerr << "warning: " << p << '\n';
+    }
+    data.profile = &profile;
   }
 
   const std::string html = obs::render_dashboard_html(data);
@@ -1029,6 +1181,7 @@ int main(int argc, char** argv) {
     if (cmd == "trend") return cmd_trend(args);
     if (cmd == "trace") return cmd_trace(args);
     if (cmd == "timeseries") return cmd_timeseries(args);
+    if (cmd == "profile") return cmd_profile(args);
     if (cmd == "html") return cmd_html(args);
     if (cmd == "fit") return cmd_fit(args);
     if (cmd == "lint") return cmd_lint(args);

@@ -7,7 +7,7 @@
 //                  [--write-baseline] [--json PATH] [--list-rules]
 //                  [--quiet]
 //
-// The bare form runs the per-file lexical rules R1–R6 (lint/lint.hpp);
+// The bare form runs the per-file lexical rules R1–R7 (lint/lint.hpp);
 // `ccmx_lint arch` runs the whole-repo architecture pass A1–A6
 // (lint/arch.hpp) — include graph vs the declared layering plus the
 // symbol cross-reference.  Exit status for both: 0 = clean (no
@@ -31,7 +31,7 @@ namespace {
 void print_usage(std::ostream& os) {
   os << "usage: ccmx_lint [arch] [options]\n"
         "  arch               run the whole-repo architecture pass (A1-A6)\n"
-        "                     instead of the per-file lexical rules (R1-R6)\n"
+        "                     instead of the per-file lexical rules (R1-R7)\n"
         "  --root DIR         repo root to lint (default: .)\n"
         "  --subdir D         scan only this subdir; repeatable\n"
         "                     (default: src bench tools tests; arch mode\n"
