@@ -159,6 +159,66 @@ BENCHMARK(BM_MultiplyNaive)->Arg(16)->Arg(32)->Arg(64);
 BENCHMARK(BM_MultiplyBlocked)->Arg(16)->Arg(32)->Arg(64);
 BENCHMARK(BM_MultiplyStrassen)->Arg(16)->Arg(32)->Arg(64);
 
+// BigInt representation ablation: one op sequence (mul, add, sub, word
+// reduce), run once on word-sized operands that stay in the inline form and
+// once on the narrowest operands that live on the heap (three limbs).  The
+// gap between the two rows is the small-value win; docs/PERFORMANCE.md
+// explains how to read them together with the bigint.small_ops /
+// bigint.promotions counters.
+void bigint_chain_bench(benchmark::State& state, std::size_t limbs) {
+  util::Xoshiro256 rng(limbs);
+  constexpr std::size_t kOps = 64;
+  std::vector<num::BigInt> xs;
+  std::vector<num::BigInt> ys;
+  for (std::size_t i = 0; i < kOps; ++i) {
+    num::BigInt x;
+    num::BigInt y;
+    for (std::size_t l = 0; l < limbs; ++l) {
+      x = (x << 64) + static_cast<std::int64_t>(rng() >> 1);
+      y = (y << 64) + static_cast<std::int64_t>(rng() >> 1);
+    }
+    xs.push_back(x);
+    ys.push_back(y);
+  }
+  for (auto _ : state) {
+    std::uint64_t sink = 0;
+    for (std::size_t i = 0; i < kOps; ++i) {
+      num::BigInt t = xs[i] * ys[i];
+      t += ys[i];
+      t -= xs[i];
+      sink += t.mod_u64(0x1fffffffffffffffULL);
+    }
+    benchmark::DoNotOptimize(sink);
+  }
+}
+void BM_BigIntSmall(benchmark::State& state) { bigint_chain_bench(state, 1); }
+void BM_BigIntHeap(benchmark::State& state) { bigint_chain_bench(state, 3); }
+// CRT-style accumulation: the value crosses the promotion boundary after two
+// folds, so the loop exercises the word fast paths against a heap
+// accumulator — the mix det_crt/solve_crt run per coordinate.
+void BM_BigIntMixed(benchmark::State& state) {
+  util::Xoshiro256 rng(7);
+  constexpr std::size_t kFolds = 24;
+  std::vector<std::int64_t> deltas;
+  std::vector<std::int64_t> steps;
+  for (std::size_t i = 0; i < kFolds; ++i) {
+    deltas.push_back(static_cast<std::int64_t>(rng() >> 3));
+    steps.push_back(static_cast<std::int64_t>((rng() >> 3) | 1u));
+  }
+  for (auto _ : state) {
+    num::BigInt value(1);
+    num::BigInt modulus(1);
+    for (std::size_t i = 0; i < kFolds; ++i) {
+      value.add_mul(modulus, deltas[i]);
+      modulus *= steps[i];
+    }
+    benchmark::DoNotOptimize(value.signum());
+  }
+}
+BENCHMARK(BM_BigIntSmall);
+BENCHMARK(BM_BigIntHeap);
+BENCHMARK(BM_BigIntMixed);
+
 // Census engine ablation: the exact (7, 2) sweep (3^15 digit assignments)
 // under the three engine configurations.  All produce identical counts
 // (tests/test_census.cpp pins that); the rows record the speedup from the

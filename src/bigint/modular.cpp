@@ -2,9 +2,16 @@
 
 #include <array>
 
+#include "bigint/bigint.hpp"
 #include "util/require.hpp"
 
 namespace ccmx::num {
+
+// CRT callers hand BigInt::mod_u64 residues straight into these routines, so
+// the modulus word must be exactly one BigInt limb wide — if the limb width
+// ever changes, the residue plumbing has to be revisited together with it.
+static_assert(BigInt::kLimbBits == 8 * sizeof(std::uint64_t),
+              "modular arithmetic assumes one-limb (64-bit) residues");
 
 std::uint64_t powmod(std::uint64_t base, std::uint64_t exp, std::uint64_t m) {
   CCMX_REQUIRE(m > 0, "zero modulus");

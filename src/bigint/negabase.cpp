@@ -5,22 +5,27 @@
 
 namespace ccmx::num {
 
+// Digits are extracted a machine word at a time (mod_floor_u64 /
+// div_exact_word), so a digit must fit a single limb.
+static_assert(BigInt::kLimbBits >= 8 * sizeof(std::uint32_t),
+              "negabase digits assume a limb holds a full uint32_t digit");
+
 std::optional<std::vector<std::uint32_t>> to_negabase(const BigInt& value,
                                                       std::uint64_t q,
                                                       std::size_t len) {
   CCMX_REQUIRE(q >= 2, "negabase needs q >= 2");
-  const BigInt base(static_cast<std::int64_t>(q));
+  const auto neg_q = -static_cast<std::int64_t>(q);
   std::vector<std::uint32_t> digits;
   digits.reserve(len);
   BigInt rest = value;
   while (!rest.is_zero()) {
     if (digits.size() == len) return std::nullopt;  // needs more digits
     // digit = rest mod q, canonical in [0, q).
-    BigInt digit = BigInt::mod_floor(rest, base);
-    const std::uint64_t d = static_cast<std::uint64_t>(digit.to_int64());
+    const std::uint64_t d = rest.mod_floor_u64(q);
     digits.push_back(util::narrow_cast<std::uint32_t>(d));
-    // rest = (rest - d) / (-q)  ==  -(rest - d) / q, exact.
-    rest = (digit - rest).divide_exact(base);
+    // rest = (rest - d) / (-q), exact; word-sized steps, no temporaries.
+    rest -= static_cast<std::int64_t>(d);
+    rest.div_exact_word(neg_q);
   }
   digits.resize(len, 0);
   return digits;
@@ -29,27 +34,26 @@ std::optional<std::vector<std::uint32_t>> to_negabase(const BigInt& value,
 BigInt from_negabase(const std::vector<std::uint32_t>& digits,
                      std::uint64_t q) {
   CCMX_REQUIRE(q >= 2, "negabase needs q >= 2");
-  const BigInt neg_q(-static_cast<std::int64_t>(q));
+  const auto neg_q = -static_cast<std::int64_t>(q);
   BigInt value;
   for (std::size_t i = digits.size(); i-- > 0;) {
     value *= neg_q;
-    value += BigInt(static_cast<std::int64_t>(digits[i]));
+    value += static_cast<std::int64_t>(digits[i]);
   }
   return value;
 }
 
 NegabaseRange negabase_range(std::uint64_t q, std::size_t len) {
   CCMX_REQUIRE(q >= 2, "negabase needs q >= 2");
-  const BigInt digit_max(static_cast<std::int64_t>(q - 1));
+  const auto digit_max = static_cast<std::int64_t>(q - 1);
   BigInt power(1);
-  const BigInt neg_q(-static_cast<std::int64_t>(q));
+  const auto neg_q = -static_cast<std::int64_t>(q);
   NegabaseRange range;
   for (std::size_t i = 0; i < len; ++i) {
-    const BigInt contribution = digit_max * power;
-    if (contribution.is_negative()) {
-      range.lo += contribution;
+    if (power.is_negative()) {
+      range.lo.add_mul(power, digit_max);
     } else {
-      range.hi += contribution;
+      range.hi.add_mul(power, digit_max);
     }
     power *= neg_q;
   }

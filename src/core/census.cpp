@@ -137,7 +137,8 @@ RowCensus row_census(const ConstructionParams& p, const la::IntMatrix& c,
     for (std::size_t r = 0; r < half; ++r) {
       BigInt acc;
       for (std::size_t t = 0; t < l; ++t) {
-        acc += BigInt(static_cast<std::int64_t>(dv[pos++])) * w[t];
+        // Word-sized digit: fused multiply-add, no BigInt temporary.
+        acc.add_mul(w[t], static_cast<std::int64_t>(dv[pos++]));
       }
       x[half + r] = acc;
     }
@@ -145,9 +146,8 @@ RowCensus row_census(const ConstructionParams& p, const la::IntMatrix& c,
     for (std::size_t idx = half; idx-- > 1;) {
       BigInt du;
       for (std::size_t j = 0; j < g; ++j) {
-        du += BigInt(static_cast<std::int64_t>(dv[half * l + (idx - 1) * g +
-                                                  j])) *
-              u[j];
+        du.add_mul(u[j], static_cast<std::int64_t>(
+                             dv[half * l + (idx - 1) * g + j]));
       }
       BigInt value = du;
       if (idx + 1 <= half - 1) value -= q_big * x[idx + 1];
@@ -188,15 +188,16 @@ RowCensus row_census(const ConstructionParams& p, const la::IntMatrix& c,
   } fc;
   if (fast) {
     const auto to128 = [](const BigInt& v) {
-      i128 out = 0;
-      const BigInt mag = v.abs();
-      for (std::size_t bit = mag.bit_length(); bit-- > 0;) {
-        out <<= 1;
-        if (((mag >> util::narrow_cast<unsigned>(bit)) % BigInt(2)) ==
-            BigInt(1)) {
-          out |= 1;
-        }
+      // The fast gate above bounds every chain quantity below 2^120, so the
+      // magnitude occupies at most two limbs — read them directly.
+      static_assert(BigInt::kLimbBits == 64,
+                    "the __int128 mirror packs exactly two BigInt limbs");
+      CCMX_ASSERT(v.bit_length() <= 127);
+      util::u128 mag = 0;
+      for (std::size_t i = v.limb_count(); i-- > 0;) {
+        mag = (mag << BigInt::kLimbBits) | v.limb(i);
       }
+      const i128 out = static_cast<i128>(mag);
       return v.is_negative() ? -out : out;
     };
     for (const BigInt& v : w) fc.w.push_back(to128(v));
@@ -325,7 +326,7 @@ RowCensus row_census(const ConstructionParams& p, const la::IntMatrix& c,
                 use_delta ? st.shift : chain_shift_fast(dv, st.scratch);
             st.fast_acc += count_fast(s);
             if (st.fast_acc >= (std::uint64_t{1} << 62)) {
-              st.ones += BigInt(static_cast<std::int64_t>(st.fast_acc));
+              st.ones += static_cast<std::int64_t>(st.fast_acc);
               st.fast_acc = 0;
             }
           } else {
@@ -340,7 +341,7 @@ RowCensus row_census(const ConstructionParams& p, const la::IntMatrix& c,
         });
     BigInt ones;
     for (SweepState& st : states) {
-      st.ones += BigInt(static_cast<std::int64_t>(st.fast_acc));
+      st.ones += static_cast<std::int64_t>(st.fast_acc);
       ones += st.ones;
       census.evaluations += st.evals;
     }
@@ -380,7 +381,7 @@ RowCensus row_census(const ConstructionParams& p, const la::IntMatrix& c,
             }
             acc.fast_acc += count_fast(shift);
             if (acc.fast_acc >= (std::uint64_t{1} << 62)) {
-              acc.sum += BigInt(static_cast<std::int64_t>(acc.fast_acc));
+              acc.sum += static_cast<std::int64_t>(acc.fast_acc);
               acc.fast_acc = 0;
             }
           } else {
@@ -396,7 +397,7 @@ RowCensus row_census(const ConstructionParams& p, const la::IntMatrix& c,
           progress.tick();
         },
         [](SampleAcc& into, const SampleAcc& acc) {
-          into.sum += acc.sum + BigInt(static_cast<std::int64_t>(acc.fast_acc));
+          into.sum += acc.sum + static_cast<std::int64_t>(acc.fast_acc);
           into.evals += acc.evals;
         });
     // ones ~ q^digits * mean(count).

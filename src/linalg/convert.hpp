@@ -28,10 +28,8 @@ using ModMatrix = Matrix<std::uint64_t>;
 /// Entrywise canonical residue in [0, p).
 [[nodiscard]] inline ModMatrix reduce_mod(const IntMatrix& m,
                                           std::uint64_t p) {
-  return map_matrix<std::uint64_t>(m, [p](const num::BigInt& v) {
-    const std::uint64_t r = v.mod_u64(p);
-    return v.is_negative() && r != 0 ? p - r : r;
-  });
+  return map_matrix<std::uint64_t>(
+      m, [p](const num::BigInt& v) { return v.mod_floor_u64(p); });
 }
 
 }  // namespace ccmx::la

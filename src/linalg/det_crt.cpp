@@ -77,8 +77,9 @@ BigInt det_crt(const IntMatrix& m) {
                                    : residues[i] + p - value_mod_p;
     const std::uint64_t inv = num::invmod(modulus.mod_u64(p), p);
     const std::uint64_t delta = num::mulmod(diff, inv, p);
-    value += modulus * BigInt(static_cast<std::int64_t>(delta));
-    modulus *= BigInt(static_cast<std::int64_t>(p));
+    // 62-bit delta and p: fused word-sized CRT fold, no BigInt temporaries.
+    value.add_mul(modulus, static_cast<std::int64_t>(delta));
+    modulus *= static_cast<std::int64_t>(p);
   }
   // Map to the symmetric range (det may be negative).
   if (value + value > modulus) value -= modulus;

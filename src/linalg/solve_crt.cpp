@@ -97,8 +97,7 @@ std::optional<std::vector<Rational>> solve_crt(const IntMatrix& a,
     }
     std::vector<std::uint64_t> rhs(n);
     for (std::size_t i = 0; i < n; ++i) {
-      const std::uint64_t r = b[i].mod_u64(p);
-      rhs[i] = b[i].is_negative() && r != 0 ? p - r : r;
+      rhs[i] = b[i].mod_floor_u64(p);
     }
     auto solution = solve_mod_p(reduced, std::move(rhs), p);
     CCMX_ASSERT(solution.has_value());  // nonsingular mod p
@@ -120,8 +119,9 @@ std::optional<std::vector<Rational>> solve_crt(const IntMatrix& a,
                                      : solutions[i][j] + p - value_mod_p;
       const std::uint64_t inv = num::invmod(modulus.mod_u64(p), p);
       const std::uint64_t delta = num::mulmod(diff, inv, p);
-      value += modulus * BigInt(static_cast<std::int64_t>(delta));
-      modulus *= BigInt(static_cast<std::int64_t>(p));
+      // 62-bit delta and p: fused word-sized CRT fold, no temporaries.
+      value.add_mul(modulus, static_cast<std::int64_t>(delta));
+      modulus *= static_cast<std::int64_t>(p);
     }
     recovered[j] = rational_reconstruct(value, modulus, bound);
   });
